@@ -1,0 +1,16 @@
+"""Benchmark-suite configuration.
+
+Every file reproduces one figure (or reported metric) of the paper and
+is executed with ``pytest benchmarks/ --benchmark-only``.  Benchmarks
+print the reproduced paper-style rows (run with ``-s`` to see them) and
+assert the *shape* of the paper's claims: who wins, by roughly what
+factor.
+"""
+
+from __future__ import annotations
+
+
+def emit(text: str) -> None:
+    """Print a reproduced figure with a blank line of separation."""
+    print()
+    print(text)

@@ -1,0 +1,30 @@
+"""Fig. 2a — WiFi throughput-fair sharing and the performance anomaly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig2 import run_fig2a
+
+from .conftest import emit
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2a_wifi_throughput_fair_sharing(benchmark):
+    result = benchmark.pedantic(run_fig2a, kwargs={"seed": 0},
+                                rounds=1, iterations=1)
+    u1, u2 = result.testbed.user1_mbps, result.testbed.user2_mbps
+    # Co-located users share equally.
+    assert u1[0] == pytest.approx(u2[0], rel=0.15)
+    # Moving user 2 away degrades BOTH users (the anomaly), monotonically.
+    assert u1[0] > u1[1] > u1[2]
+    assert u2[0] > u2[1] > u2[2]
+    # Throughput-fair: at every location the two users are within 15%.
+    for a, b in zip(u1, u2):
+        assert a == pytest.approx(b, rel=0.15)
+    # The slot-level DCF simulation shows the same shape.
+    assert result.mac_user1_mbps[0] > result.mac_user1_mbps[2]
+    for a, b in zip(result.mac_user1_mbps, result.mac_user2_mbps):
+        assert a == pytest.approx(b, rel=0.2)
+    emit(f"Fig 2a: user1 {tuple(round(x, 1) for x in u1)} Mbps, "
+         f"user2 {tuple(round(x, 1) for x in u2)} Mbps across locations")

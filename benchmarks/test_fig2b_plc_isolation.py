@@ -1,0 +1,26 @@
+"""Fig. 2b — isolation throughput of each PLC link (60-160 Mbps)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig2 import run_fig2b
+from repro.testbed.calibration import FIG2B_ISOLATION_MBPS
+
+from .conftest import emit
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2b_plc_isolation_throughputs(benchmark):
+    result = benchmark.pedantic(run_fig2b, kwargs={"seed": 0},
+                                rounds=1, iterations=1)
+    # Each link measures its calibrated capacity (within iperf noise).
+    for measured, expected in zip(result.isolation_mbps,
+                                  FIG2B_ISOLATION_MBPS):
+        assert measured == pytest.approx(expected, rel=0.1)
+    # The paper's reported spread: roughly 60-160 Mbps.
+    assert min(result.isolation_mbps) == pytest.approx(60.0, rel=0.15)
+    assert max(result.isolation_mbps) == pytest.approx(160.0, rel=0.15)
+    emit("Fig 2b: isolation throughputs "
+         f"{tuple(round(x, 1) for x in result.isolation_mbps)} Mbps "
+         f"(paper: {FIG2B_ISOLATION_MBPS})")

@@ -1,0 +1,33 @@
+"""Fig. 2c — time-fair PLC sharing: each active link gets ~1/k."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig2 import run_fig2c
+
+from .conftest import emit
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2c_time_fair_sharing(benchmark):
+    result = benchmark.pedantic(run_fig2c, kwargs={"seed": 0},
+                                rounds=1, iterations=1)
+    for k, shared in result.testbed.shared_mbps.items():
+        # Analytic testbed: each link delivers 1/k of isolation (±10%).
+        for ratio in result.testbed.share_ratio(k):
+            assert ratio == pytest.approx(1.0 / k, rel=0.1)
+        # Better-rate links still deliver more absolute throughput.
+        iso = result.testbed.isolation_mbps[:k]
+        order = sorted(range(k), key=lambda i: iso[i])
+        shared_sorted = [shared[i] for i in order]
+        assert shared_sorted == sorted(shared_sorted)
+    # The slot-level IEEE 1901 CSMA simulation reproduces ~1/k airtime
+    # (CSMA overhead costs a little, so allow 25%).
+    for k, ratios in result.mac_share_ratios.items():
+        for ratio in ratios:
+            assert ratio == pytest.approx(1.0 / k, rel=0.25)
+    lines = [f"k={k}: " + " ".join(f"{r:.2f}" for r in
+                                   result.testbed.share_ratio(k))
+             for k in sorted(result.testbed.shared_mbps)]
+    emit("Fig 2c share ratios (expect 1/k): " + "; ".join(lines))

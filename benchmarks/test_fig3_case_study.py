@@ -1,0 +1,32 @@
+"""Fig. 3 — the association case study: RSSI 22, Greedy 30, Optimal 40."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig3 import PAPER_FIG3_MBPS, run_fig3
+
+from .conftest import emit
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_case_study_exact_numbers(benchmark):
+    result = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    # These are exact paper numbers — the engine is calibrated to them.
+    assert result.rssi_aggregate == pytest.approx(
+        PAPER_FIG3_MBPS["rssi"], abs=0.2)
+    assert result.greedy_aggregate == pytest.approx(
+        PAPER_FIG3_MBPS["greedy"], abs=0.01)
+    assert result.optimal_aggregate == pytest.approx(
+        PAPER_FIG3_MBPS["optimal"], abs=0.01)
+    # Per-user breakdowns from the figure.
+    assert result.rssi_per_user == pytest.approx((10.91, 10.91), abs=0.01)
+    assert result.greedy_per_user == pytest.approx((15.0, 15.0), abs=0.01)
+    assert result.optimal_per_user == pytest.approx((10.0, 30.0), abs=0.01)
+    # WOLT finds the optimum on this instance.
+    assert result.wolt_matches_optimal
+    emit(f"Fig 3: RSSI {result.rssi_aggregate:.1f}, "
+         f"Greedy {result.greedy_aggregate:.1f}, "
+         f"Optimal {result.optimal_aggregate:.1f}, "
+         f"WOLT {result.wolt_aggregate:.1f} Mbps "
+         f"(paper: 22 / 30 / 40 / 40)")

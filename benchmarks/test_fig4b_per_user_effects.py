@@ -1,0 +1,36 @@
+"""Fig. 4b — per-user win/loss fractions of WOLT vs the baselines.
+
+Paper: 35% of users improve under WOLT vs Greedy (65% degrade); 55%
+improve vs RSSI (45% degrade).  Shape: a substantial fraction of users
+improves AND a substantial fraction degrades — WOLT optimizes the
+aggregate, not individuals — with more winners against RSSI than
+symmetric.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig4 import run_fig4b
+
+from .conftest import emit
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4b_per_user_win_loss(benchmark):
+    result = benchmark.pedantic(run_fig4b,
+                                kwargs={"n_topologies": 25, "seed": 0},
+                                rounds=1, iterations=1)
+    # Both winners and losers exist against both baselines.
+    assert result.improved_vs_greedy > 0.1
+    assert result.degraded_vs_greedy > 0.05
+    assert result.improved_vs_rssi > 0.1
+    assert result.degraded_vs_rssi > 0.05
+    # Against RSSI, at least half as many users improve as the paper's
+    # 55%; the shape claim is "more than a quarter of users improve".
+    assert result.improved_vs_rssi >= 0.25
+    emit("Fig 4b: improved/degraded vs Greedy "
+         f"{result.improved_vs_greedy:.0%}/{result.degraded_vs_greedy:.0%}"
+         " (paper 35%/65%); vs RSSI "
+         f"{result.improved_vs_rssi:.0%}/{result.degraded_vs_rssi:.0%}"
+         " (paper 55%/45%)")

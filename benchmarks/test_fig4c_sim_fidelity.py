@@ -1,0 +1,33 @@
+"""Fig. 4c — fidelity of the simulator against the (emulated) testbed.
+
+The paper validates its simulator by replaying a testbed topology (3
+extenders, 7 users, identical channel qualities) and showing consistent
+results.  Here the analytic engine plays the simulator and the emulated
+hardware bench (sharing laws + measurement noise) plays the testbed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig4 import run_fig4c
+
+from .conftest import emit
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4c_simulation_matches_testbed(benchmark):
+    result = benchmark.pedantic(run_fig4c, kwargs={"seed": 7},
+                                rounds=1, iterations=1)
+    # Every user's simulated throughput is within 10% of the testbed's.
+    assert result.max_relative_error < 0.10
+    for sim, bench in zip(result.simulated_user_mbps,
+                          result.testbed_user_mbps):
+        assert sim == pytest.approx(bench, rel=0.10)
+    # Aggregates agree even tighter.
+    assert np.sum(result.simulated_user_mbps) == pytest.approx(
+        np.sum(result.testbed_user_mbps), rel=0.05)
+    emit("Fig 4c: per-user sim vs testbed Mbps "
+         f"{[(round(s, 1), round(t, 1)) for s, t in zip(result.simulated_user_mbps, result.testbed_user_mbps)]}; "
+         f"max error {result.max_relative_error:.1%}")

@@ -1,0 +1,42 @@
+"""Fig. 5 — per-user effects: worst-3 users lose little, best-3 gain a lot.
+
+Paper (one representative topology): WOLT's worst three users lose ~6
+Mbps in total vs Greedy while the best three gain ~38 Mbps — the
+throughput win costs only a modest fairness hit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig5 import run_fig5
+
+from .conftest import emit
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_modest_fairness_hit(benchmark):
+    result = benchmark.pedantic(run_fig5, kwargs={"seed": 3},
+                                rounds=1, iterations=1)
+    # Shape: the best-3 gain strictly more than the worst-3 lose.
+    assert result.best_total_delta_mbps > 0
+    assert result.best_total_delta_mbps > abs(
+        result.worst_total_delta_mbps)
+    # Magnitudes in the paper's ballpark (paper: -6 and +38 Mbps).
+    assert -30.0 <= result.worst_total_delta_mbps <= 5.0
+    assert 10.0 <= result.best_total_delta_mbps <= 90.0
+    emit(f"Fig 5: worst-3 delta {result.worst_total_delta_mbps:+.1f} Mbps "
+         f"(paper ~-6), best-3 delta {result.best_total_delta_mbps:+.1f} "
+         "Mbps (paper ~+38)")
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_shape_holds_across_topologies(benchmark):
+    def run_many():
+        return [run_fig5(seed=s) for s in range(8)]
+
+    results = benchmark.pedantic(run_many, rounds=1, iterations=1)
+    net_gains = [r.best_total_delta_mbps + r.worst_total_delta_mbps
+                 for r in results]
+    # On average across topologies the best users' gain dominates.
+    assert sum(net_gains) / len(net_gains) > 0

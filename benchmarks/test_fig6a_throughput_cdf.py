@@ -1,0 +1,49 @@
+"""Fig. 6a — CDF of aggregate throughput; WOLT ~2.5x Greedy on average.
+
+Paper: 100 trials, 15 extenders, 36 users; "WOLT outperforms the greedy
+algorithm in all trials, with WOLT providing an average improvement (in
+terms of aggregate throughput) of 2.5x over the greedy approach."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig6 import run_fig6a
+
+from .conftest import emit
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6a_wolt_2_5x_over_greedy(benchmark):
+    result = benchmark.pedantic(
+        run_fig6a, kwargs={"n_trials": 100, "seed": 0},
+        rounds=1, iterations=1)
+    # WOLT wins every single trial, as the paper reports.
+    assert result.wolt_wins_all_trials
+    # The average improvement is in the paper's 2.5x ballpark (1.8-4x).
+    assert 1.8 <= result.mean_ratio <= 4.0
+    # CDF shape: the entire WOLT distribution sits to the right.
+    assert np.percentile(result.wolt_mbps, 10) > np.percentile(
+        result.greedy_mbps, 90)
+    emit(f"Fig 6a: mean WOLT/Greedy = {result.mean_ratio:.2f}x "
+         "(paper ~2.5x); "
+         f"WOLT mean {result.wolt_mbps.mean():.1f} Mbps, "
+         f"Greedy mean {result.greedy_mbps.mean():.1f} Mbps; "
+         f"WOLT wins all {result.wolt_mbps.size} trials: "
+         f"{result.wolt_wins_all_trials}")
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6a_gap_shrinks_under_physical_model(benchmark):
+    """Reproduction finding: under the testbed-measured sharing law the
+    WOLT/Greedy gap closes (see EXPERIMENTS.md)."""
+    result = benchmark.pedantic(
+        run_fig6a,
+        kwargs={"n_trials": 20, "seed": 0, "plc_mode": "redistribute"},
+        rounds=1, iterations=1)
+    assert 0.7 <= result.mean_ratio <= 1.3
+    emit("Fig 6a ablation: physically-scored WOLT/Greedy = "
+         f"{result.mean_ratio:.2f}x — the 2.5x gap is a property of the "
+         "paper's fixed time-sharing model")

@@ -1,0 +1,38 @@
+"""Fig. 6b — aggregate throughput per epoch as the population grows.
+
+Paper: users arrive/depart as Poisson processes (λ=3, μ=1), the
+population grows ~36 → 66 → 102 across epochs, the aggregate throughput
+of WOLT increases and saturates, and WOLT outperforms Greedy at every
+epoch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig6 import run_fig6bc
+
+from .conftest import emit
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6b_wolt_beats_greedy_every_epoch(benchmark):
+    result = benchmark.pedantic(run_fig6bc,
+                                kwargs={"n_epochs": 3, "seed": 0},
+                                rounds=1, iterations=1)
+    wolt = result.histories["wolt"]
+    greedy = result.histories["greedy"]
+    # Population grows by roughly 33 users per epoch (paper trajectory).
+    for prev, cur in zip(wolt, wolt[1:]):
+        assert 15 <= cur.n_users - prev.n_users <= 55
+    # WOLT outperforms Greedy at every epoch boundary.
+    for w, g in zip(wolt, greedy):
+        assert w.aggregate_throughput > g.aggregate_throughput
+    # WOLT's throughput is non-decreasing-then-flat (grows and saturates).
+    values = [e.aggregate_throughput for e in wolt]
+    assert all(b >= a - 1e-6 for a, b in zip(values, values[1:]))
+    emit("Fig 6b: users " + str([e.n_users for e in wolt])
+         + ", WOLT Mbps " + str([round(e.aggregate_throughput, 1)
+                                 for e in wolt])
+         + ", Greedy Mbps " + str([round(e.aggregate_throughput, 1)
+                                   for e in greedy]))

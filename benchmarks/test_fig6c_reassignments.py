@@ -1,0 +1,36 @@
+"""Fig. 6c — WOLT's re-assignment load per epoch.
+
+Paper: "WOLT re-assigns up to twice the number of arriving users (i.e.,
+one user is swapped for every new user who arrives, on average)" — the
+re-assignment overhead is relatively minor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig6 import run_fig6bc
+
+from .conftest import emit
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6c_reassignment_load_is_bounded(benchmark):
+    result = benchmark.pedantic(run_fig6bc,
+                                kwargs={"n_epochs": 4, "seed": 0},
+                                rounds=1, iterations=1)
+    wolt = result.histories["wolt"]
+    # Per-epoch: never more than ~2x the epoch's arrivals.
+    for e in wolt:
+        assert e.reassignments <= 2.0 * e.arrivals + 2
+    # On average around (or below) one swap per arrival.
+    assert result.reassignment_per_arrival <= 2.0
+    # Re-assignments do happen (WOLT is actively re-optimizing).
+    assert sum(e.reassignments for e in wolt) > 0
+    # Greedy and RSSI never re-assign by construction.
+    for e in result.histories["greedy"]:
+        assert e.reassignments == 0
+    emit("Fig 6c: per-epoch (arrivals, reassignments) = "
+         + str([(e.arrivals, e.reassignments) for e in wolt])
+         + f"; mean per arrival {result.reassignment_per_arrival:.2f} "
+         "(paper: <= ~2)")

@@ -1,0 +1,64 @@
+"""Scalability sweeps: where WOLT's advantage grows and where it dies.
+
+These extend the paper's two operating points into series, asserting
+the structural claims the intro makes:
+
+* more pluggable outlets (extenders) → larger WOLT advantage,
+* an Ethernet-grade backhaul → association stops mattering (this is
+  exactly the paper's argument for why PLC backhauls need WOLT).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.sweeps import (sweep_extenders, sweep_plc_quality,
+                                      sweep_users)
+
+from .conftest import emit
+
+
+@pytest.mark.benchmark(group="sweeps")
+def test_advantage_grows_with_extender_count(benchmark):
+    result = benchmark.pedantic(sweep_extenders,
+                                kwargs={"seed": 0, "n_trials": 6},
+                                rounds=1, iterations=1)
+    ratios = result.ratio_wolt_greedy
+    # Small deployments: near parity; enterprise scale: multiples.
+    assert ratios[0] < 1.6
+    assert ratios[-1] > 2.0
+    # Broadly increasing (allow one local dip from sampling noise).
+    assert ratios[-1] > ratios[0]
+    emit("Sweep extenders -> WOLT/Greedy: "
+         + ", ".join(f"{int(v)}: {r:.2f}x"
+                     for v, r in zip(result.values, ratios)))
+
+
+@pytest.mark.benchmark(group="sweeps")
+def test_advantage_persists_across_population(benchmark):
+    result = benchmark.pedantic(sweep_users,
+                                kwargs={"seed": 0, "n_trials": 6},
+                                rounds=1, iterations=1)
+    # WOLT keeps a >=2x lead over Greedy from 15 to 124 users (the
+    # paper: "performs well ... with up to 15 extenders and 124
+    # clients").
+    assert min(result.ratio_wolt_greedy) > 2.0
+    emit("Sweep users -> WOLT/Greedy: "
+         + ", ".join(f"{int(v)}: {r:.2f}x"
+                     for v, r in zip(result.values,
+                                     result.ratio_wolt_greedy)))
+
+
+@pytest.mark.benchmark(group="sweeps")
+def test_ethernet_grade_backhaul_kills_the_advantage(benchmark):
+    result = benchmark.pedantic(sweep_plc_quality,
+                                kwargs={"seed": 0, "n_trials": 6},
+                                rounds=1, iterations=1)
+    ratios = result.ratio_wolt_greedy
+    # The crossover: PLC-constrained -> big gap; 8x capacity -> parity.
+    assert ratios[0] > 2.0
+    assert ratios[-1] < 1.5
+    assert all(b <= a + 0.25 for a, b in zip(ratios, ratios[1:]))
+    emit("Sweep PLC scale -> WOLT/Greedy: "
+         + ", ".join(f"{v:g}x: {r:.2f}x"
+                     for v, r in zip(result.values, ratios)))

@@ -1,0 +1,125 @@
+"""``wolt`` command-line interface.
+
+Runs any of the paper's experiments from a shell::
+
+    wolt fig2            # medium-sharing measurements
+    wolt fig3            # the case study (22 / 30 / 40 Mbps)
+    wolt fig4            # testbed comparison
+    wolt fig5            # per-user fairness drill-down
+    wolt fig6            # large-scale simulation suite
+    wolt solve --extenders 15 --users 36 --seed 1
+    wolt all             # every figure, paper-scale
+
+All experiments are deterministic for a given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .experiments import fig2, fig3, fig4, fig5, fig6, robustness, sweeps
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="wolt",
+        description="Reproduce the WOLT (ICDCS 2020) experiments.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, help_text in [
+            ("fig2", "medium sharing in the PLC and WiFi domains"),
+            ("fig3", "the two-user / two-extender case study"),
+            ("fig4", "testbed comparison (3 extenders, 7 laptops)"),
+            ("fig5", "per-user fairness drill-down"),
+            ("fig6", "large-scale simulation suite"),
+            ("sweeps", "scalability sweeps (extension)"),
+            ("robustness", "estimation-noise robustness (extension)"),
+            ("all", "run every figure")]:
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--seed", type=int, default=0,
+                       help="master random seed (default 0)")
+        if name in ("fig6", "all"):
+            p.add_argument("--trials", type=int, default=100,
+                           help="Fig 6a Monte-Carlo trials (default 100)")
+
+    solve = sub.add_parser(
+        "solve", help="run WOLT on a random enterprise floor")
+    solve.add_argument("--extenders", type=int, default=15)
+    solve.add_argument("--users", type=int, default=36)
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument("--plc-mode", choices=("redistribute", "active",
+                                              "fixed"),
+                       default="redistribute",
+                       help="PLC sharing law for scoring")
+    return parser
+
+
+def _solve(args: argparse.Namespace) -> str:
+    from .core.baselines import greedy_assignment, rssi_assignment
+    from .core.wolt import solve_wolt
+    from .net.engine import evaluate
+    from .net.topology import enterprise_floor
+
+    rng = np.random.default_rng(args.seed)
+    scenario = enterprise_floor(args.extenders, args.users, rng)
+    wolt = solve_wolt(scenario, plc_mode=args.plc_mode)
+    greedy = evaluate(scenario,
+                      greedy_assignment(scenario,
+                                        rng.permutation(args.users)),
+                      plc_mode=args.plc_mode)
+    rssi = evaluate(scenario, rssi_assignment(scenario),
+                    plc_mode=args.plc_mode)
+    lines = [
+        f"scenario: {args.extenders} extenders, {args.users} users, "
+        f"seed {args.seed}, plc_mode={args.plc_mode}",
+        f"WOLT   aggregate: {wolt.aggregate_throughput:8.2f} Mbps",
+        f"Greedy aggregate: {greedy.aggregate:8.2f} Mbps",
+        f"RSSI   aggregate: {rssi.aggregate:8.2f} Mbps",
+        f"WOLT assignment: {wolt.assignment.tolist()}",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "fig2":
+        print(fig2.main(args.seed))
+    elif args.command == "fig3":
+        print(fig3.main())
+    elif args.command == "fig4":
+        print(fig4.main(args.seed))
+    elif args.command == "fig5":
+        print(fig5.main(args.seed + 3))
+    elif args.command == "fig6":
+        print(fig6.main(args.seed, n_trials=args.trials))
+    elif args.command == "sweeps":
+        print(sweeps.main(args.seed))
+    elif args.command == "robustness":
+        print(robustness.main(args.seed))
+    elif args.command == "all":
+        print(fig2.main(args.seed))
+        print()
+        print(fig3.main())
+        print()
+        print(fig4.main(args.seed))
+        print()
+        print(fig5.main(args.seed + 3))
+        print()
+        print(fig6.main(args.seed, n_trials=args.trials))
+    elif args.command == "solve":
+        print(_solve(args))
+    else:  # pragma: no cover - argparse enforces the choices
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,122 @@
+"""Upper bounds and optimality-gap certificates for Problem 1.
+
+Problem 1 is NP-hard (Theorem 1), so WOLT ships no guarantee.  For
+evaluation purposes it is still useful to bound how far any assignment
+— WOLT's included — can be from optimal without enumerating the
+exponential search space.  Two polynomial bounds are provided:
+
+* :func:`plc_capacity_bound` — no assignment can push more than the
+  whole backhaul carries: under the ``fixed`` law that is
+  ``sum_j c_j / |A|``; under ``active``/``redistribute`` it is
+  ``max_j c_j`` (concentrate all medium time on the best link).
+* :func:`relaxation_bound` — the Phase-I relaxation itself: Lemma 2 +
+  Theorem 2 make the one-user-per-extender assignment optimum,
+  ``max_matching sum min(c_j/|A|, r_ij)``, an upper bound on the fixed-
+  law Problem-1 optimum *restricted to its WiFi-side best case*, and
+  adding the per-extender WiFi ceiling tightens it.
+
+:func:`certify` combines them into a gap certificate for a concrete
+assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..net.engine import evaluate
+from .problem import MIN_USABLE_RATE, Scenario
+
+__all__ = ["plc_capacity_bound", "wifi_ceiling_bound", "relaxation_bound",
+           "GapCertificate", "certify"]
+
+
+def plc_capacity_bound(scenario: Scenario,
+                       plc_mode: str = "redistribute") -> float:
+    """Backhaul-side upper bound on any assignment's aggregate (Mbps)."""
+    c = scenario.plc_rates
+    if c.size == 0:
+        return 0.0
+    if plc_mode == "fixed":
+        return float(c.sum() / c.size)
+    if plc_mode in ("active", "redistribute"):
+        return float(c.max())
+    raise ValueError(f"unknown plc_mode {plc_mode!r}")
+
+
+def wifi_ceiling_bound(scenario: Scenario) -> float:
+    """WiFi-side upper bound: every extender serving its best user.
+
+    ``T_WiFi_j <= max_i r_ij`` for any user set (Eq. (1) is a weighted
+    harmonic mean, never above the best member's rate), so the total
+    WiFi-side throughput is at most ``sum_j max_i r_ij``.
+    """
+    if scenario.n_users == 0 or scenario.n_extenders == 0:
+        return 0.0
+    best = np.max(np.where(scenario.wifi_rates > MIN_USABLE_RATE,
+                           scenario.wifi_rates, 0.0), axis=0)
+    return float(best.sum())
+
+
+def relaxation_bound(scenario: Scenario) -> float:
+    """Per-extender relaxation bound under the fixed law.
+
+    ``sum_j min(c_j/|A|, max_i r_ij)`` dominates any fixed-law
+    assignment's aggregate, because each extender's end-to-end
+    throughput is ``min(T_WiFi_j, c_j/|A|)`` and ``T_WiFi_j`` (a
+    harmonic mean of member rates) never exceeds the extender's single
+    best reachable user's rate.
+    """
+    if scenario.n_users == 0 or scenario.n_extenders == 0:
+        return 0.0
+    fair = scenario.plc_rates / scenario.n_extenders
+    best_rate = np.max(np.where(scenario.wifi_rates > MIN_USABLE_RATE,
+                                scenario.wifi_rates, 0.0), axis=0)
+    return float(np.minimum(fair, best_rate).sum())
+
+
+@dataclass(frozen=True)
+class GapCertificate:
+    """An optimality-gap certificate for one assignment.
+
+    Attributes:
+        achieved: the assignment's aggregate throughput (Mbps).
+        upper_bound: a certified bound no assignment can exceed.
+        gap_fraction: ``1 - achieved/upper_bound`` — the assignment is
+            within this fraction of *any* optimum (often much closer,
+            since the bound itself is loose).
+    """
+
+    achieved: float
+    upper_bound: float
+
+    @property
+    def gap_fraction(self) -> float:
+        if self.upper_bound <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.achieved / self.upper_bound)
+
+
+def certify(scenario: Scenario, assignment: Sequence[int],
+            plc_mode: str = "redistribute") -> GapCertificate:
+    """Certify an assignment against the tightest applicable bound.
+
+    Args:
+        scenario: the network snapshot.
+        assignment: a complete assignment to certify.
+        plc_mode: PLC sharing law for both evaluation and bounding.
+
+    Returns:
+        A :class:`GapCertificate`; its ``gap_fraction`` bounds the loss
+        to the (unknown) optimum.
+    """
+    achieved = evaluate(scenario, assignment, plc_mode=plc_mode,
+                        require_complete=True).aggregate
+    bounds = [plc_capacity_bound(scenario, plc_mode),
+              wifi_ceiling_bound(scenario)]
+    if plc_mode == "fixed":
+        bounds.append(relaxation_bound(scenario))
+    return GapCertificate(achieved=achieved,
+                          upper_bound=float(min(bounds)))

@@ -1,0 +1,203 @@
+"""Central Controller (CC) protocol emulation.
+
+§V-A of the paper implements WOLT as a user-space utility: clients scan,
+estimate per-extender WiFi rates from the NIC's MCS readout, report to a
+Central Controller over their initial (strongest-RSSI) association, and
+re-associate when the CC sends back an association directive.
+
+This module emulates that control plane at message granularity so the
+re-assignment overhead of Fig. 6c (and the paper's claim that it is
+"relatively minor") can be quantified: every scan report, directive and
+re-association handoff is counted, and the handoff outage time is
+charged against the throughput the network would otherwise deliver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..net.engine import evaluate
+from .baselines import greedy_attach_user, rssi_assignment
+from .problem import Scenario, UNASSIGNED
+from .wolt import solve_wolt
+
+__all__ = ["ScanReport", "AssociationDirective", "ControllerStats",
+           "CentralController"]
+
+
+@dataclass(frozen=True)
+class ScanReport:
+    """A client's scan results, sent to the CC on arrival.
+
+    Attributes:
+        user_id: stable client identifier.
+        wifi_rates: estimated PHY rate to every extender (Mbps; 0 =
+            extender not heard).
+    """
+
+    user_id: int
+    wifi_rates: np.ndarray
+
+
+@dataclass(frozen=True)
+class AssociationDirective:
+    """CC -> client instruction to (re-)associate.
+
+    Attributes:
+        user_id: addressee.
+        extender: target extender index.
+    """
+
+    user_id: int
+    extender: int
+
+
+@dataclass
+class ControllerStats:
+    """Running counters of control-plane activity.
+
+    Attributes:
+        scan_reports: reports received from clients.
+        directives_sent: association directives issued.
+        reassignments: directives that *changed* an existing association.
+        handoff_time_s: cumulative client outage caused by handoffs.
+    """
+
+    scan_reports: int = 0
+    directives_sent: int = 0
+    reassignments: int = 0
+    handoff_time_s: float = 0.0
+
+
+class CentralController:
+    """The WOLT Central Controller.
+
+    The CC maintains the measured PLC link capacities (obtained offline
+    with iperf, §V-A), accumulates clients' scan reports, and computes
+    associations with the configured policy.
+
+    Args:
+        plc_rates: measured per-extender PLC rates (Mbps).
+        policy: ``"wolt"``, ``"greedy"`` or ``"rssi"``.
+        handoff_outage_s: client outage per re-association (the time to
+            disassociate, switch BSS and re-run DHCP/ARP; ~1 s for
+            commodity clients).
+    """
+
+    def __init__(self, plc_rates: Sequence[float], policy: str = "wolt",
+                 handoff_outage_s: float = 1.0) -> None:
+        if policy not in ("wolt", "greedy", "rssi"):
+            raise ValueError(f"unsupported policy {policy!r}")
+        self.plc_rates = np.asarray(plc_rates, dtype=float)
+        if self.plc_rates.ndim != 1 or self.plc_rates.size == 0:
+            raise ValueError("plc_rates must be a non-empty vector")
+        self.policy = policy
+        self.handoff_outage_s = handoff_outage_s
+        self.stats = ControllerStats()
+        self._reports: Dict[int, ScanReport] = {}
+        self._assignment: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # client-facing protocol
+
+    @property
+    def n_extenders(self) -> int:
+        return self.plc_rates.size
+
+    @property
+    def connected_users(self) -> List[int]:
+        """User ids currently associated, sorted."""
+        return sorted(self._assignment)
+
+    def receive_scan_report(self, report: ScanReport
+                            ) -> AssociationDirective:
+        """Handle a new client's scan report; reply with a directive.
+
+        The new client is admitted immediately: Greedy places it to
+        maximize aggregate throughput, RSSI and WOLT park it on its
+        strongest extender (WOLT re-optimizes everyone at the next
+        :meth:`reconfigure`).
+        """
+        rates = np.asarray(report.wifi_rates, dtype=float)
+        if rates.shape != (self.n_extenders,):
+            raise ValueError("scan report must cover every extender")
+        if not np.any(rates > 0):
+            raise ValueError(f"user {report.user_id} hears no extender")
+        self.stats.scan_reports += 1
+        self._reports[report.user_id] = ScanReport(report.user_id, rates)
+        if self.policy == "greedy":
+            scenario, ids = self._scenario()
+            idx = ids.index(report.user_id)
+            vec = self._assignment_vector(ids)
+            vec[idx] = UNASSIGNED
+            extender = greedy_attach_user(scenario, vec, idx)
+        else:
+            extender = int(np.argmax(rates))
+        return self._issue(report.user_id, extender)
+
+    def disconnect(self, user_id: int) -> None:
+        """Remove a departing client."""
+        self._reports.pop(user_id, None)
+        self._assignment.pop(user_id, None)
+
+    def reconfigure(self) -> List[AssociationDirective]:
+        """Epoch-boundary re-optimization (WOLT only; others no-op).
+
+        Returns the directives sent to clients whose extender changed.
+        """
+        if self.policy != "wolt" or not self._reports:
+            return []
+        scenario, ids = self._scenario()
+        result = solve_wolt(scenario)
+        directives = []
+        for idx, uid in enumerate(ids):
+            new_j = int(result.assignment[idx])
+            if self._assignment.get(uid) != new_j:
+                directives.append(self._issue(uid, new_j))
+        return directives
+
+    # ------------------------------------------------------------------
+    # measurement
+
+    def network_report(self):
+        """Current end-to-end throughput report (see
+        :func:`repro.net.engine.evaluate`)."""
+        scenario, ids = self._scenario()
+        return evaluate(scenario, self._assignment_vector(ids),
+                        require_complete=True)
+
+    def reassignment_overhead_fraction(self, window_s: float) -> float:
+        """Fraction of a window lost to handoff outages (per client).
+
+        A coarse upper bound on WOLT's reconfiguration cost: total
+        handoff outage divided by total client-time in the window.
+        """
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        clients = max(len(self._assignment), 1)
+        return min(1.0, self.stats.handoff_time_s / (window_s * clients))
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _issue(self, user_id: int, extender: int) -> AssociationDirective:
+        previous = self._assignment.get(user_id)
+        self.stats.directives_sent += 1
+        if previous is not None and previous != extender:
+            self.stats.reassignments += 1
+            self.stats.handoff_time_s += self.handoff_outage_s
+        self._assignment[user_id] = extender
+        return AssociationDirective(user_id=user_id, extender=extender)
+
+    def _scenario(self):
+        ids = sorted(self._reports)
+        wifi = np.vstack([self._reports[uid].wifi_rates for uid in ids])
+        return (Scenario(wifi_rates=wifi, plc_rates=self.plc_rates,
+                         user_ids=np.asarray(ids)), ids)
+
+    def _assignment_vector(self, ids: List[int]) -> np.ndarray:
+        return np.array([self._assignment.get(uid, UNASSIGNED)
+                         for uid in ids])

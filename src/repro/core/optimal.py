@@ -1,0 +1,104 @@
+"""Exhaustive optimal association for small instances.
+
+Problem 1 is NP-hard (Theorem 1), so the paper only reports optimal
+assignments on toy scenarios (Fig. 3).  This module provides a brute-force
+search with feasibility pruning, used to (a) reproduce the Fig. 3 case
+study and (b) certify WOLT's solutions on randomized small instances in
+the test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..net.engine import evaluate
+from .problem import Scenario
+
+__all__ = ["OptimalResult", "brute_force_optimal", "search_space_size"]
+
+#: Refuse to enumerate spaces larger than this without an explicit limit.
+DEFAULT_MAX_COMBINATIONS = 2_000_000
+
+
+@dataclass(frozen=True)
+class OptimalResult:
+    """Certified optimum of a small Problem-1 instance.
+
+    Attributes:
+        assignment: an optimal complete assignment.
+        aggregate_throughput: its aggregate end-to-end throughput (Mbps).
+        explored: number of complete assignments evaluated.
+    """
+
+    assignment: np.ndarray
+    aggregate_throughput: float
+    explored: int
+
+
+def search_space_size(scenario: Scenario) -> int:
+    """Number of complete assignments respecting reachability."""
+    size = 1
+    for user in range(scenario.n_users):
+        size *= max(len(scenario.reachable(user)), 1)
+    return size
+
+
+def _candidate_assignments(scenario: Scenario) -> Iterator[np.ndarray]:
+    choices = [scenario.reachable(user).tolist()
+               for user in range(scenario.n_users)]
+    for combo in itertools.product(*choices):
+        yield np.asarray(combo, dtype=int)
+
+
+def brute_force_optimal(scenario: Scenario,
+                        plc_mode: str = "redistribute",
+                        max_combinations: Optional[int] = None
+                        ) -> OptimalResult:
+    """Exhaustively find the throughput-optimal complete assignment.
+
+    Args:
+        scenario: the network snapshot (small: the search is
+            ``prod_i |reachable(i)|``).
+        plc_mode: PLC sharing law during evaluation.
+        max_combinations: override the safety cap on search-space size.
+
+    Returns:
+        An :class:`OptimalResult` certificate.
+
+    Raises:
+        ValueError: if the search space exceeds the cap, or some user has
+            no reachable extender.
+    """
+    cap = max_combinations or DEFAULT_MAX_COMBINATIONS
+    space = search_space_size(scenario)
+    if space > cap:
+        raise ValueError(
+            f"search space of {space} assignments exceeds the cap of {cap}")
+    for user in range(scenario.n_users):
+        if len(scenario.reachable(user)) == 0:
+            raise ValueError(f"user {user} has no reachable extender")
+
+    caps = scenario.capacities
+    best_assignment = None
+    best_value = -np.inf
+    explored = 0
+    for assignment in _candidate_assignments(scenario):
+        if caps is not None:
+            counts = np.bincount(assignment, minlength=scenario.n_extenders)
+            if np.any(counts > caps):
+                continue
+        explored += 1
+        value = evaluate(scenario, assignment,
+                         plc_mode=plc_mode).aggregate
+        if value > best_value:
+            best_value = value
+            best_assignment = assignment
+    if best_assignment is None:
+        raise ValueError("no capacity-feasible complete assignment exists")
+    return OptimalResult(assignment=best_assignment,
+                         aggregate_throughput=float(best_value),
+                         explored=explored)

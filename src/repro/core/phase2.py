@@ -1,0 +1,309 @@
+"""Phase II of WOLT: attaching the remaining users (Problem 2).
+
+With the Phase-I anchors ``U1`` fixed, Problem 2 attaches the remaining
+users ``U2 = U \\ U1`` so as to maximize the *WiFi-side* aggregate
+throughput ``sum_j T_WiFi_j`` (the PLC backhaul was already saturated by
+Phase I, so its grants barely move).  Theorem 3 proves the continuous
+relaxation of Problem 2 has integral optima, so no rounding machinery is
+needed.
+
+Two solvers are provided:
+
+* :func:`solve_phase2` (default) — a deterministic combinatorial solver
+  that operationalizes the shift argument in the proof of Theorem 3:
+  users are inserted by best marginal WiFi-throughput gain, then a
+  best-improvement local search relocates single users until no single
+  relocation raises the objective.  Every iterate is integral.
+* :func:`solve_phase2_continuous` — the paper's "numerical nonlinear
+  program" route: the smooth fractional extension of Problem 2 is solved
+  with SLSQP (an interior/SQP method, stopping when the objective
+  improvement drops below ``1e-5`` as in §IV-B), and the solution is
+  snapped to the nearest integral point.  Used to cross-check Theorem 3
+  empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .problem import MIN_USABLE_RATE, UNASSIGNED, Scenario
+
+__all__ = ["Phase2Result", "solve_phase2", "solve_phase2_continuous",
+           "wifi_objective"]
+
+#: Stopping threshold for the numerical solver, as quoted in §IV-B.
+SOLVER_TOLERANCE = 1e-5
+
+
+@dataclass(frozen=True)
+class Phase2Result:
+    """Outcome of Phase II.
+
+    Attributes:
+        assignment: complete per-user extender indices (Phase-I anchors
+            preserved, Phase-II users filled in).
+        objective: the Problem-2 objective ``sum_j T_WiFi_j`` (Mbps).
+        iterations: local-search relocation rounds (combinatorial solver)
+            or SQP iterations (continuous solver).
+        was_integral: True when the raw solver output was already
+            integral (always True for the combinatorial solver).
+    """
+
+    assignment: np.ndarray
+    objective: float
+    iterations: int
+    was_integral: bool
+
+
+def wifi_objective(scenario: Scenario, assignment: Sequence[int]) -> float:
+    """The Problem-2 objective: total WiFi throughput across extenders."""
+    from ..wifi.sharing import cell_throughputs
+
+    return float(cell_throughputs(scenario.wifi_rates, assignment,
+                                  scenario.n_extenders).sum())
+
+
+class _CellState:
+    """Incremental per-extender WiFi state for fast marginal evaluation."""
+
+    def __init__(self, scenario: Scenario, assignment: np.ndarray) -> None:
+        self.scenario = scenario
+        n_ext = scenario.n_extenders
+        self.counts = np.zeros(n_ext, dtype=int)
+        self.inv_rate_sums = np.zeros(n_ext, dtype=float)
+        for i in np.flatnonzero(assignment != UNASSIGNED):
+            j = assignment[i]
+            self.counts[j] += 1
+            self.inv_rate_sums[j] += 1.0 / scenario.wifi_rates[i, j]
+
+    def throughput(self, j: int) -> float:
+        if self.counts[j] == 0:
+            return 0.0
+        return self.counts[j] / self.inv_rate_sums[j]
+
+    def total(self) -> float:
+        busy = self.counts > 0
+        return float((self.counts[busy] / self.inv_rate_sums[busy]).sum())
+
+    def gain_of_adding(self, user: int, j: int) -> float:
+        """Change in ``sum_j T_WiFi_j`` if ``user`` joins extender ``j``."""
+        r = self.scenario.wifi_rates[user, j]
+        if r <= MIN_USABLE_RATE:
+            return -np.inf
+        new = (self.counts[j] + 1) / (self.inv_rate_sums[j] + 1.0 / r)
+        return new - self.throughput(j)
+
+    def add(self, user: int, j: int) -> None:
+        self.counts[j] += 1
+        self.inv_rate_sums[j] += 1.0 / self.scenario.wifi_rates[user, j]
+
+    def remove(self, user: int, j: int) -> None:
+        self.counts[j] -= 1
+        self.inv_rate_sums[j] -= 1.0 / self.scenario.wifi_rates[user, j]
+        if self.counts[j] == 0:
+            self.inv_rate_sums[j] = 0.0
+
+    def room(self, j: int) -> bool:
+        return self.counts[j] < self.scenario.capacity_of(j)
+
+
+def solve_phase2(scenario: Scenario,
+                 phase1_assignment: Sequence[int],
+                 max_rounds: int = 100) -> Phase2Result:
+    """Combinatorial Phase-II solver (greedy insertion + local search).
+
+    Args:
+        scenario: the network snapshot.
+        phase1_assignment: per-user extender indices with the ``U1``
+            anchors set and everyone else :data:`UNASSIGNED`.
+        max_rounds: safety cap on local-search rounds.
+
+    Returns:
+        A :class:`Phase2Result` with a complete, integral assignment.
+
+    Raises:
+        ValueError: if some user cannot be attached anywhere (no reachable
+            extender with free capacity), i.e. constraint (7) cannot hold.
+    """
+    assignment = np.array(phase1_assignment, dtype=int)
+    if assignment.shape[0] != scenario.n_users:
+        raise ValueError("phase1_assignment length must equal n_users")
+    state = _CellState(scenario, assignment)
+    remaining = list(np.flatnonzero(assignment == UNASSIGNED))
+
+    # Greedy insertion: repeatedly place the (user, extender) pair with the
+    # largest marginal gain in total WiFi throughput.
+    while remaining:
+        best = None  # (gain, user, extender)
+        for user in remaining:
+            for j in scenario.reachable(user):
+                if not state.room(j):
+                    continue
+                gain = state.gain_of_adding(user, int(j))
+                if best is None or gain > best[0]:
+                    best = (gain, user, int(j))
+        if best is None:
+            raise ValueError(
+                f"users {remaining} cannot be attached to any extender")
+        _, user, j = best
+        state.add(user, j)
+        assignment[user] = j
+        remaining.remove(user)
+
+    # Local search over single relocations and pairwise swaps of U2 users
+    # (the Phase-I anchors stay put, as the paper fixes U1).  Relocations
+    # realize the shift argument of Theorem 3; swaps escape the
+    # single-move local optima that pure shifting can get stuck in.
+    movable = np.flatnonzero(np.asarray(phase1_assignment) == UNASSIGNED)
+    rounds = 0
+    improved = True
+    while improved and rounds < max_rounds:
+        improved = False
+        rounds += 1
+        for user in movable:
+            cur = assignment[user]
+            state.remove(user, cur)
+            base_gain = state.gain_of_adding(user, cur)
+            best_j, best_gain = cur, base_gain
+            for j in scenario.reachable(user):
+                j = int(j)
+                if j == cur or not state.room(j):
+                    continue
+                gain = state.gain_of_adding(user, j)
+                if gain > best_gain + 1e-12:
+                    best_j, best_gain = j, gain
+            state.add(user, best_j)
+            assignment[user] = best_j
+            if best_j != cur:
+                improved = True
+        if _try_swaps(scenario, state, assignment, movable):
+            improved = True
+    return Phase2Result(assignment=assignment, objective=state.total(),
+                        iterations=rounds, was_integral=True)
+
+
+def _try_swaps(scenario: Scenario, state: _CellState,
+               assignment: np.ndarray, movable: np.ndarray) -> bool:
+    """One first-improvement pass of pairwise extender swaps.
+
+    Swapping users on different extenders keeps per-cell counts (and hence
+    capacities) intact while exploring moves a single relocation cannot
+    reach.  Returns True if any swap improved the objective.
+    """
+    improved = False
+    for a_pos in range(movable.size):
+        a = int(movable[a_pos])
+        for b_pos in range(a_pos + 1, movable.size):
+            b = int(movable[b_pos])
+            ja, jb = int(assignment[a]), int(assignment[b])
+            if ja == jb:
+                continue
+            ra_jb = scenario.wifi_rates[a, jb]
+            rb_ja = scenario.wifi_rates[b, ja]
+            if ra_jb <= MIN_USABLE_RATE or rb_ja <= MIN_USABLE_RATE:
+                continue
+            before = state.throughput(ja) + state.throughput(jb)
+            state.remove(a, ja)
+            state.remove(b, jb)
+            state.add(a, jb)
+            state.add(b, ja)
+            after = state.throughput(ja) + state.throughput(jb)
+            if after > before + 1e-12:
+                assignment[a], assignment[b] = jb, ja
+                improved = True
+            else:
+                state.remove(a, jb)
+                state.remove(b, ja)
+                state.add(a, ja)
+                state.add(b, jb)
+    return improved
+
+
+def solve_phase2_continuous(scenario: Scenario,
+                            phase1_assignment: Sequence[int],
+                            tolerance: float = SOLVER_TOLERANCE,
+                            max_iterations: int = 200,
+                            rng: Optional[np.random.Generator] = None
+                            ) -> Phase2Result:
+    """Numerical Phase-II solver on the fractional relaxation of Problem 2.
+
+    Variables ``x_ij in [0, 1]`` for each Phase-II user and reachable
+    extender, with the smooth objective
+
+        sum_j (m_j + sum_i x_ij) / (D_j + sum_i x_ij / r_ij)
+
+    where ``m_j`` and ``D_j`` account for the fixed Phase-I anchors.  The
+    optimum is integral by Theorem 3; the returned assignment snaps each
+    user to its largest ``x_ij`` and reports whether snapping was a no-op.
+    """
+    from scipy import optimize
+
+    assignment = np.array(phase1_assignment, dtype=int)
+    pending = np.flatnonzero(assignment == UNASSIGNED)
+    if pending.size == 0:
+        return Phase2Result(assignment=assignment,
+                            objective=wifi_objective(scenario, assignment),
+                            iterations=0, was_integral=True)
+
+    n_ext = scenario.n_extenders
+    anchored = np.flatnonzero(assignment != UNASSIGNED)
+    base_counts = np.zeros(n_ext)
+    base_inv = np.zeros(n_ext)
+    for i in anchored:
+        j = assignment[i]
+        base_counts[j] += 1.0
+        base_inv[j] += 1.0 / scenario.wifi_rates[i, j]
+
+    # Variable layout: one block of n_ext entries per pending user;
+    # unreachable pairs are pinned to zero via bounds.
+    n_vars = pending.size * n_ext
+    rates = np.maximum(scenario.wifi_rates[pending], MIN_USABLE_RATE)
+    reach = scenario.wifi_rates[pending] > MIN_USABLE_RATE
+    for k, user in enumerate(pending):
+        if not np.any(reach[k]):
+            raise ValueError(f"user {int(user)} has no reachable extender")
+
+    def unpack(x: np.ndarray) -> np.ndarray:
+        return x.reshape(pending.size, n_ext)
+
+    def objective(x: np.ndarray) -> float:
+        xm = unpack(x)
+        counts = base_counts + xm.sum(axis=0)
+        inv = base_inv + (xm / rates).sum(axis=0)
+        busy = counts > 1e-12
+        return -float((counts[busy] / inv[busy]).sum())
+
+    constraints = []
+    for k in range(pending.size):
+        sel = np.zeros(n_vars)
+        sel[k * n_ext:(k + 1) * n_ext] = 1.0
+        constraints.append({"type": "eq",
+                            "fun": (lambda x, s=sel: float(s @ x) - 1.0),
+                            "jac": (lambda x, s=sel: s)})
+    bounds = [(0.0, 1.0 if reach[k, j] else 0.0)
+              for k in range(pending.size) for j in range(n_ext)]
+
+    rng = rng or np.random.default_rng(0)
+    x0 = np.zeros((pending.size, n_ext))
+    for k in range(pending.size):
+        opts = np.flatnonzero(reach[k])
+        weights = rng.random(opts.size) + 0.5
+        x0[k, opts] = weights / weights.sum()
+
+    result = optimize.minimize(objective, x0.ravel(), method="SLSQP",
+                               bounds=bounds, constraints=constraints,
+                               options={"maxiter": max_iterations,
+                                        "ftol": tolerance})
+    xm = unpack(np.clip(result.x, 0.0, 1.0))
+    xm = np.where(reach, xm, -np.inf)
+    choice = np.argmax(xm, axis=1)
+    largest = xm[np.arange(pending.size), choice]
+    was_integral = bool(np.all(np.abs(largest - 1.0) < 1e-3))
+    assignment[pending] = choice
+    return Phase2Result(assignment=assignment,
+                        objective=wifi_objective(scenario, assignment),
+                        iterations=int(result.nit),
+                        was_integral=was_integral)

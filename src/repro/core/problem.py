@@ -1,0 +1,174 @@
+"""Data model for the PLC-WiFi user-assignment problem (Problem 1).
+
+A :class:`Scenario` captures everything the association algorithms need:
+the WiFi PHY rate matrix ``r_ij`` between every user and extender, the PLC
+PHY rate ``c_j`` of every extender's backhaul link, and (optionally) the
+per-extender user capacity ``B_j`` of constraint (8).
+
+An *assignment* is represented as an integer array of length ``n_users``
+whose entry is the extender index a user attaches to, or
+:data:`UNASSIGNED` (-1) for a user not (yet) attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["UNASSIGNED", "Scenario", "validate_assignment", "users_of"]
+
+#: Sentinel extender index for an unattached user.
+UNASSIGNED = -1
+
+#: Rate below which a WiFi link is considered unusable (no association).
+MIN_USABLE_RATE = 1e-9
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A static snapshot of the PLC-WiFi network.
+
+    Attributes:
+        wifi_rates: ``(n_users, n_extenders)`` matrix of WiFi PHY rates
+            ``r_ij`` in Mbps.  A non-positive entry marks an unreachable
+            extender for that user (association forbidden).
+        plc_rates: length-``n_extenders`` vector of PLC PHY rates ``c_j``
+            in Mbps (the isolation throughput of each backhaul link).
+        capacities: optional length-``n_extenders`` vector of the maximum
+            number of users per extender (constraint (8), ``B_j``).  When
+            omitted, extenders are uncapacitated.
+        user_ids: optional stable identifiers for the users (defaults to
+            ``0..n_users-1``); carried through dynamic simulations so that
+            re-assignment accounting can track individuals.
+    """
+
+    wifi_rates: np.ndarray
+    plc_rates: np.ndarray
+    capacities: Optional[np.ndarray] = None
+    user_ids: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        wifi = np.atleast_2d(np.asarray(self.wifi_rates, dtype=float))
+        plc = np.asarray(self.plc_rates, dtype=float).ravel()
+        object.__setattr__(self, "wifi_rates", wifi)
+        object.__setattr__(self, "plc_rates", plc)
+        if wifi.ndim != 2:
+            raise ValueError("wifi_rates must be a 2-D matrix")
+        if wifi.shape[1] != plc.shape[0]:
+            raise ValueError(
+                f"wifi_rates has {wifi.shape[1]} extender columns but "
+                f"plc_rates has {plc.shape[0]} entries")
+        if np.any(np.isnan(wifi)) or np.any(np.isnan(plc)):
+            raise ValueError("rates must not contain NaN")
+        if np.any(plc < 0):
+            raise ValueError("PLC rates must be non-negative")
+        if self.capacities is not None:
+            caps = np.asarray(self.capacities, dtype=int).ravel()
+            if caps.shape[0] != plc.shape[0]:
+                raise ValueError("capacities must have one entry per extender")
+            if np.any(caps < 0):
+                raise ValueError("capacities must be non-negative")
+            object.__setattr__(self, "capacities", caps)
+        if self.user_ids is not None:
+            ids = np.asarray(self.user_ids).ravel()
+            if ids.shape[0] != wifi.shape[0]:
+                raise ValueError("user_ids must have one entry per user")
+            object.__setattr__(self, "user_ids", ids)
+
+    @property
+    def n_users(self) -> int:
+        """Number of users ``|U|``."""
+        return self.wifi_rates.shape[0]
+
+    @property
+    def n_extenders(self) -> int:
+        """Number of extenders ``|A|``."""
+        return self.plc_rates.shape[0]
+
+    def reachable(self, user: int) -> np.ndarray:
+        """Indices of the extenders user ``user`` can associate with."""
+        return np.flatnonzero(self.wifi_rates[user] > MIN_USABLE_RATE)
+
+    def capacity_of(self, extender: int) -> float:
+        """User capacity ``B_j`` of an extender (``inf`` if uncapacitated)."""
+        if self.capacities is None:
+            return float("inf")
+        return float(self.capacities[extender])
+
+    def subset_users(self, users: Sequence[int]) -> "Scenario":
+        """A scenario restricted to the given user indices (order kept)."""
+        idx = np.asarray(users, dtype=int)
+        ids = None if self.user_ids is None else self.user_ids[idx]
+        return Scenario(wifi_rates=self.wifi_rates[idx],
+                        plc_rates=self.plc_rates,
+                        capacities=self.capacities,
+                        user_ids=ids)
+
+    def with_users(self, wifi_rows: np.ndarray,
+                   user_ids: Optional[np.ndarray] = None) -> "Scenario":
+        """A scenario with additional users appended."""
+        rows = np.atleast_2d(np.asarray(wifi_rows, dtype=float))
+        new_wifi = np.vstack([self.wifi_rates, rows])
+        ids = None
+        if self.user_ids is not None and user_ids is not None:
+            ids = np.concatenate([self.user_ids, np.asarray(user_ids).ravel()])
+        return Scenario(wifi_rates=new_wifi, plc_rates=self.plc_rates,
+                        capacities=self.capacities, user_ids=ids)
+
+
+def validate_assignment(scenario: Scenario,
+                        assignment: Sequence[int],
+                        require_complete: bool = True,
+                        enforce_capacity: bool = True) -> np.ndarray:
+    """Check an assignment against the constraints of Problem 1.
+
+    Args:
+        scenario: the network snapshot.
+        assignment: per-user extender index (or :data:`UNASSIGNED`).
+        require_complete: enforce constraint (7) — every user attached.
+        enforce_capacity: enforce constraint (8) — at most ``B_j`` users
+            per extender (only when the scenario defines capacities).
+
+    Returns:
+        The assignment as a validated integer numpy array.
+
+    Raises:
+        ValueError: on any constraint violation.
+    """
+    assign = np.asarray(assignment, dtype=int).ravel()
+    if assign.shape[0] != scenario.n_users:
+        raise ValueError(
+            f"assignment has {assign.shape[0]} entries for "
+            f"{scenario.n_users} users")
+    bad = (assign != UNASSIGNED) & ((assign < 0) |
+                                    (assign >= scenario.n_extenders))
+    if np.any(bad):
+        raise ValueError(f"extender index out of range for users "
+                         f"{np.flatnonzero(bad).tolist()}")
+    if require_complete and np.any(assign == UNASSIGNED):
+        raise ValueError(
+            f"constraint (7) violated: users "
+            f"{np.flatnonzero(assign == UNASSIGNED).tolist()} unassigned")
+    attached = assign != UNASSIGNED
+    if np.any(attached):
+        rates = scenario.wifi_rates[np.flatnonzero(attached),
+                                    assign[attached]]
+        if np.any(rates <= MIN_USABLE_RATE):
+            bad_users = np.flatnonzero(attached)[rates <= MIN_USABLE_RATE]
+            raise ValueError(f"users {bad_users.tolist()} assigned to an "
+                             "unreachable extender")
+    if enforce_capacity and scenario.capacities is not None:
+        counts = np.bincount(assign[attached],
+                             minlength=scenario.n_extenders)
+        over = np.flatnonzero(counts > scenario.capacities)
+        if over.size:
+            raise ValueError(
+                f"constraint (8) violated at extenders {over.tolist()}")
+    return assign
+
+
+def users_of(assignment: Sequence[int], extender: int) -> np.ndarray:
+    """Indices of users attached to ``extender`` (the set ``N_j``)."""
+    return np.flatnonzero(np.asarray(assignment, dtype=int) == extender)

@@ -1,0 +1,84 @@
+"""WOLT: the complete two-phase user-association algorithm (Alg. 1).
+
+``WOLT = Phase I (Hungarian on u_ij = min(c_j/|A|, r_ij))
+       + Phase II (Problem 2 on the leftover users)``
+
+The solver returns the full assignment together with the per-phase
+artifacts, and can be evaluated against the end-to-end throughput engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..net.engine import ThroughputReport, evaluate
+from .phase1 import Phase1Result, phase1_utilities, solve_phase1
+from .phase2 import Phase2Result, solve_phase2, solve_phase2_continuous
+from .problem import Scenario
+
+__all__ = ["WoltResult", "solve_wolt"]
+
+
+@dataclass(frozen=True)
+class WoltResult:
+    """Outcome of running WOLT on a scenario.
+
+    Attributes:
+        assignment: complete per-user extender indices.
+        phase1: the Phase-I artifact (anchors ``U1``, utilities, ...).
+        phase2: the Phase-II artifact (objective, iterations, ...).
+        report: end-to-end throughput report of the final assignment.
+    """
+
+    assignment: np.ndarray
+    phase1: Phase1Result
+    phase2: Phase2Result
+    report: ThroughputReport
+
+    @property
+    def aggregate_throughput(self) -> float:
+        """Total end-to-end network throughput (Mbps)."""
+        return self.report.aggregate
+
+    @property
+    def anchored_users(self) -> np.ndarray:
+        """The Phase-I user set ``U1``."""
+        return self.phase1.anchored_users
+
+
+def solve_wolt(scenario: Scenario,
+               phase2_solver: str = "combinatorial",
+               plc_mode: str = "redistribute",
+               rng: Optional[np.random.Generator] = None) -> WoltResult:
+    """Run the full WOLT association algorithm (Alg. 1 of the paper).
+
+    Args:
+        scenario: the network snapshot.
+        phase2_solver: ``"combinatorial"`` (default; greedy insertion plus
+            local search, always integral) or ``"continuous"`` (the
+            paper's numerical nonlinear-program route, cross-checking
+            Theorem 3).
+        plc_mode: PLC sharing law used in the final evaluation (the
+            algorithm itself is model-free; see
+            :func:`repro.net.engine.evaluate`).
+        rng: optional generator for the continuous solver's start point.
+
+    Returns:
+        A :class:`WoltResult`.
+    """
+    utilities = phase1_utilities(scenario)
+    phase1 = solve_phase1(scenario, utilities)
+    if phase2_solver == "combinatorial":
+        phase2: Phase2Result = solve_phase2(scenario, phase1.assignment)
+    elif phase2_solver == "continuous":
+        phase2 = solve_phase2_continuous(scenario, phase1.assignment,
+                                         rng=rng)
+    else:
+        raise ValueError(f"unknown phase2_solver: {phase2_solver!r}")
+    report = evaluate(scenario, phase2.assignment,
+                      plc_mode=plc_mode, require_complete=True)
+    return WoltResult(assignment=phase2.assignment, phase1=phase1,
+                      phase2=phase2, report=report)

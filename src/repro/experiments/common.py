@@ -1,0 +1,69 @@
+"""Shared scaffolding for the per-figure experiment modules.
+
+Every evaluation artifact of the paper has a module here (fig2 ... fig6)
+exposing a seeded ``run_*`` function that returns a structured result,
+plus formatting helpers so benchmarks, examples and the CLI print the
+same paper-style rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.problem import Scenario
+from ..testbed.calibration import sample_isolation_capacities
+from ..wifi.phy import WifiPhy
+
+__all__ = ["lab_scenario", "format_rows", "PAPER_LAB_SIDE_M",
+           "TESTBED_EXTENDERS", "TESTBED_LAPTOPS"]
+
+#: The paper's lab is 2408 m^2; we use a square of the same area.
+PAPER_LAB_SIDE_M = float(np.sqrt(2408.0))
+
+#: Testbed scale (§V-A): three extenders, seven laptops.
+TESTBED_EXTENDERS = 3
+TESTBED_LAPTOPS = 7
+
+
+def lab_scenario(seed: int,
+                 n_extenders: int = TESTBED_EXTENDERS,
+                 n_users: int = TESTBED_LAPTOPS,
+                 phy: Optional[WifiPhy] = None) -> Scenario:
+    """One random testbed topology (§V-D): lab-sized floor, random
+    outlets with calibrated PLC capacities, random laptop placements."""
+    rng = np.random.default_rng(seed)
+    phy = phy or WifiPhy()
+    side = PAPER_LAB_SIDE_M
+    extender_xy = rng.uniform(0.0, side, (n_extenders, 2))
+    user_xy = rng.uniform(0.0, side, (n_users, 2))
+    wifi = phy.rate_matrix(user_xy, extender_xy)
+    # Laptops in a lab always hear at least one extender; nudge any dead
+    # row onto its nearest extender at the lowest MCS.
+    lowest = phy.mcs_table[0][1] * phy.spatial_streams
+    for i in range(n_users):
+        if not np.any(wifi[i] > 0):
+            diff = extender_xy - user_xy[i]
+            wifi[i, int(np.argmin(np.einsum("ij,ij->i", diff, diff)))] = \
+                lowest
+    plc = sample_isolation_capacities(n_extenders, rng)
+    return Scenario(wifi_rates=wifi, plc_rates=plc)
+
+
+def format_rows(header: Sequence[str],
+                rows: Iterable[Sequence[object]]) -> str:
+    """Render simple aligned text rows for experiment printouts."""
+    table: List[List[str]] = [[str(h) for h in header]]
+    for row in rows:
+        table.append([f"{v:.2f}" if isinstance(v, float) else str(v)
+                      for v in row])
+    widths = [max(len(r[c]) for r in table) for c in range(len(header))]
+    lines = []
+    for idx, row in enumerate(table):
+        lines.append("  ".join(cell.rjust(w)
+                               for cell, w in zip(row, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""Network model: topology, end-to-end throughput engine, metrics."""
+
+from .engine import ThroughputReport, aggregate_throughput, evaluate
+from .estimate import (EwmaEstimator, estimate_rate_from_rssi_samples,
+                       noisy_scenario)
+from .metrics import (PerUserComparison, bottom_k_users, compare_per_user,
+                      jain_fairness, top_k_users)
+from .topology import (FloorPlan, build_scenario, enterprise_floor,
+                       sample_user_positions)
+from .visualize import render_floor
+
+__all__ = [
+    "evaluate", "aggregate_throughput", "ThroughputReport",
+    "jain_fairness", "compare_per_user", "PerUserComparison",
+    "bottom_k_users", "top_k_users",
+    "FloorPlan", "build_scenario", "enterprise_floor",
+    "sample_user_positions",
+    "EwmaEstimator", "estimate_rate_from_rssi_samples", "noisy_scenario",
+    "render_floor",
+]

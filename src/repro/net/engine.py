@@ -1,0 +1,129 @@
+"""End-to-end throughput engine for concatenated PLC-WiFi links.
+
+This is the measurement-calibrated network model every association policy
+is evaluated against.  Given a :class:`~repro.core.problem.Scenario` and a
+user→extender assignment, the engine computes, per extender:
+
+1. the WiFi-side aggregate throughput ``T_WiFi_j`` (Eq. (1), throughput-fair
+   sharing with the 802.11 performance anomaly), which is the *offered
+   load* the extender presents to the PLC backhaul;
+2. the PLC-side grant, by allocating the shared backhaul medium time either
+   max-min fairly with leftover redistribution (the behaviour measured on
+   the testbed, Fig. 3c) or with the plain time-fair law of Eq. (2);
+3. the end-to-end extender throughput
+   ``T_j = min(T_WiFi_j, time_share_j * c_j)``,
+   split equally among the extender's users (TCP long-term fairness plus
+   the throughput-fair WiFi MAC make per-user shares equal).
+
+The engine is deliberately analytic — Section V-A of the paper validates an
+equivalent fluid model against the hardware testbed (Fig. 4c); the
+slot-level MAC simulators in :mod:`repro.wifi.mac` and :mod:`repro.plc.mac`
+independently validate the two sharing laws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.problem import UNASSIGNED, Scenario, validate_assignment
+from ..plc.sharing import PlcAllocation, allocate_backhaul
+from ..wifi.sharing import cell_throughputs
+
+__all__ = ["ThroughputReport", "evaluate", "aggregate_throughput"]
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """Full throughput breakdown of one network configuration.
+
+    Attributes:
+        assignment: the validated per-user extender indices.
+        wifi_throughputs: per-extender WiFi aggregate ``T_WiFi_j`` (Mbps).
+        plc_throughputs: per-extender granted backhaul throughput (Mbps).
+        plc_time_shares: per-extender granted fraction of PLC medium time.
+        extender_throughputs: per-extender end-to-end throughput
+            ``min(T_WiFi_j, PLC grant)`` (Mbps).
+        user_throughputs: per-user end-to-end throughput (Mbps); zero for
+            unassigned users.
+        bottleneck_is_plc: per-extender flag — True when the backhaul is
+            the binding constraint of the concatenated link.
+    """
+
+    assignment: np.ndarray
+    wifi_throughputs: np.ndarray
+    plc_throughputs: np.ndarray
+    plc_time_shares: np.ndarray
+    extender_throughputs: np.ndarray
+    user_throughputs: np.ndarray
+    bottleneck_is_plc: np.ndarray
+
+    @property
+    def aggregate(self) -> float:
+        """Total end-to-end network throughput (the paper's objective)."""
+        return float(self.extender_throughputs.sum())
+
+    @property
+    def n_active_extenders(self) -> int:
+        """Number of extenders with at least one attached user."""
+        return int(np.count_nonzero(
+            np.bincount(self.assignment[self.assignment != UNASSIGNED],
+                        minlength=self.extender_throughputs.shape[0])))
+
+
+def evaluate(scenario: Scenario,
+             assignment: Sequence[int],
+             plc_mode: str = "redistribute",
+             require_complete: bool = False) -> ThroughputReport:
+    """Evaluate the end-to-end throughput of an assignment.
+
+    Args:
+        scenario: the network snapshot (rates and capacities).
+        assignment: per-user extender index, ``-1`` for unassigned.
+        plc_mode: PLC medium-sharing law — ``"redistribute"`` (testbed
+            behaviour, default), ``"active"`` (Eq. (2) over active
+            extenders) or ``"fixed"`` (Problem 1's ``c_j/|A|``, the
+            paper's simulator model).  See
+            :func:`repro.plc.sharing.allocate_backhaul`.
+        require_complete: insist that every user is attached (constraint
+            (7)); policies evaluate partial assignments during search, so
+            this defaults to False.
+
+    Returns:
+        A :class:`ThroughputReport`.
+    """
+    assign = validate_assignment(scenario, assignment,
+                                 require_complete=require_complete)
+    wifi = cell_throughputs(scenario.wifi_rates, assign,
+                            scenario.n_extenders)
+    alloc: PlcAllocation = allocate_backhaul(scenario.plc_rates, wifi,
+                                             mode=plc_mode)
+    extender_tput = np.minimum(wifi, alloc.throughputs)
+    counts = np.bincount(assign[assign != UNASSIGNED],
+                         minlength=scenario.n_extenders)
+    user_tput = np.zeros(scenario.n_users, dtype=float)
+    attached = np.flatnonzero(assign != UNASSIGNED)
+    if attached.size:
+        per_user = np.zeros(scenario.n_extenders, dtype=float)
+        busy = counts > 0
+        per_user[busy] = extender_tput[busy] / counts[busy]
+        user_tput[attached] = per_user[assign[attached]]
+    bottleneck = (counts > 0) & (alloc.throughputs + 1e-12 < wifi)
+    return ThroughputReport(
+        assignment=assign,
+        wifi_throughputs=wifi,
+        plc_throughputs=alloc.throughputs,
+        plc_time_shares=alloc.time_shares,
+        extender_throughputs=extender_tput,
+        user_throughputs=user_tput,
+        bottleneck_is_plc=bottleneck,
+    )
+
+
+def aggregate_throughput(scenario: Scenario,
+                         assignment: Sequence[int],
+                         plc_mode: str = "redistribute") -> float:
+    """Shorthand for the aggregate objective value of an assignment."""
+    return evaluate(scenario, assignment, plc_mode=plc_mode).aggregate

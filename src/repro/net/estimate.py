@@ -1,0 +1,122 @@
+"""Channel-quality estimation from noisy measurements.
+
+§V-A of the paper: clients estimate per-extender WiFi rates from the
+NIC driver's MCS readout, and the CC measures PLC capacities offline
+with iperf.  Both observations are noisy in practice.  This module
+provides the estimators a deployment would use — RSSI smoothing, MCS
+quantization, capacity averaging — and the noise models the robustness
+experiment (``repro.experiments.robustness``) perturbs inputs with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.problem import Scenario
+from ..wifi.phy import WifiPhy
+
+__all__ = ["EwmaEstimator", "estimate_rate_from_rssi_samples",
+           "noisy_scenario"]
+
+
+class EwmaEstimator:
+    """Exponentially-weighted moving average of a scalar measurement.
+
+    The standard smoother drivers apply to RSSI readings before rate
+    adaptation decisions.
+
+    Args:
+        alpha: weight of the newest sample, in ``(0, 1]``.
+    """
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._value: Optional[float] = None
+
+    @property
+    def value(self) -> float:
+        """Current estimate (raises before the first update)."""
+        if self._value is None:
+            raise ValueError("no samples observed yet")
+        return self._value
+
+    def update(self, sample: float) -> float:
+        """Fold in one sample and return the new estimate."""
+        if self._value is None:
+            self._value = float(sample)
+        else:
+            self._value = (self.alpha * float(sample)
+                           + (1.0 - self.alpha) * self._value)
+        return self._value
+
+    def reset(self) -> None:
+        """Forget all history."""
+        self._value = None
+
+
+def estimate_rate_from_rssi_samples(rssi_samples_dbm: Sequence[float],
+                                    phy: Optional[WifiPhy] = None,
+                                    alpha: float = 0.2) -> float:
+    """PHY-rate estimate from a burst of RSSI samples.
+
+    Smooths the samples with an EWMA, converts to SNR against the PHY's
+    noise floor, and quantizes through the MCS ladder — what the paper's
+    user-space utility reads from the NIC driver.
+
+    Args:
+        rssi_samples_dbm: measured RSSI values (dBm), oldest first.
+        phy: PHY model supplying noise floor and MCS table.
+        alpha: EWMA weight.
+
+    Returns:
+        Estimated PHY rate (Mbps), 0 when below the lowest MCS.
+    """
+    samples = list(rssi_samples_dbm)
+    if not samples:
+        raise ValueError("at least one RSSI sample is required")
+    phy = phy or WifiPhy()
+    ewma = EwmaEstimator(alpha=alpha)
+    for sample in samples:
+        ewma.update(float(sample))
+    return phy.rate_for_snr(ewma.value - phy.noise_floor_dbm)
+
+
+def noisy_scenario(scenario: Scenario,
+                   rng: np.random.Generator,
+                   wifi_noise_fraction: float = 0.0,
+                   plc_noise_fraction: float = 0.0) -> Scenario:
+    """A scenario as *estimated* by an imperfect controller.
+
+    Multiplies every WiFi rate and PLC capacity by independent
+    log-normal factors with the given relative standard deviations —
+    the inputs an association policy actually sees.  Reachability is
+    preserved (zero rates stay zero).
+
+    Args:
+        scenario: the ground-truth snapshot.
+        rng: random generator.
+        wifi_noise_fraction: relative std-dev of WiFi rate estimates.
+        plc_noise_fraction: relative std-dev of PLC capacity estimates.
+
+    Returns:
+        A new :class:`Scenario` with perturbed rates.
+    """
+    if wifi_noise_fraction < 0 or plc_noise_fraction < 0:
+        raise ValueError("noise fractions must be non-negative")
+    wifi = scenario.wifi_rates.copy()
+    if wifi_noise_fraction > 0:
+        sigma = np.sqrt(np.log1p(wifi_noise_fraction ** 2))
+        factors = rng.lognormal(-sigma ** 2 / 2, sigma, wifi.shape)
+        wifi = np.where(wifi > 0, wifi * factors, 0.0)
+    plc = scenario.plc_rates.copy()
+    if plc_noise_fraction > 0:
+        sigma = np.sqrt(np.log1p(plc_noise_fraction ** 2))
+        plc = plc * rng.lognormal(-sigma ** 2 / 2, sigma, plc.shape)
+    return Scenario(wifi_rates=wifi, plc_rates=plc,
+                    capacities=scenario.capacities,
+                    user_ids=scenario.user_ids)

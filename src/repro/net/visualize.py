@@ -1,0 +1,76 @@
+"""ASCII rendering of enterprise floors and associations.
+
+No plotting dependency is available offline, so examples and debugging
+sessions render the floor as a character grid: extenders as letters,
+users as digits of the extender letter they attach to, making coverage
+and association structure visible at a glance in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .topology import FloorPlan
+
+__all__ = ["render_floor"]
+
+#: Glyphs used for extenders (uppercase) and their users (lowercase).
+_GLYPHS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def render_floor(plan: FloorPlan,
+                 assignment: Optional[Sequence[int]] = None,
+                 width_chars: int = 60,
+                 height_chars: int = 24) -> str:
+    """Render a floor plan to ASCII art.
+
+    Extenders appear as uppercase letters (``A`` = extender 0, ...);
+    users appear as the lowercase letter of their extender (or ``.``
+    when no assignment is given / the user is unassigned).  When a user
+    and an extender share a cell, the extender wins.
+
+    Args:
+        plan: the floor geometry (with users).
+        assignment: optional per-user extender indices.
+        width_chars / height_chars: output raster size.
+
+    Returns:
+        A multi-line string.
+    """
+    if width_chars < 2 or height_chars < 2:
+        raise ValueError("raster must be at least 2x2")
+    if plan.n_extenders > len(_GLYPHS):
+        raise ValueError(f"can render at most {len(_GLYPHS)} extenders")
+    if assignment is not None:
+        assignment = np.asarray(assignment, dtype=int)
+        if assignment.shape[0] != plan.n_users:
+            raise ValueError("one assignment entry per user is required")
+
+    grid = [[" "] * width_chars for _ in range(height_chars)]
+
+    def to_cell(x: float, y: float):
+        col = int(x / plan.width_m * (width_chars - 1))
+        row = int(y / plan.height_m * (height_chars - 1))
+        return (min(max(row, 0), height_chars - 1),
+                min(max(col, 0), width_chars - 1))
+
+    for i in range(plan.n_users):
+        row, col = to_cell(*plan.user_xy[i])
+        if assignment is None or assignment[i] < 0:
+            glyph = "."
+        else:
+            glyph = _GLYPHS[assignment[i]].lower()
+        grid[row][col] = glyph
+    for j in range(plan.n_extenders):
+        row, col = to_cell(*plan.extender_xy[j])
+        grid[row][col] = _GLYPHS[j]
+
+    border = "+" + "-" * width_chars + "+"
+    body = "\n".join("|" + "".join(line) + "|" for line in grid)
+    legend = (f"{plan.n_extenders} extenders (A..), "
+              f"{plan.n_users} users "
+              + ("(lowercase = serving extender)" if assignment is not None
+                 else "(.)"))
+    return "\n".join([border, body, border, legend])

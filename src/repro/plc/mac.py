@@ -1,0 +1,201 @@
+"""Slot-level IEEE 1901 MAC simulator: CSMA/CA with deferral, and TDMA.
+
+Section II of the paper notes that IEEE 1901 PLC access control runs in
+either CSMA/CA mode (similar to 802.11 but with a *deferral counter*) or
+TDMA mode, and the measurement study (Fig. 2c) finds the backhaul is
+shared *time-fairly*: with ``k`` saturated extenders each link delivers
+``c_j / k``.
+
+Time-fairness emerges from the protocol because a 1901 transmission
+opportunity is bounded by a maximum frame duration (extenders aggregate
+PHY blocks up to ~2.5 ms regardless of PHY rate), so equal win rates
+translate into equal *airtime*, not equal bits.  This module simulates:
+
+* :class:`Ieee1901CsmaSimulator` — slotted CSMA/CA with the 1901 backoff
+  stages (CW 8/16/32/64) and deferral counters (DC 0/1/3/15).  The
+  deferral counter makes stations back off more aggressively under
+  contention, reducing collisions relative to 802.11.
+* :class:`TdmaScheduler` — the QoS alternative: a weighted round-robin
+  time-slot schedule.
+
+Both reproduce the ``c_j / k`` law of Eq. (2) and are cross-validated
+against :mod:`repro.plc.sharing` in the tests and the Fig. 2c benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Ieee1901Parameters", "Ieee1901Result", "Ieee1901CsmaSimulator",
+           "TdmaScheduler"]
+
+#: 1901 backoff stages: (contention window, deferral counter) per stage.
+BACKOFF_STAGES = ((8, 0), (16, 1), (32, 3), (64, 15))
+
+
+@dataclass(frozen=True)
+class Ieee1901Parameters:
+    """IEEE 1901 CSMA timing constants.
+
+    Attributes:
+        slot_time_us: contention (PRS/CIFS) slot duration.
+        frame_duration_us: maximum transmission-opportunity duration; a
+            winner occupies the medium for this long regardless of its
+            PHY rate (the root of time-fair sharing).
+        ifs_us: inter-frame space after each transmission.
+    """
+
+    slot_time_us: float = 35.84
+    frame_duration_us: float = 2500.0
+    ifs_us: float = 100.0
+
+
+@dataclass(frozen=True)
+class Ieee1901Result:
+    """Outcome of a 1901 CSMA simulation.
+
+    Attributes:
+        throughputs_mbps: per-extender delivered backhaul throughput.
+        airtime_shares: per-extender fraction of busy medium time.
+        collisions: number of collision events.
+        simulated_time_us: channel time simulated.
+    """
+
+    throughputs_mbps: np.ndarray
+    airtime_shares: np.ndarray
+    collisions: int
+    simulated_time_us: float
+
+    @property
+    def aggregate_mbps(self) -> float:
+        return float(self.throughputs_mbps.sum())
+
+
+class Ieee1901CsmaSimulator:
+    """Saturated CSMA/CA contention among PLC extenders.
+
+    Args:
+        phy_rates_mbps: per-extender PLC PHY rate ``c_j``; an extender
+            delivers ``c_j * airtime`` bits when it wins the medium.
+        params: timing constants.
+        rng: random generator.
+    """
+
+    def __init__(self, phy_rates_mbps: Sequence[float],
+                 params: Optional[Ieee1901Parameters] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        self.rates = [float(r) for r in phy_rates_mbps]
+        if not self.rates:
+            raise ValueError("at least one extender is required")
+        if any(r < 0 for r in self.rates):
+            raise ValueError("PHY rates must be non-negative")
+        self.params = params or Ieee1901Parameters()
+        self.rng = rng or np.random.default_rng()
+
+    def run(self, sim_time_us: float = 5e6) -> Ieee1901Result:
+        """Simulate the backhaul for ``sim_time_us`` of channel time."""
+        if sim_time_us <= 0:
+            raise ValueError("simulation time must be positive")
+        p = self.params
+        n = len(self.rates)
+        stage = np.zeros(n, dtype=int)
+        backoff = np.empty(n, dtype=int)
+        deferral = np.empty(n, dtype=int)
+        for i in range(n):
+            self._enter_stage(i, stage, backoff, deferral)
+        airtime = np.zeros(n)
+        delivered_bits = np.zeros(n)
+        collisions = 0
+        clock = 0.0
+        while clock < sim_time_us:
+            step = int(backoff.min())
+            clock += step * p.slot_time_us
+            backoff -= step
+            ready = np.flatnonzero(backoff == 0)
+            busy_time = p.frame_duration_us + p.ifs_us
+            if ready.size == 1:
+                winner = int(ready[0])
+                airtime[winner] += p.frame_duration_us
+                delivered_bits[winner] += (self.rates[winner]
+                                           * p.frame_duration_us)
+                clock += busy_time
+                stage[winner] = 0
+                self._enter_stage(winner, stage, backoff, deferral)
+            else:
+                collisions += 1
+                clock += busy_time
+                for i in ready:
+                    stage[i] = min(stage[i] + 1, len(BACKOFF_STAGES) - 1)
+                    self._enter_stage(int(i), stage, backoff, deferral)
+            # Deferral-counter discipline: every station that *sensed* the
+            # busy medium decrements its DC; a station whose DC is
+            # exhausted escalates its backoff stage as if it had collided.
+            others = np.setdiff1d(np.arange(n), ready)
+            for i in others:
+                if deferral[i] == 0:
+                    stage[i] = min(stage[i] + 1, len(BACKOFF_STAGES) - 1)
+                    self._enter_stage(int(i), stage, backoff, deferral)
+                else:
+                    deferral[i] -= 1
+        throughputs = delivered_bits / clock  # bits/us == Mbps
+        total_airtime = airtime.sum()
+        shares = (airtime / total_airtime if total_airtime > 0
+                  else np.zeros(n))
+        return Ieee1901Result(throughputs_mbps=throughputs,
+                              airtime_shares=shares,
+                              collisions=collisions,
+                              simulated_time_us=clock)
+
+    def _enter_stage(self, i: int, stage: np.ndarray, backoff: np.ndarray,
+                     deferral: np.ndarray) -> None:
+        cw, dc = BACKOFF_STAGES[stage[i]]
+        backoff[i] = int(self.rng.integers(0, cw))
+        deferral[i] = dc
+
+
+class TdmaScheduler:
+    """Weighted round-robin TDMA allocation of the PLC medium.
+
+    The 1901 QoS mode divides the beacon period into reserved slots.
+    With equal weights this is exactly the time-fair law of Eq. (2);
+    unequal weights model operator-configured QoS classes.
+    """
+
+    def __init__(self, phy_rates_mbps: Sequence[float],
+                 weights: Optional[Sequence[float]] = None) -> None:
+        self.rates = np.asarray(phy_rates_mbps, dtype=float)
+        if self.rates.size == 0:
+            raise ValueError("at least one extender is required")
+        if np.any(self.rates < 0):
+            raise ValueError("PHY rates must be non-negative")
+        if weights is None:
+            self.weights = np.ones_like(self.rates)
+        else:
+            self.weights = np.asarray(weights, dtype=float)
+            if self.weights.shape != self.rates.shape:
+                raise ValueError("one weight per extender is required")
+            if np.any(self.weights < 0) or self.weights.sum() == 0:
+                raise ValueError("weights must be non-negative, not all 0")
+
+    def throughputs(self,
+                    active: Optional[Sequence[bool]] = None) -> np.ndarray:
+        """Per-extender throughput under the TDMA schedule.
+
+        Args:
+            active: mask of extenders with queued traffic; idle extenders
+                give up their reserved slots (1901 allows slot reuse).
+        """
+        if active is None:
+            mask = np.ones(self.rates.shape, dtype=bool)
+        else:
+            mask = np.asarray(active, dtype=bool)
+            if mask.shape != self.rates.shape:
+                raise ValueError("active mask shape mismatch")
+        out = np.zeros_like(self.rates)
+        total = self.weights[mask].sum()
+        if total > 0:
+            out[mask] = self.rates[mask] * self.weights[mask] / total
+        return out

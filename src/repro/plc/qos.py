@@ -1,0 +1,105 @@
+"""TDMA QoS provisioning for the PLC backhaul (extension).
+
+IEEE 1901's TDMA mode lets an operator reserve medium time per extender
+(§II of the paper).  Given an association, this module computes the
+reservation weights that make a *static* TDMA schedule reproduce the
+best CSMA-with-redistribution allocation — i.e. the weights WOLT's
+throughput model implies — plus a priority-class layer where extenders
+serving higher QoS classes receive proportionally larger reservations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..core.problem import Scenario, UNASSIGNED
+from ..wifi.sharing import cell_throughputs
+from .sharing import allocate_backhaul
+
+__all__ = ["optimal_tdma_weights", "QosClass", "class_weighted_schedule"]
+
+
+def optimal_tdma_weights(scenario: Scenario,
+                         assignment: Sequence[int]) -> np.ndarray:
+    """TDMA reservation weights replicating the max-min allocation.
+
+    Computes each extender's WiFi-side offered load under the given
+    association, derives the max-min fair (leftover-redistributing) time
+    shares, and returns them as weights for
+    :class:`repro.plc.mac.TdmaScheduler`.  A TDMA schedule with these
+    weights delivers the same per-extender throughputs the CSMA
+    backhaul was measured to provide — but with the determinism and
+    jitter guarantees TDMA is used for.
+
+    Extenders with no attached users receive zero weight (their slots
+    are released).
+
+    Returns:
+        Array of non-negative weights summing to at most 1.
+    """
+    assign = np.asarray(assignment, dtype=int)
+    wifi = cell_throughputs(scenario.wifi_rates, assign,
+                            scenario.n_extenders)
+    allocation = allocate_backhaul(scenario.plc_rates, wifi,
+                                   mode="redistribute")
+    return allocation.time_shares.copy()
+
+
+@dataclass(frozen=True)
+class QosClass:
+    """A traffic class with a TDMA priority multiplier.
+
+    Attributes:
+        name: class label ("voice", "video", "best-effort", ...).
+        weight_multiplier: relative over-provisioning factor applied to
+            the time share of extenders serving this class (>= 0).
+    """
+
+    name: str
+    weight_multiplier: float
+
+    def __post_init__(self) -> None:
+        if self.weight_multiplier < 0:
+            raise ValueError("weight multiplier must be non-negative")
+
+
+def class_weighted_schedule(scenario: Scenario,
+                            assignment: Sequence[int],
+                            user_classes: Sequence[QosClass],
+                            ) -> np.ndarray:
+    """TDMA weights boosted by the attached users' QoS classes.
+
+    Each extender's base weight is its :func:`optimal_tdma_weights`
+    share, multiplied by the *maximum* multiplier among its attached
+    users' classes (an extender serving any voice user gets the voice
+    guarantee), then renormalized to sum to 1 across reserving
+    extenders.
+
+    Args:
+        scenario: the network snapshot.
+        assignment: per-user extender indices.
+        user_classes: per-user :class:`QosClass`.
+
+    Returns:
+        Normalized per-extender weights (sum to 1 over non-zero
+        entries; all-zero when nobody is attached).
+    """
+    assign = np.asarray(assignment, dtype=int)
+    if len(user_classes) != scenario.n_users:
+        raise ValueError("one QoS class per user is required")
+    base = optimal_tdma_weights(scenario, assign)
+    boosted = base.copy()
+    for j in range(scenario.n_extenders):
+        members = np.flatnonzero(assign == j)
+        if members.size == 0:
+            continue
+        multiplier = max(user_classes[int(i)].weight_multiplier
+                         for i in members)
+        boosted[j] = base[j] * multiplier
+    total = boosted.sum()
+    if total > 0:
+        boosted = boosted / total
+    return boosted

@@ -1,0 +1,203 @@
+"""Analytic medium-sharing laws for the PLC backhaul.
+
+The measurement study in Section III of the WOLT paper establishes that the
+IEEE 1901 PLC backhaul, as shipped by commodity HomePlug AV2 extenders, is
+shared in a *time-fair* manner: with ``k`` extenders actively receiving
+saturated traffic, each extender is granted roughly ``1/k`` of the medium
+time, so its throughput is ``c_j / k`` where ``c_j`` is its PHY rate
+(isolation throughput).
+
+Crucially, the paper's greedy case study (Fig. 3c) also shows that an
+extender whose WiFi-side demand is *below* its time-fair PLC share does not
+waste the medium: the leftover time is re-allocated among the extenders that
+still have unserved demand.  That behaviour is exactly a *max-min fair*
+allocation of the unit medium time, where each active extender has a demand
+cap equal to the time fraction it needs to fully serve its WiFi throughput.
+
+This module implements both the plain time-fair law (Eq. (2) of the paper)
+and the max-min redistribution used by the end-to-end throughput engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "time_fair_throughputs",
+    "max_min_time_shares",
+    "PlcAllocation",
+    "allocate_backhaul",
+    "PLC_MODES",
+]
+
+#: Tolerance used when comparing time fractions for saturation.
+_EPS = 1e-12
+
+
+def time_fair_throughputs(plc_rates: Sequence[float],
+                          active: Sequence[bool] | None = None) -> np.ndarray:
+    """Plain time-fair PLC throughputs, Eq. (2) of the paper.
+
+    Each *active* extender receives an equal ``1/A`` share of the medium
+    time, where ``A`` is the number of active extenders, and therefore a
+    throughput of ``c_j / A``.  Inactive extenders receive zero.
+
+    Args:
+        plc_rates: per-extender PLC PHY rates ``c_j`` (Mbps).
+        active: optional boolean mask of active extenders.  When omitted,
+            every extender is considered active.
+
+    Returns:
+        Array of per-extender PLC throughputs (Mbps).
+    """
+    rates = np.asarray(plc_rates, dtype=float)
+    if np.any(rates < 0):
+        raise ValueError("PLC rates must be non-negative")
+    if active is None:
+        mask = np.ones(rates.shape, dtype=bool)
+    else:
+        mask = np.asarray(active, dtype=bool)
+        if mask.shape != rates.shape:
+            raise ValueError("active mask must match plc_rates shape")
+    n_active = int(mask.sum())
+    out = np.zeros_like(rates)
+    if n_active == 0:
+        return out
+    out[mask] = rates[mask] / n_active
+    return out
+
+
+def max_min_time_shares(demand_fractions: Sequence[float]) -> np.ndarray:
+    """Max-min fair allocation of the unit medium time.
+
+    Each entry of ``demand_fractions`` is the fraction of medium time an
+    extender needs to fully serve its demand (``d_j / c_j``).  The total
+    available time is 1.  The allocation is the classic progressive-filling
+    water level: every unsatisfied extender receives an equal share of the
+    remaining time; extenders whose demand lies below the water level are
+    capped at their demand and the surplus is re-distributed.
+
+    Extenders with zero demand are inactive and receive zero time.
+
+    Args:
+        demand_fractions: per-extender required time fraction (``>= 0``;
+            ``np.inf`` means "unbounded demand").
+
+    Returns:
+        Array of granted time fractions, summing to at most 1 (exactly 1
+        when total demand is at least 1).
+    """
+    demands = np.asarray(demand_fractions, dtype=float)
+    if np.any(demands < 0) or np.any(np.isnan(demands)):
+        raise ValueError("demand fractions must be non-negative numbers")
+    granted = np.zeros_like(demands)
+    unsatisfied = np.flatnonzero(demands > _EPS)
+    remaining = 1.0
+    while unsatisfied.size > 0 and remaining > _EPS:
+        level = remaining / unsatisfied.size
+        below = unsatisfied[demands[unsatisfied] <= level + _EPS]
+        if below.size == 0:
+            # Nobody's demand fits under the water level: split equally.
+            granted[unsatisfied] = level
+            remaining = 0.0
+            break
+        granted[below] = demands[below]
+        remaining -= float(demands[below].sum())
+        keep = demands[unsatisfied] > level + _EPS
+        unsatisfied = unsatisfied[keep]
+    return granted
+
+
+@dataclass(frozen=True)
+class PlcAllocation:
+    """Result of allocating the PLC backhaul among extenders.
+
+    Attributes:
+        time_shares: fraction of the medium time granted to each extender.
+        throughputs: resulting backhaul throughput of each extender (Mbps),
+            i.e. ``time_share * c_j`` capped at the extender's demand.
+        saturated: whether the extender's demand exceeded its grant (its
+            backhaul is the bottleneck of the concatenated link).
+    """
+
+    time_shares: np.ndarray
+    throughputs: np.ndarray
+    saturated: np.ndarray
+
+    @property
+    def busy_fraction(self) -> float:
+        """Total fraction of the medium time in use."""
+        return float(self.time_shares.sum())
+
+
+#: Valid PLC medium-sharing modes (see :func:`allocate_backhaul`).
+PLC_MODES = ("redistribute", "active", "fixed")
+
+
+def allocate_backhaul(plc_rates: Sequence[float],
+                      demands: Sequence[float],
+                      mode: str = "redistribute") -> PlcAllocation:
+    """Allocate PLC medium time to extenders with given WiFi-side demands.
+
+    Three sharing laws are supported, reflecting the three models that
+    appear in the paper:
+
+    * ``"redistribute"`` — time-fair with max-min re-allocation of
+      leftover time from under-loaded extenders.  This is the behaviour
+      *measured on the testbed* (Fig. 3c) and the default.
+    * ``"active"`` — plain time-fair among the extenders that currently
+      carry traffic, Eq. (2) with ``A`` = active count (the Fig. 2c
+      reading); surplus time of an under-loaded active extender is
+      wasted.
+    * ``"fixed"`` — time-fair over *all* extenders, loaded or idle:
+      ``T_PLC_j = c_j / |A|`` exactly as written in constraint (4) of
+      Problem 1.  This is the model the paper's large-scale simulator
+      optimizes and reports, and the reason Phase I insists on putting a
+      user on every extender.
+
+    Args:
+        plc_rates: per-extender PLC PHY rates ``c_j`` (Mbps).
+        demands: per-extender offered load from the WiFi side (Mbps);
+            zero marks an inactive extender.
+        mode: one of :data:`PLC_MODES`.
+
+    Returns:
+        A :class:`PlcAllocation` with per-extender time shares and
+        achieved backhaul throughputs.
+    """
+    if mode not in PLC_MODES:
+        raise ValueError(f"mode must be one of {PLC_MODES}, got {mode!r}")
+    rates = np.asarray(plc_rates, dtype=float)
+    load = np.asarray(demands, dtype=float)
+    if rates.shape != load.shape:
+        raise ValueError("plc_rates and demands must have the same shape")
+    if np.any(rates < 0) or np.any(load < 0):
+        raise ValueError("rates and demands must be non-negative")
+
+    active = load > _EPS
+    with np.errstate(divide="ignore", invalid="ignore"):
+        needed = np.where(active & (rates > 0), load / np.maximum(rates, _EPS),
+                          0.0)
+    # An active extender with a dead PLC link (rate 0) needs infinite time
+    # but can never carry traffic; give it an unbounded demand so it still
+    # takes part in contention (it occupies the medium without progress).
+    needed = np.where(active & (rates <= _EPS), np.inf, needed)
+
+    if mode == "redistribute":
+        shares = max_min_time_shares(needed)
+    elif mode == "active":
+        shares = np.zeros_like(rates)
+        n_active = int(active.sum())
+        if n_active > 0:
+            shares[active] = 1.0 / n_active
+    else:  # fixed
+        shares = np.zeros_like(rates)
+        if rates.size > 0:
+            shares[active] = 1.0 / rates.size
+    throughputs = np.minimum(shares * rates, load)
+    saturated = active & (throughputs + _EPS < load)
+    return PlcAllocation(time_shares=shares, throughputs=throughputs,
+                         saturated=saturated)

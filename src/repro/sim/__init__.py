@@ -1,0 +1,24 @@
+"""Simulation layer: DES kernel, user dynamics, runners, traffic."""
+
+from .dynamics import EpochStats, OnlineSimulation
+from .events import EventHandle, EventQueue
+from .failures import (FailureEpoch, FailureSimulation, fail_extenders,
+                       reassociate_orphans)
+from .mobility import MobilityEpoch, MobilitySimulation, RandomWaypoint
+from .runner import (PolicyOutcome, TrialResult, run_online_comparison,
+                     run_policy, run_trials, sample_floor_plan)
+from .workload import DiurnalProfile, hotspot_positions
+from .trace import (load_history, load_scenario, save_history,
+                    save_scenario)
+from .traffic import DemandReport, delivered_bytes, evaluate_with_demands
+
+__all__ = [
+    "EventQueue", "EventHandle", "OnlineSimulation", "EpochStats",
+    "run_trials", "run_policy", "run_online_comparison",
+    "sample_floor_plan", "PolicyOutcome", "TrialResult",
+    "delivered_bytes", "evaluate_with_demands", "DemandReport",
+    "MobilitySimulation", "MobilityEpoch", "RandomWaypoint",
+    "save_history", "load_history", "save_scenario", "load_scenario",
+    "FailureSimulation", "FailureEpoch", "fail_extenders",
+    "reassociate_orphans", "hotspot_positions", "DiurnalProfile",
+]

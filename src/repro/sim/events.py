@@ -1,0 +1,115 @@
+"""A small deterministic discrete-event simulation kernel.
+
+The online evaluation of WOLT (Fig. 6b/6c) advances a network through
+user arrival/departure events and epoch-boundary reconfigurations.  This
+kernel provides the usual DES primitives: a monotonic clock, a priority
+event queue with stable FIFO ordering for simultaneous events, and
+cancellable handles.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["EventHandle", "EventQueue"]
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    seq: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """A scheduled event; cancellable until it fires.
+
+    Attributes:
+        time: absolute simulation time the event fires at.
+        callback: zero-argument callable invoked at fire time.
+    """
+
+    __slots__ = ("time", "callback", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[[], Any]) -> None:
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if already fired)."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Monotonic-clock event queue.
+
+    Events scheduled for the same instant fire in scheduling (FIFO)
+    order, which keeps simulations reproducible.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: List[_QueueEntry] = []
+        self._counter = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.handle.cancelled)
+
+    def schedule_at(self, time: float,
+                    callback: Callable[[], Any]) -> EventHandle:
+        """Schedule ``callback`` at absolute ``time`` (>= now)."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past "
+                             f"({time} < {self._now})")
+        handle = EventHandle(time, callback)
+        heapq.heappush(self._heap,
+                       _QueueEntry(time, next(self._counter), handle))
+        return handle
+
+    def schedule_in(self, delay: float,
+                    callback: Callable[[], Any]) -> EventHandle:
+        """Schedule ``callback`` after a non-negative ``delay``."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule_at(self._now + delay, callback)
+
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns False when empty."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.handle.cancelled:
+                continue
+            self._now = entry.time
+            entry.handle.callback()
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> None:
+        """Fire every event with time <= ``end_time``; clock ends there."""
+        if end_time < self._now:
+            raise ValueError("end_time precedes the current time")
+        while self._heap:
+            entry = self._heap[0]
+            if entry.handle.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if entry.time > end_time:
+                break
+            heapq.heappop(self._heap)
+            self._now = entry.time
+            entry.handle.callback()
+        self._now = end_time
+
+    def run(self) -> None:
+        """Fire every pending event."""
+        while self.step():
+            pass

@@ -1,0 +1,170 @@
+"""Failure injection: extenders die and recover under live traffic.
+
+PLC extenders are consumer devices on office power strips — they get
+unplugged, brown out, and reboot.  This module injects extender
+failures into a running association and measures how each policy
+recovers:
+
+* a failed extender's PLC link and WiFi cell vanish
+  (:func:`fail_extenders` masks the scenario);
+* orphaned users must re-associate — WOLT re-solves globally, RSSI
+  clients fall back to the strongest surviving extender, a "sticky"
+  policy strands them (models clients that keep probing a dead BSS);
+* :class:`FailureSimulation` drives epochs of Bernoulli fail/recover
+  dynamics and records throughput and orphan counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.baselines import rssi_assignment
+from ..core.problem import Scenario, UNASSIGNED
+from ..core.wolt import solve_wolt
+from ..net.engine import evaluate
+
+__all__ = ["fail_extenders", "reassociate_orphans", "FailureEpoch",
+           "FailureSimulation"]
+
+
+def fail_extenders(scenario: Scenario,
+                   failed: Sequence[int]) -> Scenario:
+    """A scenario with the given extenders dead.
+
+    Dead extenders keep their column (indices stay stable) but offer
+    zero WiFi rate (nobody can associate) and zero PLC rate.
+    """
+    failed_idx = np.asarray(list(failed), dtype=int)
+    if failed_idx.size and (failed_idx.min() < 0
+                            or failed_idx.max() >= scenario.n_extenders):
+        raise ValueError("failed extender index out of range")
+    wifi = scenario.wifi_rates.copy()
+    plc = scenario.plc_rates.copy()
+    wifi[:, failed_idx] = 0.0
+    plc[failed_idx] = 0.0
+    return Scenario(wifi_rates=wifi, plc_rates=plc,
+                    capacities=scenario.capacities,
+                    user_ids=scenario.user_ids)
+
+
+def reassociate_orphans(scenario: Scenario,
+                        assignment: Sequence[int]) -> np.ndarray:
+    """Move users off dead extenders onto their strongest survivor.
+
+    Users whose current extender is unreachable (rate 0, e.g. after
+    :func:`fail_extenders`) re-associate RSSI-style; everyone else
+    stays put.  Users who hear no survivor are left UNASSIGNED
+    (offline).
+    """
+    assign = np.array(assignment, dtype=int)
+    for user in range(scenario.n_users):
+        j = assign[user]
+        if j != UNASSIGNED and scenario.wifi_rates[user, j] > 0:
+            continue
+        reachable = scenario.reachable(user)
+        if reachable.size == 0:
+            assign[user] = UNASSIGNED
+        else:
+            assign[user] = int(reachable[np.argmax(
+                scenario.wifi_rates[user, reachable])])
+    return assign
+
+
+@dataclass(frozen=True)
+class FailureEpoch:
+    """Measurements from one failure-injection epoch.
+
+    Attributes:
+        epoch: 1-based index.
+        failed_extenders: indices dead during the epoch.
+        orphaned_users: users whose extender died this epoch.
+        offline_users: users no surviving extender can reach.
+        aggregate_throughput: network throughput after recovery.
+    """
+
+    epoch: int
+    failed_extenders: Tuple[int, ...] = ()
+    orphaned_users: int = 0
+    offline_users: int = 0
+    aggregate_throughput: float = 0.0
+
+
+class FailureSimulation:
+    """Bernoulli extender fail/recover dynamics under a fixed population.
+
+    Args:
+        scenario: the healthy network (users fixed; no churn, isolating
+            the failure effect).
+        policy: ``"wolt"`` (global re-solve each epoch) or ``"rssi"``
+            (only orphans move, to their strongest survivor).
+        rng: random generator.
+        fail_prob: per-epoch probability a healthy extender fails.
+        recover_prob: per-epoch probability a failed extender recovers.
+        plc_mode: PLC sharing law for scoring.
+    """
+
+    def __init__(self, scenario: Scenario, policy: str,
+                 rng: np.random.Generator,
+                 fail_prob: float = 0.1,
+                 recover_prob: float = 0.5,
+                 plc_mode: str = "redistribute") -> None:
+        if policy not in ("wolt", "rssi"):
+            raise ValueError("policy must be 'wolt' or 'rssi'")
+        if not 0 <= fail_prob <= 1 or not 0 <= recover_prob <= 1:
+            raise ValueError("probabilities must be in [0, 1]")
+        self.healthy = scenario
+        self.policy = policy
+        self.rng = rng
+        self.fail_prob = fail_prob
+        self.recover_prob = recover_prob
+        self.plc_mode = plc_mode
+        self.down = np.zeros(scenario.n_extenders, dtype=bool)
+        self.assignment = rssi_assignment(scenario)
+        self.history: List[FailureEpoch] = []
+
+    def run_epoch(self) -> FailureEpoch:
+        """Fail/recover extenders, recover the association, measure."""
+        flips_down = self.rng.random(self.healthy.n_extenders) \
+            < self.fail_prob
+        flips_up = self.rng.random(self.healthy.n_extenders) \
+            < self.recover_prob
+        self.down = (self.down & ~flips_up) | (~self.down & flips_down)
+        # Never kill the whole network: keep at least one extender up.
+        if self.down.all():
+            self.down[int(self.rng.integers(self.down.size))] = False
+        live = fail_extenders(self.healthy, np.flatnonzero(self.down))
+        orphaned = int(np.sum([
+            self.assignment[u] != UNASSIGNED
+            and live.wifi_rates[u, self.assignment[u]] <= 0
+            for u in range(live.n_users)]))
+        if self.policy == "wolt":
+            # Users who hear nothing stay offline; WOLT solves the rest.
+            reachable = np.array([live.reachable(u).size > 0
+                                  for u in range(live.n_users)])
+            assignment = np.full(live.n_users, UNASSIGNED, dtype=int)
+            if reachable.any():
+                sub = live.subset_users(np.flatnonzero(reachable))
+                solved = solve_wolt(sub, plc_mode=self.plc_mode)
+                assignment[np.flatnonzero(reachable)] = solved.assignment
+            self.assignment = assignment
+        else:
+            self.assignment = reassociate_orphans(live, self.assignment)
+        offline = int(np.sum(self.assignment == UNASSIGNED))
+        report = evaluate(live, self.assignment, plc_mode=self.plc_mode)
+        stats = FailureEpoch(
+            epoch=len(self.history) + 1,
+            failed_extenders=tuple(np.flatnonzero(self.down).tolist()),
+            orphaned_users=orphaned,
+            offline_users=offline,
+            aggregate_throughput=report.aggregate)
+        self.history.append(stats)
+        return stats
+
+    def run(self, n_epochs: int) -> List[FailureEpoch]:
+        """Run ``n_epochs`` failure epochs."""
+        if n_epochs < 1:
+            raise ValueError("n_epochs must be positive")
+        return [self.run_epoch() for _ in range(n_epochs)]

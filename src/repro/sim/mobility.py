@@ -1,0 +1,194 @@
+"""User mobility: random-waypoint motion over the enterprise floor.
+
+The paper's online evaluation (Fig. 6b/6c) churns the population via
+arrivals and departures but keeps users stationary.  Real enterprise
+users *walk* — and every few metres of movement changes ``r_ij`` enough
+to invalidate the association.  This module adds the standard
+random-waypoint mobility model and a simulation loop in which WOLT (or
+a baseline) re-optimizes each epoch while users move, quantifying the
+handoff load mobility induces on top of churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.problem import Scenario, UNASSIGNED
+from ..core.wolt import solve_wolt
+from ..core.baselines import rssi_assignment
+from ..net.engine import evaluate
+from ..net.topology import FloorPlan, build_scenario
+from ..wifi.phy import WifiPhy
+
+__all__ = ["RandomWaypoint", "MobilityEpoch", "MobilitySimulation"]
+
+
+class RandomWaypoint:
+    """Random-waypoint motion of one user on a rectangular floor.
+
+    The user picks a uniform destination, walks there at a uniform
+    speed from ``[v_min, v_max]``, pauses, and repeats.
+
+    Args:
+        position: initial (x, y) in metres.
+        width_m / height_m: floor bounds.
+        rng: random generator.
+        v_min / v_max: walking speed range (m per time unit).
+        pause_time: pause at each waypoint (time units).
+    """
+
+    def __init__(self, position, width_m: float, height_m: float,
+                 rng: np.random.Generator,
+                 v_min: float = 0.5, v_max: float = 1.5,
+                 pause_time: float = 2.0) -> None:
+        if not 0 < v_min <= v_max:
+            raise ValueError("need 0 < v_min <= v_max")
+        if pause_time < 0:
+            raise ValueError("pause_time must be non-negative")
+        self.position = np.asarray(position, dtype=float).copy()
+        self.width_m = width_m
+        self.height_m = height_m
+        self.rng = rng
+        self.v_min, self.v_max = v_min, v_max
+        self.pause_time = pause_time
+        self._target = self.position.copy()
+        self._speed = 0.0
+        self._pause_left = 0.0
+        self._pick_waypoint()
+
+    def _pick_waypoint(self) -> None:
+        self._target = np.array([self.rng.uniform(0, self.width_m),
+                                 self.rng.uniform(0, self.height_m)])
+        self._speed = float(self.rng.uniform(self.v_min, self.v_max))
+
+    def advance(self, dt: float) -> np.ndarray:
+        """Move for ``dt`` time units; returns the new position."""
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        remaining = dt
+        while remaining > 1e-12:
+            if self._pause_left > 0:
+                waited = min(self._pause_left, remaining)
+                self._pause_left -= waited
+                remaining -= waited
+                continue
+            to_target = self._target - self.position
+            distance = float(np.hypot(*to_target))
+            if distance < 1e-9:
+                self._pause_left = self.pause_time
+                self._pick_waypoint()
+                continue
+            step = self._speed * remaining
+            if step >= distance:
+                self.position = self._target.copy()
+                remaining -= distance / self._speed
+                self._pause_left = self.pause_time
+                self._pick_waypoint()
+            else:
+                self.position = self.position + to_target / distance * step
+                remaining = 0.0
+        return self.position
+
+
+@dataclass(frozen=True)
+class MobilityEpoch:
+    """Per-epoch measurements of the mobility simulation.
+
+    Attributes:
+        epoch: 1-based index.
+        aggregate_throughput: network throughput after reconfiguration.
+        handoffs: users whose extender changed at the boundary.
+        mean_displacement_m: mean distance users moved this epoch.
+    """
+
+    epoch: int
+    aggregate_throughput: float
+    handoffs: int
+    mean_displacement_m: float
+
+
+class MobilitySimulation:
+    """WOLT (or RSSI) under random-waypoint mobility.
+
+    Users walk continuously; at each epoch boundary the controller
+    re-runs its policy on the fresh rate matrix.
+
+    Args:
+        plan: floor with extender placements.
+        n_users: stationary population size (no churn — isolates the
+            effect of mobility).
+        policy: ``"wolt"`` or ``"rssi"`` (RSSI = always strongest,
+            re-evaluated each epoch, the "mobile client default").
+        rng: random generator.
+        epoch_duration: time units between reconfigurations.
+        phy: WiFi PHY for the rate matrix.
+        plc_mode: PLC sharing law for scoring.
+    """
+
+    def __init__(self, plan: FloorPlan, n_users: int, policy: str,
+                 rng: np.random.Generator,
+                 epoch_duration: float = 10.0,
+                 phy: Optional[WifiPhy] = None,
+                 plc_mode: str = "redistribute",
+                 **waypoint_kwargs) -> None:
+        if policy not in ("wolt", "rssi"):
+            raise ValueError("policy must be 'wolt' or 'rssi'")
+        if n_users < 1:
+            raise ValueError("n_users must be positive")
+        self.plan = plan
+        self.policy = policy
+        self.rng = rng
+        self.epoch_duration = epoch_duration
+        self.phy = phy or WifiPhy()
+        self.plc_mode = plc_mode
+        self.walkers = [
+            RandomWaypoint(
+                position=[rng.uniform(0, plan.width_m),
+                          rng.uniform(0, plan.height_m)],
+                width_m=plan.width_m, height_m=plan.height_m,
+                rng=rng, **waypoint_kwargs)
+            for _ in range(n_users)]
+        self._assignment = np.full(n_users, UNASSIGNED, dtype=int)
+        self.history: List[MobilityEpoch] = []
+
+    def _scenario(self) -> Scenario:
+        user_xy = np.vstack([w.position for w in self.walkers])
+        return build_scenario(self.plan.with_users(user_xy),
+                              phy=self.phy)
+
+    def run_epoch(self) -> MobilityEpoch:
+        """Walk one epoch, reconfigure, and record measurements."""
+        before_xy = np.vstack([w.position for w in self.walkers])
+        for walker in self.walkers:
+            walker.advance(self.epoch_duration)
+        after_xy = np.vstack([w.position for w in self.walkers])
+        displacement = float(np.mean(
+            np.hypot(*(after_xy - before_xy).T)))
+        scenario = self._scenario()
+        if self.policy == "wolt":
+            new_assignment = solve_wolt(
+                scenario, plc_mode=self.plc_mode).assignment
+        else:
+            new_assignment = rssi_assignment(scenario)
+        handoffs = int(np.sum(
+            (self._assignment != UNASSIGNED)
+            & (new_assignment != self._assignment)))
+        self._assignment = new_assignment
+        aggregate = evaluate(scenario, new_assignment,
+                             plc_mode=self.plc_mode,
+                             require_complete=True).aggregate
+        stats = MobilityEpoch(epoch=len(self.history) + 1,
+                              aggregate_throughput=aggregate,
+                              handoffs=handoffs,
+                              mean_displacement_m=displacement)
+        self.history.append(stats)
+        return stats
+
+    def run(self, n_epochs: int) -> List[MobilityEpoch]:
+        """Run ``n_epochs`` epochs."""
+        if n_epochs < 1:
+            raise ValueError("n_epochs must be positive")
+        return [self.run_epoch() for _ in range(n_epochs)]

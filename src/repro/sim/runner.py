@@ -1,0 +1,196 @@
+"""Trial runners for the large-scale simulation experiments (Fig. 6).
+
+These helpers wrap topology sampling, policy execution, and metric
+collection behind seeded, reproducible entry points used by the
+benchmarks and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.baselines import (greedy_assignment, random_assignment,
+                              rssi_assignment)
+from ..core.problem import Scenario
+from ..core.wolt import solve_wolt
+from ..net.engine import ThroughputReport, evaluate
+from ..net.metrics import jain_fairness
+from ..net.topology import FloorPlan, enterprise_floor
+from ..plc.channel import random_building
+from ..wifi.phy import WifiPhy
+from .dynamics import EpochStats, OnlineSimulation
+
+__all__ = ["PolicyOutcome", "TrialResult", "run_policy", "run_trials",
+           "run_online_comparison", "sample_floor_plan"]
+
+#: The association policies known to the runner.
+POLICY_NAMES = ("wolt", "greedy", "rssi", "random")
+
+
+@dataclass(frozen=True)
+class PolicyOutcome:
+    """One policy's result on one scenario.
+
+    Attributes:
+        policy: policy name.
+        aggregate_throughput: total end-to-end throughput (Mbps).
+        jain_fairness: Jain index over per-user throughputs.
+        user_throughputs: per-user throughputs (Mbps), scenario order.
+        assignment: the chosen per-user extender indices.
+    """
+
+    policy: str
+    aggregate_throughput: float
+    jain_fairness: float
+    user_throughputs: np.ndarray
+    assignment: np.ndarray
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """All policies' outcomes on one sampled scenario."""
+
+    scenario: Scenario
+    outcomes: Dict[str, PolicyOutcome]
+
+    def aggregate(self, policy: str) -> float:
+        return self.outcomes[policy].aggregate_throughput
+
+
+def run_policy(scenario: Scenario, policy: str,
+               rng: Optional[np.random.Generator] = None,
+               plc_mode: str = "redistribute") -> PolicyOutcome:
+    """Run one association policy on a scenario and measure it.
+
+    Policies always *decide* against the physically measured network
+    behaviour (the redistributing testbed law — that is what a deployed
+    controller observes through iperf); ``plc_mode`` selects the law the
+    outcome is *evaluated* under, so experiments can score policies with
+    the paper's Problem-1 model (``"fixed"``) the way the paper's own
+    simulator does.
+
+    Args:
+        scenario: the network snapshot.
+        policy: one of ``wolt``, ``greedy``, ``rssi``, ``random``.
+        rng: generator for the stochastic pieces (random policy, greedy
+            arrival order shuffling); deterministic policies ignore it.
+        plc_mode: PLC sharing law used for scoring.
+    """
+    rng = rng or np.random.default_rng(0)
+    if policy == "wolt":
+        result = solve_wolt(scenario, plc_mode=plc_mode)
+        assignment = result.assignment
+        report = result.report
+    else:
+        if policy == "greedy":
+            order = rng.permutation(scenario.n_users)
+            assignment = greedy_assignment(scenario, arrival_order=order)
+        elif policy == "rssi":
+            assignment = rssi_assignment(scenario)
+        elif policy == "random":
+            assignment = random_assignment(scenario, rng)
+        else:
+            raise ValueError(f"unknown policy {policy!r}")
+        report = evaluate(scenario, assignment, require_complete=True,
+                          plc_mode=plc_mode)
+    return PolicyOutcome(policy=policy,
+                         aggregate_throughput=report.aggregate,
+                         jain_fairness=jain_fairness(
+                             report.user_throughputs),
+                         user_throughputs=report.user_throughputs,
+                         assignment=np.asarray(assignment))
+
+
+def sample_floor_plan(n_extenders: int, rng: np.random.Generator,
+                      width_m: float = 100.0,
+                      height_m: float = 100.0) -> FloorPlan:
+    """Sample extender placements and PLC rates for an empty floor."""
+    building = random_building(n_extenders, rng)
+    outlets = building.outlets
+    chosen = [outlets[k] for k in rng.choice(len(outlets),
+                                             size=n_extenders,
+                                             replace=False)]
+    return FloorPlan(
+        width_m=width_m, height_m=height_m,
+        extender_xy=np.column_stack([rng.uniform(0, width_m, n_extenders),
+                                     rng.uniform(0, height_m,
+                                                 n_extenders)]),
+        user_xy=np.empty((0, 2)),
+        plc_rates=building.rates(chosen))
+
+
+def run_trials(n_trials: int,
+               n_extenders: int,
+               n_users: int,
+               policies: Sequence[str] = ("wolt", "greedy", "rssi"),
+               seed: int = 0,
+               width_m: float = 100.0,
+               height_m: float = 100.0,
+               phy: Optional[WifiPhy] = None,
+               plc_mode: str = "redistribute") -> List[TrialResult]:
+    """Monte-Carlo policy comparison over random floors (Fig. 6a).
+
+    Each trial samples a fresh enterprise floor (wiring plant, extender
+    and user placement) and runs every policy on the same scenario.
+
+    Args:
+        n_trials: number of independent scenarios (paper: 100).
+        n_extenders: extenders per floor (paper: 15).
+        n_users: users per floor (paper: 36).
+        policies: subset of :data:`POLICY_NAMES` to run.
+        seed: master seed; trial ``t`` uses child seed ``seed + t``.
+        width_m / height_m: floor dimensions (paper: 100 m x 100 m).
+        phy: optional WiFi PHY override.
+        plc_mode: PLC sharing law used for scoring (the paper's
+            simulator corresponds to ``"fixed"``).
+
+    Returns:
+        One :class:`TrialResult` per trial.
+    """
+    unknown = set(policies) - set(POLICY_NAMES)
+    if unknown:
+        raise ValueError(f"unknown policies: {sorted(unknown)}")
+    results = []
+    for trial in range(n_trials):
+        rng = np.random.default_rng(seed + trial)
+        scenario = enterprise_floor(n_extenders, n_users, rng,
+                                    width_m=width_m, height_m=height_m,
+                                    phy=phy)
+        outcomes = {policy: run_policy(scenario, policy, rng,
+                                       plc_mode=plc_mode)
+                    for policy in policies}
+        results.append(TrialResult(scenario=scenario, outcomes=outcomes))
+    return results
+
+
+def run_online_comparison(n_epochs: int,
+                          n_extenders: int,
+                          initial_users: int,
+                          policies: Sequence[str] = ("wolt", "greedy"),
+                          seed: int = 0,
+                          arrival_rate: float = 3.0,
+                          departure_rate: float = 1.0,
+                          epoch_duration: float = 16.5,
+                          plc_mode: str = "redistribute"
+                          ) -> Dict[str, List[EpochStats]]:
+    """Temporal comparison with identical floors per policy (Fig. 6b/6c).
+
+    Every policy sees the same floor plan and its own identically-seeded
+    arrival process, so differences are attributable to the policy.
+    """
+    histories: Dict[str, List[EpochStats]] = {}
+    for policy in policies:
+        rng = np.random.default_rng(seed)
+        plan = sample_floor_plan(n_extenders, rng)
+        sim = OnlineSimulation(plan, policy,
+                               rng=np.random.default_rng(seed + 1),
+                               arrival_rate=arrival_rate,
+                               departure_rate=departure_rate,
+                               epoch_duration=epoch_duration,
+                               plc_mode=plc_mode)
+        sim.seed_users(initial_users)
+        histories[policy] = sim.run(n_epochs)
+    return histories

@@ -1,0 +1,94 @@
+"""Trace recording and replay for online simulations.
+
+Experiments on dynamic networks are only useful if they can be
+re-examined: which users arrived when, what the controller decided, and
+what throughput resulted.  This module serializes
+:class:`~repro.sim.dynamics.EpochStats` histories (and raw scenario
+snapshots) to JSON, so simulation outputs can be archived in a results
+directory, diffed across code versions, and replayed into the metric
+pipeline without re-running the simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from ..core.problem import Scenario
+from .dynamics import EpochStats
+
+__all__ = ["save_history", "load_history", "save_scenario",
+           "load_scenario"]
+
+#: Format version stamped into every trace file.
+TRACE_VERSION = 1
+
+
+def save_history(path: Union[str, Path],
+                 histories: Dict[str, Sequence[EpochStats]]) -> None:
+    """Write per-policy epoch histories to a JSON trace file.
+
+    Args:
+        path: destination file.
+        histories: mapping of policy name to its epoch statistics.
+    """
+    payload = {
+        "version": TRACE_VERSION,
+        "kind": "epoch-history",
+        "policies": {
+            policy: [asdict(epoch) for epoch in history]
+            for policy, history in histories.items()
+        },
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_history(path: Union[str, Path]) -> Dict[str, List[EpochStats]]:
+    """Read a trace file written by :func:`save_history`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("kind") != "epoch-history":
+        raise ValueError(f"{path} is not an epoch-history trace")
+    if payload.get("version") != TRACE_VERSION:
+        raise ValueError(f"unsupported trace version "
+                         f"{payload.get('version')!r}")
+    return {
+        policy: [EpochStats(**epoch) for epoch in history]
+        for policy, history in payload["policies"].items()
+    }
+
+
+def save_scenario(path: Union[str, Path], scenario: Scenario) -> None:
+    """Write a scenario snapshot (rates, capacities, ids) to JSON."""
+    payload = {
+        "version": TRACE_VERSION,
+        "kind": "scenario",
+        "wifi_rates": scenario.wifi_rates.tolist(),
+        "plc_rates": scenario.plc_rates.tolist(),
+        "capacities": (None if scenario.capacities is None
+                       else scenario.capacities.tolist()),
+        "user_ids": (None if scenario.user_ids is None
+                     else np.asarray(scenario.user_ids).tolist()),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_scenario(path: Union[str, Path]) -> Scenario:
+    """Read a scenario snapshot written by :func:`save_scenario`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("kind") != "scenario":
+        raise ValueError(f"{path} is not a scenario trace")
+    if payload.get("version") != TRACE_VERSION:
+        raise ValueError(f"unsupported trace version "
+                         f"{payload.get('version')!r}")
+    return Scenario(
+        wifi_rates=np.asarray(payload["wifi_rates"], dtype=float),
+        plc_rates=np.asarray(payload["plc_rates"], dtype=float),
+        capacities=(None if payload["capacities"] is None
+                    else np.asarray(payload["capacities"], dtype=int)),
+        user_ids=(None if payload["user_ids"] is None
+                  else np.asarray(payload["user_ids"])),
+    )

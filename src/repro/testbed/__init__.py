@@ -1,0 +1,12 @@
+"""Emulated hardware testbed: devices, measurement study, calibration."""
+
+from .calibration import FIG2B_ISOLATION_MBPS, sample_isolation_capacities
+from .devices import EmulatedTestbed, IperfSample, Laptop, PlcExtender
+from .measurement import (plc_isolation_study, plc_sharing_study,
+                          wifi_sharing_study)
+
+__all__ = [
+    "EmulatedTestbed", "PlcExtender", "Laptop", "IperfSample",
+    "wifi_sharing_study", "plc_isolation_study", "plc_sharing_study",
+    "FIG2B_ISOLATION_MBPS", "sample_isolation_capacities",
+]

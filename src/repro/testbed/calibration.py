@@ -1,0 +1,55 @@
+"""PLC capacity calibration: the measured isolation-throughput ranges.
+
+The paper measures each PLC link's isolation throughput ("rate") with
+iperf3 by saturating the link from the Central Controller (§V-A), and
+reports a 60-160 Mbps spread across outlets (Fig. 2b).  This module
+captures those measurements:
+
+* :data:`FIG2B_ISOLATION_MBPS` — the four testbed links of Fig. 2b/2c.
+* :func:`sample_isolation_capacities` — a calibrated sampler that
+  reproduces the measured spread for larger simulated buildings, used
+  when a wiring-graph model is overkill.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["FIG2B_ISOLATION_MBPS", "sample_isolation_capacities"]
+
+#: Isolation throughputs of the four testbed PLC links in Fig. 2b (Mbps).
+#: The paper reports the range 60-160 Mbps; the individual bar heights
+#: are read off the figure.
+FIG2B_ISOLATION_MBPS = (60.0, 90.0, 120.0, 160.0)
+
+
+def sample_isolation_capacities(n_links: int,
+                                rng: np.random.Generator,
+                                low_mbps: float = 60.0,
+                                high_mbps: float = 160.0,
+                                sigma: float = 0.35) -> np.ndarray:
+    """Sample PLC isolation capacities matching the measured spread.
+
+    Draws log-normal capacities (PLC attenuation in dB is roughly normal
+    across outlets, so rates are roughly log-normal) centred on the
+    geometric mean of the measured range and clipped to it.
+
+    Args:
+        n_links: number of PLC links to sample.
+        rng: random generator.
+        low_mbps: lower clip (paper's weakest link: 60 Mbps).
+        high_mbps: upper clip (paper's strongest link: 160 Mbps).
+        sigma: log-space standard deviation.
+
+    Returns:
+        Array of ``n_links`` capacities in Mbps.
+    """
+    if n_links < 1:
+        raise ValueError("n_links must be positive")
+    if not 0 < low_mbps < high_mbps:
+        raise ValueError("need 0 < low_mbps < high_mbps")
+    center = np.sqrt(low_mbps * high_mbps)
+    draws = center * np.exp(rng.normal(0.0, sigma, size=n_links))
+    return np.clip(draws, low_mbps, high_mbps)

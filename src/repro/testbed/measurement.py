@@ -1,0 +1,158 @@
+"""The §III measurement study, reproduced on the emulated testbed.
+
+Three procedures mirror the paper's experiments:
+
+* :func:`wifi_sharing_study` (Fig. 2a) — one extender, two WiFi laptops;
+  laptop 2 is moved through three locations of degrading channel
+  quality, and both laptops' throughputs are recorded.
+* :func:`plc_isolation_study` (Fig. 2b) — each PLC link is saturated in
+  isolation over Ethernet to measure its capacity.
+* :func:`plc_sharing_study` (Fig. 2c) — 2, 3 and 4 extenders receive
+  saturated traffic simultaneously; each link should deliver ``1/k`` of
+  its isolation throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..wifi.phy import WifiPhy
+from .calibration import FIG2B_ISOLATION_MBPS
+from .devices import EmulatedTestbed, Laptop, PlcExtender
+
+__all__ = ["WifiSharingResult", "wifi_sharing_study",
+           "PlcIsolationResult", "plc_isolation_study",
+           "PlcSharingResult", "plc_sharing_study"]
+
+
+@dataclass(frozen=True)
+class WifiSharingResult:
+    """Fig. 2a data: per-location throughputs of the two laptops.
+
+    Attributes:
+        locations: labels of user 2's positions ("location 1", ...).
+        user1_mbps: stationary laptop's throughput per location.
+        user2_mbps: moving laptop's throughput per location.
+    """
+
+    locations: Tuple[str, ...]
+    user1_mbps: Tuple[float, ...]
+    user2_mbps: Tuple[float, ...]
+
+
+def wifi_sharing_study(distances_m: Sequence[float] = (3.0, 45.0, 75.0),
+                       plc_isolation_mbps: float = 1000.0,
+                       phy: Optional[WifiPhy] = None,
+                       rng: Optional[np.random.Generator] = None
+                       ) -> WifiSharingResult:
+    """Reproduce the Fig. 2a WiFi-only experiment.
+
+    Laptop 1 stays 3 m from the extender; laptop 2 starts co-located and
+    is moved to each distance in ``distances_m``.  The PLC link is made
+    effectively infinite so only WiFi sharing matters (the paper wires
+    the iperf server straight to the extender).
+    """
+    rng = rng or np.random.default_rng(0)
+    user1, user2, labels = [], [], []
+    for k, distance in enumerate(distances_m, start=1):
+        bench = EmulatedTestbed(phy=phy, rng=rng)
+        bench.plug_extender(PlcExtender("ext-1", (0.0, 0.0),
+                                        plc_isolation_mbps))
+        bench.place_laptop(Laptop("user-1", (3.0, 0.0)))
+        bench.place_laptop(Laptop("user-2", (float(distance), 0.0)))
+        bench.associate("user-1", "ext-1")
+        bench.associate("user-2", "ext-1")
+        samples = {s.laptop: s.throughput_mbps for s in bench.run_iperf()}
+        labels.append(f"location {k}")
+        user1.append(samples["user-1"])
+        user2.append(samples["user-2"])
+    return WifiSharingResult(locations=tuple(labels),
+                             user1_mbps=tuple(user1),
+                             user2_mbps=tuple(user2))
+
+
+@dataclass(frozen=True)
+class PlcIsolationResult:
+    """Fig. 2b data: isolation throughput of each PLC link."""
+
+    extenders: Tuple[str, ...]
+    isolation_mbps: Tuple[float, ...]
+
+
+def plc_isolation_study(capacities: Sequence[float] = FIG2B_ISOLATION_MBPS,
+                        rng: Optional[np.random.Generator] = None
+                        ) -> PlcIsolationResult:
+    """Reproduce the Fig. 2b PLC-only isolation measurements.
+
+    One extender at a time is powered; a wired laptop saturates its PLC
+    link with iperf.
+    """
+    rng = rng or np.random.default_rng(0)
+    bench = _plc_bench(capacities, rng)
+    measured = []
+    names = [f"ext-{k + 1}" for k in range(len(capacities))]
+    for name in names:
+        for other in names:
+            if other == name:
+                bench.power_extender(other)
+            else:
+                bench.unplug_extender(other)
+        measured.append(bench.iperf_throughput(f"laptop-{name}"))
+    return PlcIsolationResult(extenders=tuple(names),
+                              isolation_mbps=tuple(measured))
+
+
+@dataclass(frozen=True)
+class PlcSharingResult:
+    """Fig. 2c data: per-link throughput vs. number of active links.
+
+    Attributes:
+        isolation_mbps: each link's stand-alone throughput.
+        shared_mbps: mapping ``k`` (active link count) -> tuple of the
+            first ``k`` links' simultaneous throughputs.
+    """
+
+    isolation_mbps: Tuple[float, ...]
+    shared_mbps: Dict[int, Tuple[float, ...]]
+
+    def share_ratio(self, k: int) -> Tuple[float, ...]:
+        """Measured per-link fraction of isolation throughput at ``k``."""
+        return tuple(shared / alone for shared, alone
+                     in zip(self.shared_mbps[k], self.isolation_mbps[:k]))
+
+
+def plc_sharing_study(capacities: Sequence[float] = FIG2B_ISOLATION_MBPS,
+                      active_counts: Sequence[int] = (2, 3, 4),
+                      rng: Optional[np.random.Generator] = None
+                      ) -> PlcSharingResult:
+    """Reproduce the Fig. 2c time-fair sharing measurements."""
+    rng = rng or np.random.default_rng(0)
+    if max(active_counts) > len(capacities):
+        raise ValueError("more active links requested than capacities")
+    names = [f"ext-{k + 1}" for k in range(len(capacities))]
+    shared: Dict[int, Tuple[float, ...]] = {}
+    for k in active_counts:
+        bench = _plc_bench(capacities, rng)
+        for name in names[k:]:
+            bench.unplug_extender(name)
+        samples = {s.laptop: s.throughput_mbps for s in bench.run_iperf()}
+        shared[k] = tuple(samples[f"laptop-{name}"] for name in names[:k])
+    return PlcSharingResult(isolation_mbps=tuple(float(c)
+                                                 for c in capacities),
+                            shared_mbps=shared)
+
+
+def _plc_bench(capacities: Sequence[float],
+               rng: np.random.Generator) -> EmulatedTestbed:
+    """A bench with one wired laptop per extender (the Fig. 2b/2c rig)."""
+    bench = EmulatedTestbed(rng=rng)
+    for k, capacity in enumerate(capacities, start=1):
+        name = f"ext-{k}"
+        bench.plug_extender(PlcExtender(name, (10.0 * k, 0.0),
+                                        float(capacity)))
+        bench.place_laptop(Laptop(f"laptop-{name}", (10.0 * k, 1.0)))
+        bench.wire(f"laptop-{name}", name)
+    return bench

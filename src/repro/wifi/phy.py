@@ -1,0 +1,154 @@
+"""802.11 PHY model: path loss, RSSI, SNR, and MCS rate selection.
+
+The paper's simulator derives WiFi channel quality from user-extender
+distance ("a simple model ... where the channel quality is a function of
+the distance", §V-A, citing a Cisco Aironet rate-vs-range table).  We
+implement the standard log-distance path-loss model with optional
+log-normal shadowing, and map the resulting SNR onto the 802.11n MCS
+ladder to obtain the PHY rate ``r_ij``.
+
+All the constants are module-level and overridable through
+:class:`WifiPhy`, so experiments can calibrate the model to a different
+building or radio without touching the code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["MCS_TABLE_80211N_20MHZ", "WifiPhy"]
+
+#: 802.11n, 20 MHz, long guard interval, single spatial stream:
+#: (minimum SNR in dB, PHY rate in Mbps).  Thresholds follow common
+#: receiver-sensitivity tables (e.g. the Cisco Aironet data sheets the
+#: paper references).
+MCS_TABLE_80211N_20MHZ: Tuple[Tuple[float, float], ...] = (
+    (2.0, 6.5),     # MCS0, BPSK 1/2
+    (5.0, 13.0),    # MCS1, QPSK 1/2
+    (9.0, 19.5),    # MCS2, QPSK 3/4
+    (11.0, 26.0),   # MCS3, 16-QAM 1/2
+    (15.0, 39.0),   # MCS4, 16-QAM 3/4
+    (18.0, 52.0),   # MCS5, 64-QAM 2/3
+    (20.0, 58.5),   # MCS6, 64-QAM 3/4
+    (25.0, 65.0),   # MCS7, 64-QAM 5/6
+)
+
+
+@dataclass(frozen=True)
+class WifiPhy:
+    """A parameterized 802.11 PHY/propagation model.
+
+    Attributes:
+        tx_power_dbm: extender transmit power (default 20 dBm, the FCC
+            indoor ceiling commodity extenders use).
+        path_loss_exponent: log-distance exponent; ~3.5 suits an office
+            with cubicles and furniture like the paper's 2408 m^2 lab.
+        reference_loss_db: path loss at the 1 m reference distance
+            (~40 dB at 2.4 GHz).
+        noise_floor_dbm: thermal noise plus NF over a 20 MHz channel.
+        shadowing_sigma_db: log-normal shadowing standard deviation; 0
+            disables shadowing.
+        spatial_streams: MIMO stream count; scales every MCS rate.
+        mcs_table: (min SNR dB, rate Mbps) ladder, ascending.
+    """
+
+    tx_power_dbm: float = 20.0
+    path_loss_exponent: float = 3.5
+    reference_loss_db: float = 40.0
+    noise_floor_dbm: float = -94.0
+    shadowing_sigma_db: float = 0.0
+    spatial_streams: int = 2
+    mcs_table: Tuple[Tuple[float, float], ...] = MCS_TABLE_80211N_20MHZ
+
+    def __post_init__(self) -> None:
+        if self.spatial_streams < 1:
+            raise ValueError("spatial_streams must be >= 1")
+        if self.path_loss_exponent <= 0:
+            raise ValueError("path_loss_exponent must be positive")
+        snrs = [s for s, _ in self.mcs_table]
+        if snrs != sorted(snrs):
+            raise ValueError("mcs_table must be sorted by SNR")
+
+    def path_loss_db(self, distance_m: float,
+                     rng: Optional[np.random.Generator] = None) -> float:
+        """Log-distance path loss (dB) at ``distance_m`` metres.
+
+        Distances under 1 m clamp to the reference distance.  When ``rng``
+        is given and shadowing is enabled, a log-normal shadowing term is
+        added.
+        """
+        if distance_m < 0:
+            raise ValueError("distance must be non-negative")
+        d = max(distance_m, 1.0)
+        loss = (self.reference_loss_db
+                + 10.0 * self.path_loss_exponent * np.log10(d))
+        if rng is not None and self.shadowing_sigma_db > 0:
+            loss += rng.normal(0.0, self.shadowing_sigma_db)
+        return float(loss)
+
+    def rssi_dbm(self, distance_m: float,
+                 rng: Optional[np.random.Generator] = None) -> float:
+        """Received signal strength (dBm) at a distance."""
+        return self.tx_power_dbm - self.path_loss_db(distance_m, rng)
+
+    def snr_db(self, distance_m: float,
+               rng: Optional[np.random.Generator] = None) -> float:
+        """Signal-to-noise ratio (dB) at a distance."""
+        return self.rssi_dbm(distance_m, rng) - self.noise_floor_dbm
+
+    def rate_for_snr(self, snr_db: float) -> float:
+        """PHY rate (Mbps) the MCS ladder sustains at a given SNR.
+
+        Returns 0 when the SNR is below the lowest MCS threshold (the
+        extender is unreachable).
+        """
+        rate = 0.0
+        for threshold, mcs_rate in self.mcs_table:
+            if snr_db >= threshold:
+                rate = mcs_rate
+            else:
+                break
+        return rate * self.spatial_streams
+
+    def rate_at_distance(self, distance_m: float,
+                         rng: Optional[np.random.Generator] = None) -> float:
+        """PHY rate (Mbps) at a distance (0 = unreachable)."""
+        return self.rate_for_snr(self.snr_db(distance_m, rng))
+
+    def max_range_m(self) -> float:
+        """Distance at which even the lowest MCS stops decoding."""
+        lowest_snr = self.mcs_table[0][0]
+        budget = (self.tx_power_dbm - self.noise_floor_dbm - lowest_snr
+                  - self.reference_loss_db)
+        if budget < 0:
+            return 1.0
+        return float(10.0 ** (budget / (10.0 * self.path_loss_exponent)))
+
+    def rate_matrix(self, user_xy: np.ndarray, extender_xy: np.ndarray,
+                    rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """WiFi rate matrix ``r_ij`` for users and extenders on a plane.
+
+        Args:
+            user_xy: ``(n_users, 2)`` coordinates in metres.
+            extender_xy: ``(n_extenders, 2)`` coordinates in metres.
+            rng: optional generator for shadowing draws (one independent
+                draw per link).
+
+        Returns:
+            ``(n_users, n_extenders)`` matrix of PHY rates in Mbps, with
+            zeros marking unreachable pairs.
+        """
+        users = np.atleast_2d(np.asarray(user_xy, dtype=float))
+        exts = np.atleast_2d(np.asarray(extender_xy, dtype=float))
+        if users.shape[1] != 2 or exts.shape[1] != 2:
+            raise ValueError("coordinates must be (n, 2) arrays")
+        diff = users[:, np.newaxis, :] - exts[np.newaxis, :, :]
+        dist = np.sqrt(np.sum(diff * diff, axis=2))
+        rates = np.zeros(dist.shape)
+        for i in range(dist.shape[0]):
+            for j in range(dist.shape[1]):
+                rates[i, j] = self.rate_at_distance(dist[i, j], rng)
+        return rates

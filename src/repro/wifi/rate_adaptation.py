@@ -1,0 +1,136 @@
+"""802.11 rate adaptation: how clients discover their PHY rate.
+
+WOLT's inputs include the WiFi PHY rate ``r_ij``, which §V-A reads off
+the NIC driver — itself the output of a rate-adaptation loop.  This
+module implements the classic ARF (Auto Rate Fallback) algorithm
+against a per-MCS frame-success model, so experiments can derive
+``r_ij`` the way a real client would: by probing.
+
+* :func:`frame_success_probability` — logistic success model around
+  each MCS's SNR threshold.
+* :class:`ArfRateController` — ARF state machine: step the rate up
+  after ``up_threshold`` consecutive successes, step down after
+  ``down_threshold`` consecutive failures.
+* :func:`probe_rate` — run the loop to convergence and report the
+  long-run rate, which the tests compare against the ideal MCS-ladder
+  lookup of :class:`repro.wifi.phy.WifiPhy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .phy import MCS_TABLE_80211N_20MHZ, WifiPhy
+
+__all__ = ["frame_success_probability", "ArfRateController", "probe_rate"]
+
+
+def frame_success_probability(snr_db: float, mcs_index: int,
+                              mcs_table: Tuple[Tuple[float, float], ...]
+                              = MCS_TABLE_80211N_20MHZ,
+                              steepness: float = 1.5) -> float:
+    """Probability one frame at a given MCS succeeds at a given SNR.
+
+    A logistic curve centred on the MCS's threshold: ~50% exactly at
+    threshold, ~90% a couple of dB above, ~10% a couple below — the
+    shape of measured per-MCS PER curves.
+
+    Args:
+        snr_db: link SNR.
+        mcs_index: index into ``mcs_table``.
+        mcs_table: (threshold dB, rate Mbps) ladder.
+        steepness: logistic slope (1/dB).
+    """
+    if not 0 <= mcs_index < len(mcs_table):
+        raise ValueError("mcs_index out of range")
+    threshold = mcs_table[mcs_index][0]
+    margin = snr_db - threshold
+    return float(1.0 / (1.0 + np.exp(-steepness * margin)))
+
+
+@dataclass
+class ArfRateController:
+    """Auto Rate Fallback state machine.
+
+    Attributes:
+        mcs_table: the MCS ladder.
+        up_threshold: consecutive successes before stepping up.
+        down_threshold: consecutive failures before stepping down.
+        mcs_index: current MCS (starts at the lowest).
+    """
+
+    mcs_table: Tuple[Tuple[float, float], ...] = MCS_TABLE_80211N_20MHZ
+    up_threshold: int = 10
+    down_threshold: int = 2
+    mcs_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.up_threshold < 1 or self.down_threshold < 1:
+            raise ValueError("thresholds must be >= 1")
+        if not 0 <= self.mcs_index < len(self.mcs_table):
+            raise ValueError("mcs_index out of range")
+        self._successes = 0
+        self._failures = 0
+
+    @property
+    def rate_mbps(self) -> float:
+        """The current MCS's PHY rate."""
+        return self.mcs_table[self.mcs_index][1]
+
+    def record(self, success: bool) -> int:
+        """Fold in one frame outcome; returns the (new) MCS index."""
+        if success:
+            self._successes += 1
+            self._failures = 0
+            if (self._successes >= self.up_threshold
+                    and self.mcs_index < len(self.mcs_table) - 1):
+                self.mcs_index += 1
+                self._successes = 0
+        else:
+            self._failures += 1
+            self._successes = 0
+            if (self._failures >= self.down_threshold
+                    and self.mcs_index > 0):
+                self.mcs_index -= 1
+                self._failures = 0
+        return self.mcs_index
+
+
+def probe_rate(snr_db: float,
+               rng: np.random.Generator,
+               n_frames: int = 3000,
+               warmup_frames: int = 500,
+               controller: Optional[ArfRateController] = None,
+               spatial_streams: int = 1) -> float:
+    """Long-run goodput-weighted rate ARF converges to at a given SNR.
+
+    Simulates ``n_frames`` frames through the success model and returns
+    the mean *delivered* rate (successful frames only) after warm-up —
+    the number a driver's statistics would report.
+
+    Args:
+        snr_db: the link SNR.
+        rng: random generator.
+        n_frames: total frames simulated.
+        warmup_frames: frames excluded from the average.
+        controller: optional pre-configured ARF controller.
+        spatial_streams: MIMO multiplier applied to the result.
+
+    Returns:
+        Mean delivered PHY rate (Mbps); 0 when nothing gets through.
+    """
+    if n_frames <= warmup_frames:
+        raise ValueError("n_frames must exceed warmup_frames")
+    ctrl = controller or ArfRateController()
+    delivered = []
+    for frame in range(n_frames):
+        p = frame_success_probability(snr_db, ctrl.mcs_index,
+                                      ctrl.mcs_table)
+        success = bool(rng.random() < p)
+        if frame >= warmup_frames:
+            delivered.append(ctrl.rate_mbps if success else 0.0)
+        ctrl.record(success)
+    return float(np.mean(delivered)) * spatial_streams

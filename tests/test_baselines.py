@@ -1,0 +1,127 @@
+"""Tests for the RSSI, Greedy, and random baseline policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import (greedy_assignment, greedy_attach_user,
+                                  random_assignment, rssi_assignment)
+from repro.core.problem import UNASSIGNED, Scenario
+from repro.net.engine import evaluate
+
+from .conftest import random_scenario
+
+
+class TestRssiAssignment:
+    def test_fig3_both_users_pick_extender1(self, fig3_scenario):
+        assert rssi_assignment(fig3_scenario).tolist() == [0, 0]
+
+    def test_picks_strongest_link(self):
+        wifi = np.array([[10.0, 50.0, 30.0]])
+        sc = Scenario(wifi_rates=wifi, plc_rates=np.ones(3))
+        assert rssi_assignment(sc).tolist() == [1]
+
+    def test_capacity_fallback(self):
+        wifi = np.array([[50.0, 30.0], [50.0, 30.0]])
+        sc = Scenario(wifi_rates=wifi, plc_rates=np.ones(2),
+                      capacities=[1, 1])
+        out = rssi_assignment(sc)
+        assert sorted(out.tolist()) == [0, 1]
+
+    def test_unattachable_user_raises(self):
+        sc = Scenario(wifi_rates=np.array([[0.0]]), plc_rates=np.ones(1))
+        with pytest.raises(ValueError):
+            rssi_assignment(sc)
+
+    @given(st.integers(1, 15), st.integers(1, 6), st.integers(0, 2**31 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_every_user_on_its_best_link(self, n_users, n_ext, seed):
+        rng = np.random.default_rng(seed)
+        sc = random_scenario(rng, n_users, n_ext)
+        out = rssi_assignment(sc)
+        for i in range(n_users):
+            assert sc.wifi_rates[i, out[i]] == pytest.approx(
+                sc.wifi_rates[i].max())
+
+
+class TestGreedyAssignment:
+    def test_fig3_sequence(self, fig3_scenario):
+        """User 1 picks ext 1; user 2 then prefers ext 2 (15 > 11)."""
+        out = greedy_assignment(fig3_scenario)
+        assert out.tolist() == [0, 1]
+        assert evaluate(fig3_scenario, out).aggregate == pytest.approx(30.0)
+
+    def test_arrival_order_matters(self, fig3_scenario):
+        """Greedy is an online policy: order changes the outcome."""
+        forward = greedy_assignment(fig3_scenario, arrival_order=[0, 1])
+        backward = greedy_assignment(fig3_scenario, arrival_order=[1, 0])
+        agg_f = evaluate(fig3_scenario, forward).aggregate
+        agg_b = evaluate(fig3_scenario, backward).aggregate
+        # Reversed arrivals let user 2 claim ext 1 first: the optimum.
+        assert agg_b == pytest.approx(40.0)
+        assert agg_f == pytest.approx(30.0)
+
+    def test_attach_user_is_argmax(self, rng):
+        sc = random_scenario(rng, 6, 3)
+        assignment = np.full(6, UNASSIGNED)
+        assignment[:3] = [0, 1, 2]
+        j_star = greedy_attach_user(sc, assignment, 3)
+        values = []
+        for j in range(3):
+            trial = assignment.copy()
+            trial[3] = j
+            values.append(evaluate(sc, trial).aggregate)
+        assert values[j_star] == pytest.approx(max(values))
+
+    def test_capacity_respected(self):
+        wifi = np.full((3, 2), 50.0)
+        sc = Scenario(wifi_rates=wifi, plc_rates=np.array([100.0, 100.0]),
+                      capacities=[1, 2])
+        out = greedy_assignment(sc)
+        counts = np.bincount(out, minlength=2)
+        assert np.all(counts <= [1, 2])
+
+    def test_unattachable_user_raises(self):
+        sc = Scenario(wifi_rates=np.array([[0.0]]), plc_rates=np.ones(1))
+        with pytest.raises(ValueError):
+            greedy_assignment(sc)
+
+    @given(st.integers(2, 10), st.integers(1, 4), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_complete_and_reachable(self, n_users, n_ext, seed):
+        rng = np.random.default_rng(seed)
+        sc = random_scenario(rng, n_users, n_ext, reachable_prob=0.7)
+        out = greedy_assignment(sc)
+        assert np.all(out != UNASSIGNED)
+        for i in range(n_users):
+            assert sc.wifi_rates[i, out[i]] > 0
+
+
+class TestRandomAssignment:
+    def test_deterministic_with_seed(self, rng):
+        sc = random_scenario(rng, 10, 4)
+        a = random_assignment(sc, np.random.default_rng(7))
+        b = random_assignment(sc, np.random.default_rng(7))
+        assert a.tolist() == b.tolist()
+
+    def test_respects_reachability(self, rng):
+        sc = random_scenario(rng, 12, 4, reachable_prob=0.5)
+        out = random_assignment(sc, rng)
+        for i in range(12):
+            assert sc.wifi_rates[i, out[i]] > 0
+
+    def test_respects_capacity(self, rng):
+        wifi = np.full((4, 2), 50.0)
+        sc = Scenario(wifi_rates=wifi, plc_rates=np.ones(2),
+                      capacities=[2, 2])
+        out = random_assignment(sc, rng)
+        counts = np.bincount(out, minlength=2)
+        assert np.all(counts <= 2)
+
+    def test_unattachable_user_raises(self, rng):
+        sc = Scenario(wifi_rates=np.array([[0.0]]), plc_rates=np.ones(1))
+        with pytest.raises(ValueError):
+            random_assignment(sc, rng)

@@ -1,0 +1,83 @@
+"""Tests for the branch-and-bound exact solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bnb import branch_and_bound_optimal
+from repro.core.optimal import brute_force_optimal
+from repro.core.problem import Scenario
+from repro.core.wolt import solve_wolt
+
+from .conftest import random_scenario
+
+
+class TestCorrectness:
+    def test_fig3_optimum(self, fig3_scenario):
+        result = branch_and_bound_optimal(fig3_scenario)
+        assert result.assignment.tolist() == [1, 0]
+        assert result.aggregate_throughput == pytest.approx(40.0)
+
+    @given(st.integers(3, 7), st.integers(2, 3), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force(self, n_users, n_ext, seed):
+        rng = np.random.default_rng(seed)
+        sc = random_scenario(rng, n_users, n_ext)
+        for mode in ("fixed", "active", "redistribute"):
+            bnb = branch_and_bound_optimal(sc, plc_mode=mode)
+            ref = brute_force_optimal(sc, plc_mode=mode)
+            assert bnb.aggregate_throughput == pytest.approx(
+                ref.aggregate_throughput)
+
+    @given(st.integers(3, 7), st.integers(2, 3), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_capacities_respected(self, n_users, n_ext, seed):
+        rng = np.random.default_rng(seed)
+        sc = random_scenario(rng, n_users, n_ext, capacities=True)
+        if int(sc.capacities.sum()) < n_users:
+            return
+        result = branch_and_bound_optimal(sc)
+        counts = np.bincount(result.assignment, minlength=n_ext)
+        assert np.all(counts <= sc.capacities)
+
+    def test_dominates_wolt(self):
+        """The exact optimum never loses to the heuristic."""
+        for seed in range(10):
+            rng = np.random.default_rng(seed)
+            sc = random_scenario(rng, 7, 3)
+            exact = branch_and_bound_optimal(sc, plc_mode="fixed")
+            heuristic = solve_wolt(sc, plc_mode="fixed")
+            assert exact.aggregate_throughput >= \
+                heuristic.aggregate_throughput - 1e-9
+
+
+class TestPruning:
+    def test_prunes_under_fixed_law(self, rng):
+        """The bound is tight under the fixed law: a 12-user instance
+        (531441 brute-force nodes) collapses to a handful."""
+        sc = random_scenario(rng, 12, 3)
+        result = branch_and_bound_optimal(sc, plc_mode="fixed")
+        assert result.nodes_expanded < 50_000
+
+    def test_node_limit_enforced(self, rng):
+        sc = random_scenario(rng, 10, 4)
+        with pytest.raises(ValueError, match="node limit"):
+            branch_and_bound_optimal(sc, plc_mode="redistribute",
+                                     node_limit=3)
+
+    def test_counters_populated(self, rng):
+        sc = random_scenario(rng, 5, 2)
+        result = branch_and_bound_optimal(sc)
+        assert result.nodes_expanded >= 1
+        assert result.nodes_pruned >= 0
+
+
+class TestValidation:
+    def test_unattachable_user_rejected(self):
+        sc = Scenario(wifi_rates=np.array([[0.0]]),
+                      plc_rates=np.array([10.0]))
+        with pytest.raises(ValueError, match="no reachable"):
+            branch_and_bound_optimal(sc)

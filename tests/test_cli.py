@@ -1,0 +1,56 @@
+"""Tests for the ``wolt`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for cmd in ("fig2", "fig3", "fig4", "fig5", "fig6", "all",
+                    "solve"):
+            args = parser.parse_args([cmd])
+            assert args.command == cmd
+
+    def test_fig6_trials_flag(self):
+        args = build_parser().parse_args(["fig6", "--trials", "5"])
+        assert args.trials == 5
+
+    def test_solve_flags(self):
+        args = build_parser().parse_args(
+            ["solve", "--extenders", "4", "--users", "9",
+             "--plc-mode", "fixed"])
+        assert args.extenders == 4
+        assert args.users == 9
+        assert args.plc_mode == "fixed"
+
+    def test_bad_plc_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--plc-mode", "bogus"])
+
+
+class TestExecution:
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 3" in out
+        assert "40.00" in out
+
+    def test_solve(self, capsys):
+        assert main(["solve", "--extenders", "3", "--users", "6",
+                     "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "WOLT   aggregate:" in out
+        assert "Greedy aggregate:" in out
+
+    def test_fig6_small(self, capsys):
+        assert main(["fig6", "--trials", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 6a" in out and "Jain" in out

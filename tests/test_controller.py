@@ -1,0 +1,118 @@
+"""Tests for the Central Controller protocol emulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.controller import (AssociationDirective, CentralController,
+                                   ScanReport)
+
+
+def _report(uid: int, rates) -> ScanReport:
+    return ScanReport(user_id=uid, wifi_rates=np.asarray(rates, float))
+
+
+class TestAdmission:
+    def test_rssi_and_wolt_park_on_strongest(self):
+        for policy in ("rssi", "wolt"):
+            cc = CentralController([60.0, 20.0], policy=policy)
+            directive = cc.receive_scan_report(_report(1, [15.0, 10.0]))
+            assert directive == AssociationDirective(user_id=1, extender=0)
+
+    def test_greedy_places_for_aggregate(self):
+        cc = CentralController([60.0, 20.0], policy="greedy")
+        cc.receive_scan_report(_report(1, [15.0, 10.0]))
+        # Fig. 3c: user 2 greedily prefers extender 2.
+        directive = cc.receive_scan_report(_report(2, [40.0, 20.0]))
+        assert directive.extender == 1
+
+    def test_scan_must_cover_every_extender(self):
+        cc = CentralController([60.0, 20.0])
+        with pytest.raises(ValueError):
+            cc.receive_scan_report(_report(1, [15.0]))
+
+    def test_deaf_user_rejected(self):
+        cc = CentralController([60.0])
+        with pytest.raises(ValueError, match="hears no extender"):
+            cc.receive_scan_report(_report(1, [0.0]))
+
+    def test_counters(self):
+        cc = CentralController([60.0, 20.0])
+        cc.receive_scan_report(_report(1, [15.0, 10.0]))
+        cc.receive_scan_report(_report(2, [40.0, 20.0]))
+        assert cc.stats.scan_reports == 2
+        assert cc.stats.directives_sent == 2
+        assert cc.stats.reassignments == 0  # initial placements
+
+
+class TestReconfigure:
+    def test_wolt_reconfigure_reaches_fig3_optimum(self):
+        cc = CentralController([60.0, 20.0], policy="wolt")
+        cc.receive_scan_report(_report(1, [15.0, 10.0]))
+        cc.receive_scan_report(_report(2, [40.0, 20.0]))
+        directives = cc.reconfigure()
+        # Both users start on extender 1 (their strongest).  The optimum
+        # keeps user 2 there and moves only user 1 to extender 2.
+        moves = {d.user_id: d.extender for d in directives}
+        assert moves == {1: 1}
+        assert cc.network_report().aggregate == pytest.approx(40.0)
+        assert cc.stats.reassignments == 1
+
+    def test_non_wolt_reconfigure_is_noop(self):
+        for policy in ("greedy", "rssi"):
+            cc = CentralController([60.0, 20.0], policy=policy)
+            cc.receive_scan_report(_report(1, [15.0, 10.0]))
+            assert cc.reconfigure() == []
+
+    def test_stable_reconfigure_sends_nothing(self):
+        cc = CentralController([60.0, 20.0], policy="wolt")
+        cc.receive_scan_report(_report(1, [15.0, 10.0]))
+        cc.receive_scan_report(_report(2, [40.0, 20.0]))
+        cc.reconfigure()
+        # Second pass with no changes: no directives, no handoffs.
+        assert cc.reconfigure() == []
+
+    def test_empty_controller_reconfigure(self):
+        cc = CentralController([60.0])
+        assert cc.reconfigure() == []
+
+
+class TestDisconnectAndOverhead:
+    def test_disconnect_removes_user(self):
+        cc = CentralController([60.0, 20.0])
+        cc.receive_scan_report(_report(1, [15.0, 10.0]))
+        cc.disconnect(1)
+        assert cc.connected_users == []
+        cc.disconnect(99)  # unknown id is a no-op
+
+    def test_handoff_time_accrues_only_on_moves(self):
+        cc = CentralController([60.0, 20.0], policy="wolt",
+                               handoff_outage_s=2.0)
+        cc.receive_scan_report(_report(1, [15.0, 10.0]))
+        cc.receive_scan_report(_report(2, [40.0, 20.0]))
+        assert cc.stats.handoff_time_s == 0.0
+        cc.reconfigure()  # one user moves (see Fig. 3 optimum)
+        assert cc.stats.handoff_time_s == pytest.approx(2.0)
+
+    def test_overhead_fraction(self):
+        cc = CentralController([60.0, 20.0], policy="wolt",
+                               handoff_outage_s=1.0)
+        cc.receive_scan_report(_report(1, [15.0, 10.0]))
+        cc.receive_scan_report(_report(2, [40.0, 20.0]))
+        cc.reconfigure()
+        # 1 s outage over (60 s x 2 clients) < 1% — "relatively minor".
+        assert cc.reassignment_overhead_fraction(60.0) == pytest.approx(
+            1.0 / 120.0)
+        with pytest.raises(ValueError):
+            cc.reassignment_overhead_fraction(0.0)
+
+
+class TestValidation:
+    def test_bad_policy(self):
+        with pytest.raises(ValueError):
+            CentralController([60.0], policy="magic")
+
+    def test_bad_plc_rates(self):
+        with pytest.raises(ValueError):
+            CentralController([])

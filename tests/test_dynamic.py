@@ -1,0 +1,130 @@
+"""Tests for the incremental / hysteresis WOLT controller."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic import IncrementalWolt
+
+from .conftest import random_scenario
+
+
+def _loaded_controller(rng, n_users=12, n_ext=4, **kwargs):
+    sc = random_scenario(rng, n_users, n_ext)
+    ctrl = IncrementalWolt(sc.plc_rates, **kwargs)
+    for uid in range(n_users):
+        ctrl.add_user(uid, sc.wifi_rates[uid])
+    return ctrl, sc
+
+
+class TestChurn:
+    def test_add_user_parks_on_strongest(self, rng):
+        ctrl = IncrementalWolt([100.0, 50.0])
+        j = ctrl.add_user(7, [20.0, 30.0])
+        assert j == 1
+        assert ctrl.assignment[7] == 1
+        assert ctrl.n_users == 1
+
+    def test_duplicate_user_rejected(self):
+        ctrl = IncrementalWolt([100.0])
+        ctrl.add_user(1, [10.0])
+        with pytest.raises(ValueError):
+            ctrl.add_user(1, [10.0])
+
+    def test_deaf_user_rejected(self):
+        ctrl = IncrementalWolt([100.0])
+        with pytest.raises(ValueError):
+            ctrl.add_user(1, [0.0])
+
+    def test_rate_vector_length_checked(self):
+        ctrl = IncrementalWolt([100.0, 50.0])
+        with pytest.raises(ValueError):
+            ctrl.add_user(1, [10.0])
+
+    def test_remove_user(self):
+        ctrl = IncrementalWolt([100.0])
+        ctrl.add_user(1, [10.0])
+        ctrl.remove_user(1)
+        assert ctrl.n_users == 0
+        ctrl.remove_user(99)  # unknown: no-op
+
+
+class TestReconfigure:
+    def test_empty_controller(self):
+        ctrl = IncrementalWolt([100.0])
+        outcome = ctrl.reconfigure()
+        assert outcome.moves == ()
+        assert outcome.aggregate_after == 0.0
+
+    def test_zero_threshold_tracks_wolt(self, rng):
+        ctrl, _ = _loaded_controller(rng, min_gain_mbps=0.0)
+        outcome = ctrl.reconfigure()
+        # With no hysteresis, applied moves reach at least WOLT's level
+        # minus negligible tolerance.
+        assert outcome.aggregate_after >= outcome.wolt_aggregate - 1e-6 \
+            or outcome.hysteresis_cost <= 1e-6
+
+    def test_moves_never_hurt(self, rng):
+        ctrl, _ = _loaded_controller(rng, min_gain_mbps=0.5)
+        outcome = ctrl.reconfigure()
+        assert outcome.aggregate_after >= outcome.aggregate_before - 1e-9
+
+    def test_each_move_clears_the_bar(self, rng):
+        """Every applied move gained at least min_gain_mbps."""
+        ctrl, _ = _loaded_controller(rng, min_gain_mbps=2.0)
+        outcome = ctrl.reconfigure()
+        if outcome.moves:
+            total_gain = outcome.aggregate_after - outcome.aggregate_before
+            assert total_gain >= 2.0 * len(outcome.moves) - 1e-6
+
+    def test_move_cap_enforced(self, rng):
+        ctrl, _ = _loaded_controller(rng, max_moves=1)
+        outcome = ctrl.reconfigure()
+        assert len(outcome.moves) <= 1
+        assert ctrl.total_moves <= 1
+
+    def test_high_threshold_freezes_network(self, rng):
+        ctrl, _ = _loaded_controller(rng, min_gain_mbps=1e9)
+        outcome = ctrl.reconfigure()
+        assert outcome.moves == ()
+        assert outcome.aggregate_after == pytest.approx(
+            outcome.aggregate_before)
+
+    def test_threshold_monotone_in_moves(self, rng):
+        """Raising the hysteresis bar never increases the move count."""
+        moves = []
+        for threshold in (0.0, 1.0, 5.0, 50.0):
+            ctrl, _ = _loaded_controller(np.random.default_rng(7),
+                                         min_gain_mbps=threshold)
+            moves.append(len(ctrl.reconfigure().moves))
+        assert moves == sorted(moves, reverse=True)
+
+    def test_assignment_state_updated(self, rng):
+        ctrl, _ = _loaded_controller(rng, min_gain_mbps=0.0)
+        outcome = ctrl.reconfigure()
+        for user_id, _, new_j in outcome.moves:
+            assert ctrl.assignment[user_id] == new_j
+        # aggregate_throughput() reflects the applied state.
+        assert ctrl.aggregate_throughput() == pytest.approx(
+            outcome.aggregate_after)
+
+    def test_second_reconfigure_is_stable(self, rng):
+        ctrl, _ = _loaded_controller(rng, min_gain_mbps=0.0)
+        ctrl.reconfigure()
+        second = ctrl.reconfigure()
+        # No strictly-improving moves should remain at zero threshold
+        # beyond numerical dust.
+        assert (second.aggregate_after
+                - second.aggregate_before) <= max(
+                    1e-6, 0.01 * second.aggregate_before)
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            IncrementalWolt([100.0], min_gain_mbps=-1.0)
+        with pytest.raises(ValueError):
+            IncrementalWolt([100.0], max_moves=-1)
+        with pytest.raises(ValueError):
+            IncrementalWolt([])

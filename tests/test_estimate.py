@@ -1,0 +1,127 @@
+"""Tests for channel-quality estimation and noise models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.estimate import (EwmaEstimator,
+                                estimate_rate_from_rssi_samples,
+                                noisy_scenario)
+from repro.wifi.phy import WifiPhy
+
+from .conftest import random_scenario
+
+
+class TestEwma:
+    def test_first_sample_is_estimate(self):
+        est = EwmaEstimator(alpha=0.3)
+        assert est.update(10.0) == 10.0
+        assert est.value == 10.0
+
+    def test_smoothing(self):
+        est = EwmaEstimator(alpha=0.5)
+        est.update(0.0)
+        assert est.update(10.0) == pytest.approx(5.0)
+        assert est.update(10.0) == pytest.approx(7.5)
+
+    def test_alpha_one_tracks_last_sample(self):
+        est = EwmaEstimator(alpha=1.0)
+        est.update(1.0)
+        assert est.update(9.0) == 9.0
+
+    def test_value_before_update_rejected(self):
+        with pytest.raises(ValueError):
+            EwmaEstimator().value
+
+    def test_reset(self):
+        est = EwmaEstimator()
+        est.update(5.0)
+        est.reset()
+        with pytest.raises(ValueError):
+            est.value
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            EwmaEstimator(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaEstimator(alpha=1.5)
+
+    @given(st.lists(st.floats(min_value=-90, max_value=-20), min_size=1,
+                    max_size=50))
+    @settings(max_examples=100)
+    def test_estimate_within_sample_range(self, samples):
+        est = EwmaEstimator(alpha=0.2)
+        for s in samples:
+            est.update(s)
+        assert min(samples) - 1e-9 <= est.value <= max(samples) + 1e-9
+
+
+class TestRateFromRssi:
+    def test_strong_signal_gives_top_rate(self):
+        phy = WifiPhy()
+        rate = estimate_rate_from_rssi_samples([-30.0] * 5, phy=phy)
+        assert rate == pytest.approx(
+            phy.mcs_table[-1][1] * phy.spatial_streams)
+
+    def test_weak_signal_gives_zero(self):
+        assert estimate_rate_from_rssi_samples([-95.0] * 5) == 0.0
+
+    def test_outlier_suppressed_by_smoothing(self):
+        phy = WifiPhy()
+        steady = estimate_rate_from_rssi_samples([-50.0] * 20, phy=phy)
+        with_outlier = estimate_rate_from_rssi_samples(
+            [-50.0] * 19 + [-90.0], phy=phy, alpha=0.1)
+        # One bad reading barely moves a smoothed estimate.
+        assert with_outlier >= steady * 0.7
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_rate_from_rssi_samples([])
+
+    def test_matches_phy_ladder(self):
+        """A constant RSSI stream maps exactly through the MCS ladder."""
+        phy = WifiPhy()
+        rssi = -60.0
+        expected = phy.rate_for_snr(rssi - phy.noise_floor_dbm)
+        assert estimate_rate_from_rssi_samples([rssi] * 3,
+                                               phy=phy) == expected
+
+
+class TestNoisyScenario:
+    def test_zero_noise_is_identity(self, rng):
+        sc = random_scenario(rng, 5, 3)
+        noisy = noisy_scenario(sc, rng)
+        assert np.allclose(noisy.wifi_rates, sc.wifi_rates)
+        assert np.allclose(noisy.plc_rates, sc.plc_rates)
+
+    def test_noise_perturbs_rates(self, rng):
+        sc = random_scenario(rng, 5, 3)
+        noisy = noisy_scenario(sc, rng, wifi_noise_fraction=0.2,
+                               plc_noise_fraction=0.2)
+        assert not np.allclose(noisy.wifi_rates, sc.wifi_rates)
+        assert not np.allclose(noisy.plc_rates, sc.plc_rates)
+
+    def test_reachability_preserved(self, rng):
+        sc = random_scenario(rng, 8, 4, reachable_prob=0.5)
+        noisy = noisy_scenario(sc, rng, wifi_noise_fraction=0.5)
+        assert np.array_equal(noisy.wifi_rates > 0, sc.wifi_rates > 0)
+
+    def test_negative_noise_rejected(self, rng):
+        sc = random_scenario(rng, 2, 2)
+        with pytest.raises(ValueError):
+            noisy_scenario(sc, rng, wifi_noise_fraction=-0.1)
+
+    @given(st.floats(min_value=0.01, max_value=0.5),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=50)
+    def test_noise_is_roughly_unbiased(self, level, seed):
+        """The log-normal perturbation has unit mean (many-link average
+        stays near truth)."""
+        rng = np.random.default_rng(seed)
+        sc = random_scenario(rng, 40, 10)
+        noisy = noisy_scenario(sc, rng, wifi_noise_fraction=level)
+        ratio = noisy.wifi_rates.mean() / sc.wifi_rates.mean()
+        assert 0.8 <= ratio <= 1.2

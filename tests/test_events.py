@@ -1,0 +1,110 @@
+"""Tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.events import EventQueue
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        queue = EventQueue()
+        log = []
+        queue.schedule_at(3.0, lambda: log.append("c"))
+        queue.schedule_at(1.0, lambda: log.append("a"))
+        queue.schedule_at(2.0, lambda: log.append("b"))
+        queue.run()
+        assert log == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        queue = EventQueue()
+        log = []
+        for name in "abc":
+            queue.schedule_at(5.0, lambda n=name: log.append(n))
+        queue.run()
+        assert log == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule_at(7.5, lambda: seen.append(queue.now))
+        queue.run()
+        assert seen == [7.5]
+        assert queue.now == 7.5
+
+    def test_schedule_in_relative(self):
+        queue = EventQueue(start_time=10.0)
+        handle = queue.schedule_in(2.5, lambda: None)
+        assert handle.time == 12.5
+
+    def test_past_scheduling_rejected(self):
+        queue = EventQueue(start_time=5.0)
+        with pytest.raises(ValueError):
+            queue.schedule_at(4.0, lambda: None)
+        with pytest.raises(ValueError):
+            queue.schedule_in(-1.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        queue = EventQueue()
+        log = []
+
+        def chain(n):
+            log.append(queue.now)
+            if n > 0:
+                queue.schedule_in(1.0, lambda: chain(n - 1))
+
+        queue.schedule_at(0.0, lambda: chain(3))
+        queue.run()
+        assert log == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        queue = EventQueue()
+        log = []
+        handle = queue.schedule_at(1.0, lambda: log.append("x"))
+        handle.cancel()
+        queue.run()
+        assert log == []
+
+    def test_cancel_after_fire_is_noop(self):
+        queue = EventQueue()
+        handle = queue.schedule_at(1.0, lambda: None)
+        queue.run()
+        handle.cancel()  # must not raise
+
+    def test_len_ignores_cancelled(self):
+        queue = EventQueue()
+        keep = queue.schedule_at(1.0, lambda: None)
+        drop = queue.schedule_at(2.0, lambda: None)
+        drop.cancel()
+        assert len(queue) == 1
+
+
+class TestRunUntil:
+    def test_stops_at_boundary(self):
+        queue = EventQueue()
+        log = []
+        queue.schedule_at(1.0, lambda: log.append(1))
+        queue.schedule_at(5.0, lambda: log.append(5))
+        queue.run_until(3.0)
+        assert log == [1]
+        assert queue.now == 3.0
+        queue.run_until(6.0)
+        assert log == [1, 5]
+
+    def test_boundary_inclusive(self):
+        queue = EventQueue()
+        log = []
+        queue.schedule_at(3.0, lambda: log.append(3))
+        queue.run_until(3.0)
+        assert log == [3]
+
+    def test_backwards_rejected(self):
+        queue = EventQueue(start_time=5.0)
+        with pytest.raises(ValueError):
+            queue.run_until(4.0)
+
+    def test_step_returns_false_when_empty(self):
+        assert EventQueue().step() is False

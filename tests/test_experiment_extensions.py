@@ -1,0 +1,63 @@
+"""Tests for the extension experiment modules (robustness, sweeps)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.robustness import run_robustness
+from repro.experiments.sweeps import (sweep_extenders, sweep_plc_quality,
+                                      sweep_users)
+from repro.experiments import robustness, sweeps
+
+
+class TestRobustness:
+    def test_structure(self):
+        result = run_robustness(noise_levels=(0.0, 0.2), n_trials=3,
+                                n_extenders=5, n_users=12, seed=0)
+        assert result.noise_levels == (0.0, 0.2)
+        assert set(result.mean_mbps) == {"wolt", "greedy", "rssi"}
+        assert len(result.wolt_retention) == 2
+        assert result.wolt_retention[0] == pytest.approx(1.0)
+
+    def test_wolt_reasonably_robust(self):
+        result = run_robustness(noise_levels=(0.0, 0.3), n_trials=4,
+                                n_extenders=8, n_users=20, seed=1)
+        assert result.wolt_retention[1] >= 0.7
+
+    def test_negative_levels_rejected(self):
+        with pytest.raises(ValueError):
+            run_robustness(noise_levels=(-0.1,), n_trials=1)
+
+    def test_main_formats(self):
+        # Patch a tiny run through the module-level main for coverage.
+        text = robustness.main(seed=0, n_trials=2)
+        assert "robustness" in text.lower()
+
+
+class TestSweeps:
+    def test_extender_sweep_structure(self):
+        result = sweep_extenders(extender_counts=(3, 8), n_users=12,
+                                 n_trials=2, seed=0)
+        assert result.values == (3.0, 8.0)
+        assert len(result.ratio_wolt_greedy) == 2
+        assert all(r > 0 for r in result.ratio_wolt_rssi)
+
+    def test_user_sweep_structure(self):
+        result = sweep_users(user_counts=(10, 20), n_extenders=5,
+                             n_trials=2, seed=0)
+        assert result.parameter == "n_users"
+        assert len(result.ratio_wolt_greedy) == 2
+
+    def test_plc_quality_crossover_direction(self):
+        """Scaling capacities up weakly shrinks the WOLT/Greedy gap."""
+        result = sweep_plc_quality(capacity_scales=(0.5, 8.0),
+                                   n_extenders=6, n_users=18,
+                                   n_trials=3, seed=0)
+        assert result.ratio_wolt_greedy[0] >= \
+            result.ratio_wolt_greedy[1] - 0.2
+
+    def test_main_formats(self):
+        text = sweeps.main(seed=0, n_trials=1)
+        assert "Sweep over extender count" in text
+        assert "WOLT/Greedy" in text

@@ -1,0 +1,117 @@
+"""Tests for failure injection and recovery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import Scenario, UNASSIGNED
+from repro.sim.failures import (FailureSimulation, fail_extenders,
+                                reassociate_orphans)
+
+from .conftest import random_scenario
+
+
+class TestFailExtenders:
+    def test_masks_columns(self, rng):
+        sc = random_scenario(rng, 5, 3)
+        dead = fail_extenders(sc, [1])
+        assert np.all(dead.wifi_rates[:, 1] == 0.0)
+        assert dead.plc_rates[1] == 0.0
+        # Other columns untouched.
+        assert np.allclose(dead.wifi_rates[:, 0], sc.wifi_rates[:, 0])
+
+    def test_no_failures_is_copy(self, rng):
+        sc = random_scenario(rng, 4, 2)
+        same = fail_extenders(sc, [])
+        assert np.allclose(same.wifi_rates, sc.wifi_rates)
+
+    def test_out_of_range_rejected(self, rng):
+        sc = random_scenario(rng, 4, 2)
+        with pytest.raises(ValueError):
+            fail_extenders(sc, [5])
+
+
+class TestReassociateOrphans:
+    def test_orphans_move_to_strongest_survivor(self, rng):
+        sc = random_scenario(rng, 6, 3)
+        dead = fail_extenders(sc, [0])
+        assignment = np.zeros(6, dtype=int)  # everyone on the dead one
+        recovered = reassociate_orphans(dead, assignment)
+        for user in range(6):
+            j = recovered[user]
+            assert j in (1, 2)
+            assert dead.wifi_rates[user, j] == pytest.approx(
+                dead.wifi_rates[user, 1:].max())
+
+    def test_survivor_users_stay_put(self, rng):
+        sc = random_scenario(rng, 6, 3)
+        dead = fail_extenders(sc, [0])
+        assignment = np.full(6, 2, dtype=int)
+        recovered = reassociate_orphans(dead, assignment)
+        assert recovered.tolist() == [2] * 6
+
+    def test_total_blackout_goes_offline(self):
+        sc = Scenario(wifi_rates=np.array([[10.0, 20.0]]),
+                      plc_rates=np.array([50.0, 50.0]))
+        dead = fail_extenders(sc, [0, 1])
+        recovered = reassociate_orphans(dead, [0])
+        assert recovered.tolist() == [UNASSIGNED]
+
+
+class TestFailureSimulation:
+    def _sim(self, policy="wolt", seed=0, **kwargs):
+        rng = np.random.default_rng(seed)
+        sc = random_scenario(rng, 15, 5)
+        return FailureSimulation(sc, policy,
+                                 rng=np.random.default_rng(seed + 1),
+                                 **kwargs)
+
+    def test_history_grows(self):
+        sim = self._sim()
+        history = sim.run(5)
+        assert [e.epoch for e in history] == [1, 2, 3, 4, 5]
+
+    def test_never_total_blackout(self):
+        sim = self._sim(fail_prob=1.0, recover_prob=0.0)
+        for _ in range(5):
+            sim.run_epoch()
+            assert not sim.down.all()
+
+    def test_throughput_positive_with_survivors(self):
+        sim = self._sim(fail_prob=0.3)
+        for stats in sim.run(6):
+            assert stats.aggregate_throughput > 0
+
+    def test_orphans_counted_on_failure(self):
+        sim = self._sim(policy="rssi", fail_prob=0.9, recover_prob=0.0)
+        stats = sim.run_epoch()
+        if stats.failed_extenders:
+            assert stats.orphaned_users >= 0
+
+    def test_wolt_recovers_at_least_rssi_throughput(self):
+        """Global re-solve recovers at least the orphan-fallback level
+        on average (fixed-model scoring)."""
+        means = {}
+        for policy in ("wolt", "rssi"):
+            sim = self._sim(policy=policy, seed=5, fail_prob=0.25,
+                            plc_mode="fixed")
+            means[policy] = np.mean(
+                [e.aggregate_throughput for e in sim.run(8)])
+        assert means["wolt"] >= means["rssi"] - 1e-6
+
+    def test_no_failures_full_throughput(self):
+        sim = self._sim(fail_prob=0.0)
+        first = sim.run_epoch()
+        assert first.failed_extenders == ()
+        assert first.orphaned_users == 0
+        assert first.offline_users == 0
+
+    def test_validation(self, rng):
+        sc = random_scenario(rng, 4, 2)
+        with pytest.raises(ValueError):
+            FailureSimulation(sc, "magic", rng)
+        with pytest.raises(ValueError):
+            FailureSimulation(sc, "wolt", rng, fail_prob=1.5)
+        with pytest.raises(ValueError):
+            FailureSimulation(sc, "wolt", rng).run(0)

@@ -1,0 +1,96 @@
+"""Tests for the α-fair association extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fairness import (alpha_fair_utility, solve_alpha_fair)
+from repro.core.problem import UNASSIGNED
+from repro.core.wolt import solve_wolt
+
+from .conftest import random_scenario
+
+
+class TestUtility:
+    def test_alpha_zero_is_total_throughput(self):
+        assert alpha_fair_utility([10.0, 20.0], 0.0) == pytest.approx(30.0)
+
+    def test_alpha_one_is_log(self):
+        assert alpha_fair_utility([np.e, np.e ** 2], 1.0) == \
+            pytest.approx(3.0)
+
+    def test_alpha_two_is_negative_inverse(self):
+        assert alpha_fair_utility([2.0, 4.0], 2.0) == pytest.approx(-0.75)
+
+    def test_starvation_is_finite(self):
+        assert np.isfinite(alpha_fair_utility([0.0, 10.0], 1.0))
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            alpha_fair_utility([1.0], -0.5)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100.0),
+                    min_size=2, max_size=10),
+           st.floats(min_value=0.0, max_value=4.0))
+    @settings(max_examples=100)
+    def test_equalizing_helps_for_positive_alpha(self, xs, alpha):
+        """Replacing the allocation with its mean never lowers the
+        utility (concavity), strictly for unequal inputs and alpha>0."""
+        mean = [float(np.mean(xs))] * len(xs)
+        u_mean = alpha_fair_utility(mean, alpha)
+        u_orig = alpha_fair_utility(xs, alpha)
+        assert u_mean >= u_orig - 1e-6
+
+
+class TestSolveAlphaFair:
+    def test_alpha_zero_keeps_wolt_quality(self, rng):
+        sc = random_scenario(rng, 12, 4)
+        wolt = solve_wolt(sc).aggregate_throughput
+        fair = solve_alpha_fair(sc, alpha=0.0)
+        assert fair.aggregate_throughput >= wolt - 1e-6
+
+    def test_complete_assignment(self, rng):
+        sc = random_scenario(rng, 10, 3)
+        result = solve_alpha_fair(sc, alpha=1.0)
+        assert np.all(result.assignment != UNASSIGNED)
+        assert result.alpha == 1.0
+
+    def test_fairness_improves_with_alpha(self):
+        """Across random instances, α=2 is on average at least as fair
+        as α=0 (and strictly fairer somewhere)."""
+        fair_gain = []
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            sc = random_scenario(rng, 12, 4)
+            j0 = solve_alpha_fair(sc, alpha=0.0).jain
+            j2 = solve_alpha_fair(sc, alpha=2.0).jain
+            fair_gain.append(j2 - j0)
+        assert np.mean(fair_gain) >= -0.01
+        assert max(fair_gain) > 0.0
+
+    def test_throughput_cost_of_fairness_bounded(self, rng):
+        sc = random_scenario(rng, 12, 4)
+        t0 = solve_alpha_fair(sc, alpha=0.0).aggregate_throughput
+        t1 = solve_alpha_fair(sc, alpha=1.0).aggregate_throughput
+        assert t1 >= 0.4 * t0  # proportional fairness is not ruinous
+
+    def test_warm_start_accepted(self, rng):
+        sc = random_scenario(rng, 8, 3)
+        start = solve_wolt(sc).assignment
+        result = solve_alpha_fair(sc, alpha=1.0,
+                                  initial_assignment=start)
+        assert np.all(result.assignment >= 0)
+
+    def test_bad_warm_start_rejected(self, rng):
+        sc = random_scenario(rng, 8, 3)
+        with pytest.raises(ValueError):
+            solve_alpha_fair(sc, initial_assignment=[0, 1])
+
+    def test_capacities_respected(self, rng):
+        sc = random_scenario(rng, 9, 3, capacities=True)
+        result = solve_alpha_fair(sc, alpha=1.0)
+        counts = np.bincount(result.assignment, minlength=3)
+        assert np.all(counts <= sc.capacities)

@@ -1,0 +1,96 @@
+"""Tests for fairness and per-user comparison metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.metrics import (bottom_k_users, compare_per_user,
+                               jain_fairness, top_k_users)
+
+
+class TestJainFairness:
+    def test_perfect_equality(self):
+        assert jain_fairness([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_user(self):
+        assert jain_fairness([42.0]) == pytest.approx(1.0)
+
+    def test_total_starvation_limit(self):
+        # One user takes everything among n: index -> 1/n.
+        assert jain_fairness([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_and_zero(self):
+        assert jain_fairness([]) == 0.0
+        assert jain_fairness([0.0, 0.0]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jain_fairness([-1.0, 2.0])
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e3), min_size=1,
+                    max_size=30))
+    @settings(max_examples=200)
+    def test_bounds(self, xs):
+        f = jain_fairness(xs)
+        assert 0.0 <= f <= 1.0 + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e3), min_size=1,
+                    max_size=30), st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=100)
+    def test_scale_invariance(self, xs, scale):
+        assert jain_fairness(xs) == pytest.approx(
+            jain_fairness([x * scale for x in xs]))
+
+
+class TestComparePerUser:
+    def test_fig4b_style_fractions(self):
+        baseline = [10.0, 10.0, 10.0, 10.0]
+        candidate = [15.0, 9.0, 10.0, 20.0]
+        cmp = compare_per_user(baseline, candidate)
+        assert cmp.improved_fraction == pytest.approx(0.5)
+        assert cmp.degraded_fraction == pytest.approx(0.25)
+        assert cmp.unchanged_fraction == pytest.approx(0.25)
+        assert cmp.deltas.tolist() == [5.0, -1.0, 0.0, 10.0]
+
+    def test_tolerance_band(self):
+        cmp = compare_per_user([10.0], [10.0 + 1e-9])
+        assert cmp.unchanged_fraction == 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            compare_per_user([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compare_per_user([], [])
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1,
+                    max_size=20), st.integers(0, 2**31 - 1))
+    @settings(max_examples=100)
+    def test_fractions_partition(self, baseline, seed):
+        rng = np.random.default_rng(seed)
+        candidate = rng.uniform(0, 100, len(baseline))
+        cmp = compare_per_user(baseline, candidate)
+        total = (cmp.improved_fraction + cmp.degraded_fraction
+                 + cmp.unchanged_fraction)
+        assert total == pytest.approx(1.0)
+
+
+class TestTopBottomK:
+    def test_bottom_k(self):
+        assert bottom_k_users([5.0, 1.0, 3.0], 2).tolist() == [1, 2]
+
+    def test_top_k(self):
+        assert top_k_users([5.0, 1.0, 3.0], 2).tolist() == [0, 2]
+
+    def test_k_bounds(self):
+        with pytest.raises(ValueError):
+            bottom_k_users([1.0], 0)
+        with pytest.raises(ValueError):
+            top_k_users([1.0], 2)
+
+    def test_stability_on_ties(self):
+        assert bottom_k_users([2.0, 2.0, 2.0], 2).tolist() == [0, 1]

@@ -1,0 +1,71 @@
+"""Tests for the brute-force optimal search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimal import (brute_force_optimal, search_space_size)
+from repro.core.problem import Scenario
+from repro.net.engine import evaluate
+
+from .conftest import random_scenario
+
+
+class TestBruteForce:
+    def test_fig3_optimum(self, fig3_scenario):
+        res = brute_force_optimal(fig3_scenario)
+        assert res.assignment.tolist() == [1, 0]
+        assert res.aggregate_throughput == pytest.approx(40.0)
+        assert res.explored == 4
+
+    def test_search_space_size(self, fig3_scenario):
+        assert search_space_size(fig3_scenario) == 4
+
+    def test_reachability_prunes_space(self):
+        wifi = np.array([[10.0, 0.0], [10.0, 20.0]])
+        sc = Scenario(wifi_rates=wifi, plc_rates=np.array([50.0, 50.0]))
+        assert search_space_size(sc) == 2
+
+    def test_cap_enforced(self, rng):
+        sc = random_scenario(rng, 25, 8)
+        with pytest.raises(ValueError, match="exceeds the cap"):
+            brute_force_optimal(sc)
+
+    def test_cap_override(self, rng):
+        sc = random_scenario(rng, 5, 3)
+        res = brute_force_optimal(sc, max_combinations=3**5)
+        assert res.explored == 3**5
+
+    def test_unreachable_user_rejected(self):
+        sc = Scenario(wifi_rates=np.array([[0.0]]), plc_rates=np.ones(1))
+        with pytest.raises(ValueError, match="no reachable extender"):
+            brute_force_optimal(sc)
+
+    def test_capacity_filtering(self):
+        wifi = np.full((2, 2), 50.0)
+        sc = Scenario(wifi_rates=wifi, plc_rates=np.array([100.0, 10.0]),
+                      capacities=[1, 1])
+        res = brute_force_optimal(sc)
+        counts = np.bincount(res.assignment, minlength=2)
+        assert np.all(counts <= 1)
+
+    def test_infeasible_capacity_raises(self):
+        wifi = np.full((2, 1), 50.0)
+        sc = Scenario(wifi_rates=wifi, plc_rates=np.array([100.0]),
+                      capacities=[1])
+        with pytest.raises(ValueError, match="no capacity-feasible"):
+            brute_force_optimal(sc)
+
+    @given(st.integers(2, 6), st.integers(2, 3), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_dominates_any_random_assignment(self, n_users, n_ext, seed):
+        rng = np.random.default_rng(seed)
+        sc = random_scenario(rng, n_users, n_ext)
+        res = brute_force_optimal(sc)
+        for _ in range(10):
+            assignment = rng.integers(0, n_ext, size=n_users)
+            assert res.aggregate_throughput >= \
+                evaluate(sc, assignment).aggregate - 1e-9

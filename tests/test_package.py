@@ -1,0 +1,61 @@
+"""Public-API surface tests: everything advertised is importable."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_no_missing_headliners(self):
+        for name in ("Scenario", "solve_wolt", "evaluate",
+                     "rssi_assignment", "greedy_assignment",
+                     "enterprise_floor", "EmulatedTestbed",
+                     "OnlineSimulation", "jain_fairness"):
+            assert name in repro.__all__
+
+
+@pytest.mark.parametrize("module", [
+    "repro.core", "repro.wifi", "repro.plc", "repro.net", "repro.sim",
+    "repro.testbed", "repro.experiments", "repro.cli",
+])
+def test_subpackage_all_resolves(module):
+    mod = importlib.import_module(module)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{module}.{name}"
+
+
+@pytest.mark.parametrize("module", [
+    "repro.core.problem", "repro.core.hungarian", "repro.core.phase1",
+    "repro.core.phase2", "repro.core.wolt", "repro.core.baselines",
+    "repro.core.optimal", "repro.core.controller", "repro.core.dynamic",
+    "repro.core.fairness", "repro.core.bounds", "repro.core.partition",
+    "repro.wifi.phy", "repro.wifi.mac", "repro.wifi.sharing",
+    "repro.wifi.channels", "repro.wifi.rate_adaptation",
+    "repro.plc.sharing", "repro.plc.mac", "repro.plc.channel",
+    "repro.plc.homeplug", "repro.plc.noise", "repro.plc.qos",
+    "repro.net.engine", "repro.net.topology", "repro.net.metrics",
+    "repro.net.estimate", "repro.net.visualize",
+    "repro.sim.events", "repro.sim.dynamics", "repro.sim.runner",
+    "repro.sim.traffic", "repro.sim.mobility", "repro.sim.failures",
+    "repro.sim.workload", "repro.sim.trace",
+    "repro.testbed.devices", "repro.testbed.measurement",
+    "repro.testbed.calibration",
+    "repro.experiments.fig2", "repro.experiments.fig3",
+    "repro.experiments.fig4", "repro.experiments.fig5",
+    "repro.experiments.fig6", "repro.experiments.robustness",
+    "repro.experiments.sweeps", "repro.experiments.common",
+])
+def test_every_module_has_docstring(module):
+    mod = importlib.import_module(module)
+    assert mod.__doc__ and len(mod.__doc__) > 40, module

@@ -1,0 +1,109 @@
+"""Tests for Phase I (the relaxed assignment problem, Theorem 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.core.phase1 import phase1_utilities, solve_phase1
+from repro.core.problem import UNASSIGNED, Scenario
+
+from .conftest import random_scenario
+
+
+class TestUtilities:
+    def test_eq12_definition(self, fig3_scenario):
+        u = phase1_utilities(fig3_scenario)
+        # c = [60, 20], |A| = 2 -> fair PLC shares [30, 10].
+        assert u[0].tolist() == [15.0, 10.0]   # min(30,15), min(10,10)
+        assert u[1].tolist() == [30.0, 10.0]   # min(30,40), min(10,20)
+
+    def test_unreachable_pairs_forbidden(self):
+        sc = Scenario(wifi_rates=np.array([[0.0, 20.0]]),
+                      plc_rates=np.array([60.0, 20.0]))
+        u = phase1_utilities(sc)
+        assert u[0, 0] == -np.inf
+        assert np.isfinite(u[0, 1])
+
+
+class TestSolvePhase1:
+    def test_fig3_anchors(self, fig3_scenario):
+        res = solve_phase1(fig3_scenario)
+        # Optimal Phase I: user 2 -> ext 1 (30), user 1 -> ext 2 (10).
+        assert res.assignment.tolist() == [1, 0]
+        assert res.objective == pytest.approx(40.0)
+        assert res.anchored_users.tolist() == [0, 1]
+        assert res.unmatched_extenders.size == 0
+
+    def test_one_user_per_extender(self, rng):
+        sc = random_scenario(rng, 20, 6)
+        res = solve_phase1(sc)
+        attached = res.assignment[res.assignment != UNASSIGNED]
+        assert len(attached) == 6
+        assert sorted(attached.tolist()) == list(range(6))
+
+    def test_fewer_users_than_extenders(self, rng):
+        sc = random_scenario(rng, 3, 8)
+        res = solve_phase1(sc)
+        attached = res.assignment[res.assignment != UNASSIGNED]
+        assert len(attached) == 3
+        assert res.unmatched_extenders.size == 5
+
+    def test_unreachable_extender_left_unmatched(self):
+        wifi = np.array([[10.0, 0.0], [20.0, 0.0], [30.0, 0.0]])
+        sc = Scenario(wifi_rates=wifi, plc_rates=np.array([50.0, 50.0]))
+        res = solve_phase1(sc)
+        assert res.unmatched_extenders.tolist() == [1]
+        attached = res.assignment[res.assignment != UNASSIGNED]
+        assert attached.tolist() == [0]
+
+    def test_hall_violation_falls_back(self):
+        """Two extenders reachable only through the same single user."""
+        wifi = np.array([[10.0, 10.0], [0.0, 0.0], [0.0, 0.0]])
+        # Users 2,3 unreachable everywhere would break Scenario semantics
+        # in Phase II, but Phase I itself must still anchor extenders.
+        sc = Scenario(wifi_rates=wifi, plc_rates=np.array([50.0, 50.0]))
+        res = solve_phase1(sc)
+        attached = res.assignment[res.assignment != UNASSIGNED]
+        assert len(attached) == 1  # only user 0 can anchor anything
+
+    def test_no_users(self):
+        sc = Scenario(wifi_rates=np.empty((0, 2)),
+                      plc_rates=np.array([10.0, 20.0]))
+        res = solve_phase1(sc)
+        assert res.anchored_users.size == 0
+        assert res.unmatched_extenders.tolist() == [0, 1]
+
+    def test_wrong_utility_shape_rejected(self, fig3_scenario):
+        with pytest.raises(ValueError):
+            solve_phase1(fig3_scenario, utilities=np.ones((3, 3)))
+
+    @given(st.integers(2, 15), st.integers(1, 8), st.integers(0, 2**31 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_scipy_certified_optimum(self, n_users, n_ext, seed):
+        rng = np.random.default_rng(seed)
+        sc = random_scenario(rng, n_users, n_ext)
+        res = solve_phase1(sc)
+        u = phase1_utilities(sc)
+        if n_users >= n_ext:
+            ref_rows, ref_cols = linear_sum_assignment(u.T, maximize=True)
+            ref = u.T[ref_rows, ref_cols].sum()
+        else:
+            ref_rows, ref_cols = linear_sum_assignment(u, maximize=True)
+            ref = u[ref_rows, ref_cols].sum()
+        assert res.objective == pytest.approx(float(ref))
+
+    @given(st.integers(2, 12), st.integers(2, 6), st.integers(0, 2**31 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_anchors_consistent_with_assignment(self, n_users, n_ext, seed):
+        rng = np.random.default_rng(seed)
+        sc = random_scenario(rng, n_users, n_ext, reachable_prob=0.8)
+        res = solve_phase1(sc)
+        anchored = np.flatnonzero(res.assignment != UNASSIGNED)
+        assert anchored.tolist() == res.anchored_users.tolist()
+        # Anchors only sit on reachable extenders.
+        for i in anchored:
+            assert sc.wifi_rates[i, res.assignment[i]] > 0

@@ -1,0 +1,106 @@
+"""Tests for the power-line wiring topology model."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.plc.channel import PANEL, PowerlineNetwork, random_building
+
+
+def _tiny_network() -> PowerlineNetwork:
+    graph = nx.Graph()
+    graph.add_node(PANEL, kind="panel")
+    graph.add_node("junction-0", kind="junction")
+    graph.add_node("outlet-0", kind="outlet")
+    graph.add_node("outlet-1", kind="outlet")
+    graph.add_edge(PANEL, "junction-0", length_m=20.0)
+    graph.add_edge("junction-0", "outlet-0", length_m=5.0)
+    graph.add_edge("junction-0", "outlet-1", length_m=30.0)
+    return PowerlineNetwork(graph=graph)
+
+
+class TestPowerlineNetwork:
+    def test_outlets_sorted(self):
+        net = _tiny_network()
+        assert net.outlets == ["outlet-0", "outlet-1"]
+
+    def test_path_attenuation_accumulates(self):
+        net = _tiny_network()
+        att = net.path_attenuation_db("outlet-0")
+        expected = (25.0 * net.cable_loss_db_per_m
+                    + net.junction_loss_db + 2 * net.outlet_loss_db)
+        assert att == pytest.approx(expected)
+
+    def test_longer_drop_attenuates_more(self):
+        net = _tiny_network()
+        assert (net.path_attenuation_db("outlet-1")
+                > net.path_attenuation_db("outlet-0"))
+
+    def test_nearer_outlet_has_better_rate(self):
+        net = _tiny_network()
+        assert net.rate_of("outlet-0") >= net.rate_of("outlet-1")
+
+    def test_rates_vector_matches_scalars(self):
+        net = _tiny_network()
+        rates = net.rates()
+        assert rates[0] == pytest.approx(net.rate_of("outlet-0"))
+        assert rates[1] == pytest.approx(net.rate_of("outlet-1"))
+
+    def test_unknown_outlet_rejected(self):
+        with pytest.raises(KeyError):
+            _tiny_network().path_attenuation_db("outlet-99")
+
+    def test_missing_panel_rejected(self):
+        graph = nx.Graph()
+        graph.add_node("outlet-0", kind="outlet")
+        with pytest.raises(ValueError, match="panel"):
+            PowerlineNetwork(graph=graph)
+
+    def test_missing_length_rejected(self):
+        graph = nx.Graph()
+        graph.add_node(PANEL, kind="panel")
+        graph.add_node("outlet-0", kind="outlet")
+        graph.add_edge(PANEL, "outlet-0")
+        with pytest.raises(ValueError, match="length_m"):
+            PowerlineNetwork(graph=graph)
+
+
+class TestRandomBuilding:
+    def test_outlet_count(self, rng):
+        building = random_building(12, rng)
+        assert len(building.outlets) == 12
+
+    def test_invalid_outlet_count(self, rng):
+        with pytest.raises(ValueError):
+            random_building(0, rng)
+
+    def test_deterministic_given_seed(self):
+        a = random_building(8, np.random.default_rng(5)).rates()
+        b = random_building(8, np.random.default_rng(5)).rates()
+        assert np.allclose(a, b)
+
+    def test_rates_span_a_realistic_range(self):
+        """Across many buildings, outlet rates spread like Fig. 2b."""
+        rng = np.random.default_rng(0)
+        rates = np.concatenate(
+            [random_building(10, rng).rates() for _ in range(10)])
+        assert rates.min() >= 0.0
+        assert rates.max() <= 250.0
+        assert rates.std() > 10.0  # genuine diversity between outlets
+
+    @given(st.integers(1, 20), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_every_outlet_connected_to_panel(self, n, seed):
+        building = random_building(n, np.random.default_rng(seed))
+        for outlet in building.outlets:
+            assert building.path_attenuation_db(outlet) > 0
+
+    def test_custom_circuit_count(self, rng):
+        building = random_building(9, rng, n_circuits=3)
+        junctions = [node for node, data in building.graph.nodes(data=True)
+                     if data.get("kind") == "junction"]
+        assert len(junctions) == 3

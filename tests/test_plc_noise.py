@@ -1,0 +1,111 @@
+"""Tests for the time-varying PLC noise / capacity model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.plc.noise import NoiseProcess, TimeVaryingPlc
+
+
+class TestNoiseProcess:
+    def test_starts_at_mean(self):
+        proc = NoiseProcess(mean_db=3.0)
+        assert proc.excess_noise_db == 3.0
+
+    def test_never_negative(self):
+        proc = NoiseProcess(mean_db=0.0, sigma_db=5.0)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            assert proc.step(rng) >= 0.0
+
+    def test_mean_reversion(self):
+        """Long-run average stays near the configured mean."""
+        proc = NoiseProcess(mean_db=5.0, sigma_db=1.0, impulse_prob=0.0)
+        rng = np.random.default_rng(1)
+        samples = [proc.step(rng) for _ in range(3000)]
+        assert np.mean(samples[500:]) == pytest.approx(5.0, abs=1.0)
+
+    def test_impulses_raise_noise(self):
+        quiet = NoiseProcess(sigma_db=0.0, impulse_prob=0.0)
+        bursty = NoiseProcess(sigma_db=0.0, impulse_prob=0.5,
+                              impulse_db=20.0)
+        rng_a, rng_b = (np.random.default_rng(2) for _ in range(2))
+        quiet_mean = np.mean([quiet.step(rng_a) for _ in range(500)])
+        bursty_mean = np.mean([bursty.step(rng_b) for _ in range(500)])
+        assert bursty_mean > quiet_mean + 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseProcess(reversion=0.0)
+        with pytest.raises(ValueError):
+            NoiseProcess(sigma_db=-1.0)
+        with pytest.raises(ValueError):
+            NoiseProcess(impulse_prob=1.5)
+
+
+class TestTimeVaryingPlc:
+    def test_best_case_matches_quiescent(self):
+        rng = np.random.default_rng(0)
+        model = TimeVaryingPlc([30.0, 50.0], rng)
+        best = model.best_case_capacities()
+        assert best[0] > best[1]  # less attenuation, more capacity
+
+    def test_noise_only_reduces_capacity(self):
+        rng = np.random.default_rng(1)
+        model = TimeVaryingPlc([30.0, 40.0, 50.0], rng)
+        best = model.best_case_capacities()
+        for _ in range(50):
+            caps = model.step()
+            assert np.all(caps <= best + 1e-9)
+            assert np.all(caps >= 0.0)
+
+    def test_run_shape(self):
+        rng = np.random.default_rng(2)
+        model = TimeVaryingPlc([30.0, 40.0], rng)
+        trajectory = model.run(20)
+        assert trajectory.shape == (20, 2)
+
+    def test_capacity_actually_varies(self):
+        rng = np.random.default_rng(3)
+        model = TimeVaryingPlc([45.0] * 3, rng)
+        trajectory = model.run(50)
+        assert trajectory.std(axis=0).max() > 0.0
+
+    def test_custom_noise_processes(self):
+        rng = np.random.default_rng(4)
+        silent = [NoiseProcess(sigma_db=0.0, impulse_prob=0.0)
+                  for _ in range(2)]
+        model = TimeVaryingPlc([30.0, 40.0], rng, noise=silent)
+        trajectory = model.run(10)
+        # Zero-variance noise: capacity constant at best case.
+        assert np.allclose(trajectory, model.best_case_capacities())
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            TimeVaryingPlc([], rng)
+        with pytest.raises(ValueError):
+            TimeVaryingPlc([-5.0], rng)
+        with pytest.raises(ValueError):
+            TimeVaryingPlc([30.0], rng, noise=[NoiseProcess()] * 2)
+        with pytest.raises(ValueError):
+            TimeVaryingPlc([30.0], rng).run(0)
+
+    def test_stale_association_story(self):
+        """The motivating behaviour: capacities drift enough that a
+        capacity ordering measured at epoch 0 eventually flips."""
+        rng = np.random.default_rng(7)
+        model = TimeVaryingPlc([40.0, 43.0], rng,
+                               noise=[NoiseProcess(sigma_db=3.0,
+                                                   impulse_prob=0.2),
+                                      NoiseProcess(sigma_db=3.0,
+                                                   impulse_prob=0.2)])
+        initial = model.capacities()
+        flipped = False
+        for _ in range(100):
+            caps = model.step()
+            if (caps[0] - caps[1]) * (initial[0] - initial[1]) < 0:
+                flipped = True
+                break
+        assert flipped

@@ -1,0 +1,117 @@
+"""Tests for ARF rate adaptation against the PHY's MCS ladder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wifi.phy import MCS_TABLE_80211N_20MHZ, WifiPhy
+from repro.wifi.rate_adaptation import (ArfRateController,
+                                        frame_success_probability,
+                                        probe_rate)
+
+
+class TestSuccessModel:
+    def test_half_at_threshold(self):
+        threshold = MCS_TABLE_80211N_20MHZ[3][0]
+        assert frame_success_probability(threshold, 3) == pytest.approx(
+            0.5)
+
+    def test_monotone_in_snr(self):
+        probs = [frame_success_probability(snr, 4)
+                 for snr in (5.0, 10.0, 15.0, 20.0, 25.0)]
+        assert probs == sorted(probs)
+
+    def test_high_margin_near_certain(self):
+        assert frame_success_probability(40.0, 0) > 0.99
+
+    def test_invalid_index(self):
+        with pytest.raises(ValueError):
+            frame_success_probability(10.0, 99)
+
+
+class TestArfController:
+    def test_starts_at_lowest(self):
+        assert ArfRateController().rate_mbps == \
+            MCS_TABLE_80211N_20MHZ[0][1]
+
+    def test_steps_up_after_successes(self):
+        ctrl = ArfRateController(up_threshold=3)
+        for _ in range(3):
+            ctrl.record(True)
+        assert ctrl.mcs_index == 1
+
+    def test_steps_down_after_failures(self):
+        ctrl = ArfRateController(up_threshold=1, down_threshold=2,
+                                 mcs_index=4)
+        ctrl.record(False)
+        assert ctrl.mcs_index == 4
+        ctrl.record(False)
+        assert ctrl.mcs_index == 3
+
+    def test_failure_resets_success_streak(self):
+        ctrl = ArfRateController(up_threshold=3)
+        ctrl.record(True)
+        ctrl.record(True)
+        ctrl.record(False)
+        ctrl.record(True)
+        ctrl.record(True)
+        assert ctrl.mcs_index == 0  # streak broken, never reached 3
+
+    def test_clamped_at_ladder_ends(self):
+        ctrl = ArfRateController(up_threshold=1, down_threshold=1)
+        for _ in range(50):
+            ctrl.record(True)
+        assert ctrl.mcs_index == len(MCS_TABLE_80211N_20MHZ) - 1
+        for _ in range(50):
+            ctrl.record(False)
+        assert ctrl.mcs_index == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArfRateController(up_threshold=0)
+        with pytest.raises(ValueError):
+            ArfRateController(mcs_index=99)
+
+
+class TestProbeRate:
+    def test_tracks_ideal_ladder_at_high_snr(self):
+        """At generous SNR, ARF's delivered rate approaches the ideal
+        MCS lookup (within ~25%, paying for occasional probing dips)."""
+        phy = WifiPhy(spatial_streams=1)
+        rng = np.random.default_rng(0)
+        snr = 35.0
+        probed = probe_rate(snr, rng)
+        ideal = phy.rate_for_snr(snr)
+        assert probed == pytest.approx(ideal, rel=0.25)
+
+    def test_zero_at_hopeless_snr(self):
+        rng = np.random.default_rng(1)
+        assert probe_rate(-20.0, rng) < 1.0
+
+    def test_monotone_in_snr_statistically(self):
+        rng = np.random.default_rng(2)
+        rates = [probe_rate(snr, rng) for snr in (5.0, 15.0, 25.0, 35.0)]
+        assert rates == sorted(rates)
+
+    def test_spatial_streams_multiply(self):
+        r1 = probe_rate(30.0, np.random.default_rng(3),
+                        spatial_streams=1)
+        r2 = probe_rate(30.0, np.random.default_rng(3),
+                        spatial_streams=2)
+        assert r2 == pytest.approx(2 * r1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            probe_rate(10.0, np.random.default_rng(0), n_frames=10,
+                       warmup_frames=10)
+
+    @given(st.floats(min_value=0.0, max_value=40.0),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_never_exceeds_ladder_top(self, snr, seed):
+        rate = probe_rate(snr, np.random.default_rng(seed),
+                          n_frames=1200, warmup_frames=200)
+        assert 0.0 <= rate <= MCS_TABLE_80211N_20MHZ[-1][1] + 1e-9

@@ -1,0 +1,91 @@
+"""Tests for trace recording and replay."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.problem import Scenario
+from repro.sim.dynamics import EpochStats
+from repro.sim.trace import (load_history, load_scenario, save_history,
+                             save_scenario)
+
+from .conftest import random_scenario
+
+
+def _epoch(i: int) -> EpochStats:
+    return EpochStats(epoch=i, n_users=10 * i, arrivals=5, departures=2,
+                      reassignments=3, aggregate_throughput=100.0 + i,
+                      jain_fairness=0.7)
+
+
+class TestHistoryRoundTrip:
+    def test_round_trip(self, tmp_path):
+        histories = {"wolt": [_epoch(1), _epoch(2)], "greedy": [_epoch(1)]}
+        path = tmp_path / "trace.json"
+        save_history(path, histories)
+        loaded = load_history(path)
+        assert loaded == histories
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 1, "kind": "scenario"}))
+        with pytest.raises(ValueError, match="epoch-history"):
+            load_history(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99, "kind":
+                                    "epoch-history", "policies": {}}))
+        with pytest.raises(ValueError, match="version"):
+            load_history(path)
+
+    def test_from_real_simulation(self, tmp_path):
+        from repro.sim.runner import run_online_comparison
+
+        histories = run_online_comparison(1, 3, 4, seed=0)
+        path = tmp_path / "sim.json"
+        save_history(path, histories)
+        loaded = load_history(path)
+        assert loaded == {k: list(v) for k, v in histories.items()}
+
+
+class TestScenarioRoundTrip:
+    def test_round_trip_minimal(self, tmp_path, rng):
+        scenario = random_scenario(rng, 5, 3)
+        path = tmp_path / "scenario.json"
+        save_scenario(path, scenario)
+        loaded = load_scenario(path)
+        assert np.allclose(loaded.wifi_rates, scenario.wifi_rates)
+        assert np.allclose(loaded.plc_rates, scenario.plc_rates)
+        assert loaded.capacities is None
+
+    def test_round_trip_full(self, tmp_path):
+        scenario = Scenario(wifi_rates=np.ones((2, 2)),
+                            plc_rates=np.array([5.0, 6.0]),
+                            capacities=[1, 2],
+                            user_ids=np.array([10, 20]))
+        path = tmp_path / "scenario.json"
+        save_scenario(path, scenario)
+        loaded = load_scenario(path)
+        assert loaded.capacities.tolist() == [1, 2]
+        assert loaded.user_ids.tolist() == [10, 20]
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 1,
+                                    "kind": "epoch-history"}))
+        with pytest.raises(ValueError, match="scenario"):
+            load_scenario(path)
+
+    def test_loaded_scenario_is_solvable(self, tmp_path, rng):
+        from repro.core.wolt import solve_wolt
+
+        scenario = random_scenario(rng, 6, 3)
+        path = tmp_path / "scenario.json"
+        save_scenario(path, scenario)
+        result = solve_wolt(load_scenario(path))
+        reference = solve_wolt(scenario)
+        assert result.assignment.tolist() == reference.assignment.tolist()

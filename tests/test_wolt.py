@@ -1,0 +1,108 @@
+"""Tests for the complete WOLT algorithm (Alg. 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import greedy_assignment, rssi_assignment
+from repro.core.optimal import brute_force_optimal
+from repro.core.problem import UNASSIGNED
+from repro.core.wolt import solve_wolt
+from repro.net.engine import evaluate
+
+from .conftest import random_scenario
+
+
+class TestFig3:
+    def test_wolt_finds_the_optimum(self, fig3_scenario):
+        res = solve_wolt(fig3_scenario)
+        assert res.assignment.tolist() == [1, 0]
+        assert res.aggregate_throughput == pytest.approx(40.0)
+
+    def test_wolt_beats_both_baselines(self, fig3_scenario):
+        wolt = solve_wolt(fig3_scenario).aggregate_throughput
+        rssi = evaluate(fig3_scenario,
+                        rssi_assignment(fig3_scenario)).aggregate
+        greedy = evaluate(fig3_scenario,
+                          greedy_assignment(fig3_scenario)).aggregate
+        assert wolt > greedy > rssi
+
+
+class TestAlgorithmContract:
+    def test_complete_assignment(self, rng):
+        sc = random_scenario(rng, 25, 6)
+        res = solve_wolt(sc)
+        assert np.all(res.assignment != UNASSIGNED)
+
+    def test_anchors_are_phase1_users(self, rng):
+        sc = random_scenario(rng, 25, 6)
+        res = solve_wolt(sc)
+        assert res.anchored_users.tolist() == \
+            res.phase1.anchored_users.tolist()
+        for user in res.anchored_users:
+            assert res.assignment[user] == res.phase1.assignment[user]
+
+    def test_report_matches_assignment(self, rng):
+        sc = random_scenario(rng, 15, 4)
+        res = solve_wolt(sc)
+        ref = evaluate(sc, res.assignment, require_complete=True)
+        assert res.aggregate_throughput == pytest.approx(ref.aggregate)
+
+    def test_continuous_phase2_variant(self, rng):
+        sc = random_scenario(rng, 10, 3)
+        res = solve_wolt(sc, phase2_solver="continuous", rng=rng)
+        assert np.all(res.assignment != UNASSIGNED)
+
+    def test_unknown_solver_rejected(self, fig3_scenario):
+        with pytest.raises(ValueError, match="unknown phase2_solver"):
+            solve_wolt(fig3_scenario, phase2_solver="magic")
+
+    def test_deterministic(self, rng):
+        sc = random_scenario(rng, 20, 5)
+        a = solve_wolt(sc).assignment
+        b = solve_wolt(sc).assignment
+        assert a.tolist() == b.tolist()
+
+    @given(st.integers(3, 8), st.integers(2, 3), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_never_exceeds_and_tracks_optimal(self, n_users, n_ext, seed):
+        """WOLT is a heuristic for an NP-hard problem (Theorem 1).
+
+        It must never beat the certified optimum, and on tiny dense
+        instances it can drop to ~0.55x (Phase I pins one user per
+        extender; Phase II ignores the PLC side by design).  The paper
+        only claims optimality on the Fig. 3 study; its headline claims
+        are against Greedy/RSSI at scale.
+        """
+        rng = np.random.default_rng(seed)
+        sc = random_scenario(rng, n_users, n_ext)
+        wolt = solve_wolt(sc).aggregate_throughput
+        opt = brute_force_optimal(sc).aggregate_throughput
+        assert wolt <= opt + 1e-6
+        assert wolt >= 0.5 * opt
+
+    def test_mean_optimality_over_many_seeds(self):
+        """Mean WOLT/optimal ratio stays above 0.8 on small instances."""
+        ratios = []
+        for seed in range(60):
+            rng = np.random.default_rng(seed)
+            sc = random_scenario(rng, int(rng.integers(3, 8)),
+                                 int(rng.integers(2, 4)))
+            wolt = solve_wolt(sc).aggregate_throughput
+            opt = brute_force_optimal(sc).aggregate_throughput
+            ratios.append(wolt / opt)
+        assert np.mean(ratios) > 0.8
+
+    @given(st.integers(4, 15), st.integers(2, 5), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_wolt_capacity_feasible(self, n_users, n_ext, seed):
+        rng = np.random.default_rng(seed)
+        sc = random_scenario(rng, n_users, n_ext, capacities=True)
+        if int(sc.capacities.sum()) < n_users:
+            return  # infeasible instance, not WOLT's contract
+        res = solve_wolt(sc)
+        counts = np.bincount(res.assignment, minlength=n_ext)
+        assert np.all(counts <= sc.capacities)

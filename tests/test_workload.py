@@ -1,0 +1,121 @@
+"""Tests for the hotspot and diurnal workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.workload import DiurnalProfile, hotspot_positions
+
+
+class TestHotspotPositions:
+    def test_within_bounds(self, rng):
+        xy = hotspot_positions(300, 100.0, 60.0, rng)
+        assert xy.shape == (300, 2)
+        assert np.all(xy[:, 0] >= 0) and np.all(xy[:, 0] <= 100.0)
+        assert np.all(xy[:, 1] >= 0) and np.all(xy[:, 1] <= 60.0)
+
+    def test_clustering_is_real(self, rng):
+        """Hotspot placement concentrates users more than uniform."""
+        hot = hotspot_positions(500, 100.0, 100.0, rng,
+                                hotspot_fraction=1.0,
+                                hotspot_sigma_m=5.0, n_hotspots=2)
+        uniform = np.column_stack([rng.uniform(0, 100, 500),
+                                   rng.uniform(0, 100, 500)])
+        # Mean nearest-neighbour distance shrinks under clustering.
+        def mean_nn(xy):
+            d = np.sqrt(((xy[:, None, :] - xy[None, :, :]) ** 2
+                         ).sum(-1))
+            np.fill_diagonal(d, np.inf)
+            return d.min(axis=1).mean()
+
+        assert mean_nn(hot) < 0.5 * mean_nn(uniform)
+
+    def test_fraction_zero_is_uniformish(self, rng):
+        xy = hotspot_positions(400, 100.0, 100.0, rng,
+                               hotspot_fraction=0.0)
+        # Quadrant occupancy roughly balanced.
+        quadrant = (xy[:, 0] > 50).astype(int) * 2 + (xy[:, 1] > 50)
+        counts = np.bincount(quadrant, minlength=4)
+        assert counts.min() > 50
+
+    def test_explicit_centers(self, rng):
+        centers = np.array([[10.0, 10.0]])
+        xy = hotspot_positions(100, 100.0, 100.0, rng,
+                               hotspot_fraction=1.0,
+                               hotspot_sigma_m=2.0, centers=centers)
+        assert np.median(np.hypot(xy[:, 0] - 10, xy[:, 1] - 10)) < 6.0
+
+    def test_zero_users(self, rng):
+        assert hotspot_positions(0, 10.0, 10.0, rng).shape == (0, 2)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            hotspot_positions(-1, 10, 10, rng)
+        with pytest.raises(ValueError):
+            hotspot_positions(5, 10, 10, rng, hotspot_fraction=1.5)
+        with pytest.raises(ValueError):
+            hotspot_positions(5, 10, 10, rng, hotspot_sigma_m=0.0)
+        with pytest.raises(ValueError):
+            hotspot_positions(5, 10, 10, rng, n_hotspots=0)
+        with pytest.raises(ValueError):
+            hotspot_positions(5, 10, 10, rng,
+                              centers=np.ones((2, 3)))
+
+
+class TestDiurnalProfile:
+    def test_midday_peak(self):
+        profile = DiurnalProfile()
+        assert profile.multiplier(13.0) > profile.multiplier(8.5)
+        assert profile.multiplier(13.0) == pytest.approx(
+            profile.peak_multiplier, rel=0.05)
+
+    def test_off_hours_floor(self):
+        profile = DiurnalProfile()
+        assert profile.multiplier(3.0) == profile.off_hours_multiplier
+        assert profile.multiplier(23.0) == profile.off_hours_multiplier
+
+    def test_wraps_modulo_24(self):
+        profile = DiurnalProfile()
+        assert profile.multiplier(13.0) == profile.multiplier(13.0 + 24)
+
+    def test_rate_at(self):
+        profile = DiurnalProfile(peak_multiplier=2.0)
+        assert profile.rate_at(3.0, 13.0) == pytest.approx(6.0, rel=0.05)
+        with pytest.raises(ValueError):
+            profile.rate_at(-1.0, 13.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalProfile(start_hour=10.0, end_hour=9.0)
+        with pytest.raises(ValueError):
+            DiurnalProfile(peak_multiplier=0.0)
+
+    def test_arrival_sampling_respects_intensity(self):
+        """Business hours see far more arrivals than the night."""
+        profile = DiurnalProfile()
+        rng = np.random.default_rng(0)
+        times = profile.sample_arrival_times(base_rate=30.0,
+                                             duration_hours=24.0,
+                                             rng=rng)
+        hours = times % 24
+        day = np.sum((hours >= 9) & (hours <= 17))
+        night = np.sum((hours < 7) | (hours > 19))
+        assert day > 5 * max(night, 1)
+
+    def test_arrival_sampling_edge_cases(self):
+        profile = DiurnalProfile()
+        rng = np.random.default_rng(0)
+        assert profile.sample_arrival_times(0.0, 5.0, rng).size == 0
+        with pytest.raises(ValueError):
+            profile.sample_arrival_times(1.0, 0.0, rng)
+
+    @given(st.floats(min_value=0.0, max_value=48.0))
+    @settings(max_examples=100)
+    def test_multiplier_bounded(self, hour):
+        profile = DiurnalProfile()
+        m = profile.multiplier(hour)
+        assert profile.off_hours_multiplier - 1e-9 <= m
+        assert m <= profile.peak_multiplier + 1e-9
