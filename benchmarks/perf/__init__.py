@@ -1,0 +1,7 @@
+"""Micro-benchmarks for the engine hot path and the trial runner.
+
+Run with ``PYTHONPATH=src python -m benchmarks.perf.bench_engine``;
+results land in ``benchmarks/perf/BENCH_engine.json`` so successive PRs
+leave a perf trajectory.  Files here are deliberately NOT named
+``test_*`` — they are timing harnesses, not part of any pytest tier.
+"""

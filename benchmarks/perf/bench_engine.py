@@ -1,0 +1,137 @@
+"""Engine and runner micro-benchmarks (scalar vs batch, serial vs parallel).
+
+Times the throughput-engine hot path and the Monte-Carlo trial runner on
+pinned seeds and writes ``benchmarks/perf/BENCH_engine.json``:
+
+    PYTHONPATH=src python -m benchmarks.perf.bench_engine
+
+Every section reports best-of-``repeats`` wall time so the JSON is
+stable enough to compare across commits (see docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.baselines import greedy_assignment
+from repro.core.wolt import solve_wolt
+from repro.net.engine import evaluate, evaluate_batch
+from repro.net.topology import enterprise_floor
+from repro.sim.runner import run_trials
+
+OUTPUT = Path(__file__).resolve().parent / "BENCH_engine.json"
+
+#: Pinned workload: the paper's Fig. 6 enterprise floor.
+N_EXTENDERS = 15
+N_USERS = 124
+BATCH_SIZE = 256
+SEED = 2020
+
+TRIAL_KWARGS = dict(n_trials=16, n_extenders=15, n_users=80, seed=7,
+                    policies=("wolt", "greedy", "rssi"))
+TRIAL_WORKERS = 4
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    """Best wall time of ``repeats`` runs (seconds)."""
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return float(best)
+
+
+def _random_complete_batch(scenario, rng, n_batch: int) -> np.ndarray:
+    batch = np.empty((n_batch, scenario.n_users), dtype=int)
+    for i in range(scenario.n_users):
+        options = scenario.reachable(i)
+        batch[:, i] = rng.choice(options, size=n_batch)
+    return batch
+
+
+def bench_evaluate(scenario, rng) -> dict:
+    batch = _random_complete_batch(scenario, rng, BATCH_SIZE)
+
+    def scalar():
+        for row in batch:
+            evaluate(scenario, row)
+
+    def batched():
+        evaluate_batch(scenario, batch)
+
+    scalar_s = _best_of(scalar)
+    batch_s = _best_of(batched)
+    return {
+        "candidates": BATCH_SIZE,
+        "scalar_s": scalar_s,
+        "batch_s": batch_s,
+        "speedup": scalar_s / batch_s,
+        "scalar_us_per_candidate": 1e6 * scalar_s / BATCH_SIZE,
+        "batch_us_per_candidate": 1e6 * batch_s / BATCH_SIZE,
+    }
+
+
+def bench_solve_wolt(scenario) -> dict:
+    scalar_s = _best_of(lambda: solve_wolt(scenario, vectorized=False),
+                        repeats=3)
+    vector_s = _best_of(lambda: solve_wolt(scenario, vectorized=True),
+                        repeats=3)
+    return {"scalar_s": scalar_s, "vectorized_s": vector_s,
+            "speedup": scalar_s / vector_s}
+
+
+def bench_greedy(scenario) -> dict:
+    scalar_s = _best_of(lambda: greedy_assignment(scenario, batched=False),
+                        repeats=3)
+    batch_s = _best_of(lambda: greedy_assignment(scenario, batched=True),
+                       repeats=3)
+    return {"scalar_s": scalar_s, "batched_s": batch_s,
+            "speedup": scalar_s / batch_s}
+
+
+def bench_run_trials() -> dict:
+    serial_s = _best_of(lambda: run_trials(**TRIAL_KWARGS), repeats=2)
+    parallel_s = _best_of(
+        lambda: run_trials(workers=TRIAL_WORKERS, **TRIAL_KWARGS),
+        repeats=2)
+    return {"n_trials": TRIAL_KWARGS["n_trials"],
+            "workers": TRIAL_WORKERS,
+            "serial_s": serial_s,
+            "parallel_s": parallel_s,
+            "speedup": serial_s / parallel_s}
+
+
+def main() -> dict:
+    rng = np.random.default_rng(SEED)
+    scenario = enterprise_floor(N_EXTENDERS, N_USERS, rng)
+    report = {
+        "meta": {
+            "workload": {"n_extenders": N_EXTENDERS, "n_users": N_USERS,
+                         "seed": SEED},
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            # Parallel-runner speedup is bounded by this number.
+            "cpus": len(os.sched_getaffinity(0)),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        },
+        "evaluate_scalar_vs_batch": bench_evaluate(scenario, rng),
+        "solve_wolt_scalar_vs_vectorized": bench_solve_wolt(scenario),
+        "greedy_scalar_vs_batched": bench_greedy(scenario),
+        "run_trials_serial_vs_parallel": bench_run_trials(),
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {OUTPUT}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

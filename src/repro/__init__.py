@@ -31,9 +31,12 @@ from .core.fairness import solve_alpha_fair
 from .core.optimal import brute_force_optimal
 from .core.phase1 import phase1_utilities, solve_phase1
 from .core.phase2 import solve_phase2, solve_phase2_continuous
-from .core.problem import UNASSIGNED, Scenario, validate_assignment
+from .core.problem import (UNASSIGNED, Scenario, validate_assignment,
+                           validate_assignment_batch)
 from .core.wolt import WoltResult, solve_wolt
-from .net.engine import ThroughputReport, aggregate_throughput, evaluate
+from .net.engine import (BatchThroughputReport, ThroughputReport,
+                         aggregate_throughput, count_engine_calls,
+                         evaluate, evaluate_batch)
 from .net.metrics import compare_per_user, jain_fairness
 from .net.topology import FloorPlan, build_scenario, enterprise_floor
 from .plc.channel import PowerlineNetwork, random_building
@@ -51,13 +54,15 @@ __all__ = [
     "__version__",
     # problem & algorithms
     "Scenario", "UNASSIGNED", "validate_assignment",
+    "validate_assignment_batch",
     "solve_wolt", "WoltResult", "solve_phase1", "solve_phase2",
     "solve_phase2_continuous", "phase1_utilities",
     "rssi_assignment", "greedy_assignment", "selfish_greedy_assignment",
     "random_assignment", "brute_force_optimal", "CentralController",
     "IncrementalWolt", "solve_alpha_fair",
     # network model
-    "evaluate", "aggregate_throughput", "ThroughputReport",
+    "evaluate", "evaluate_batch", "aggregate_throughput",
+    "ThroughputReport", "BatchThroughputReport", "count_engine_calls",
     "jain_fairness", "compare_per_user", "PLC_MODES", "allocate_backhaul",
     "FloorPlan", "build_scenario", "enterprise_floor",
     # substrates

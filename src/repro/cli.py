@@ -48,6 +48,10 @@ def build_parser() -> argparse.ArgumentParser:
         if name in ("fig6", "all"):
             p.add_argument("--trials", type=int, default=100,
                            help="Fig 6a Monte-Carlo trials (default 100)")
+            p.add_argument("--workers", type=int, default=None,
+                           help="worker processes for the Monte-Carlo "
+                                "trials (default: serial; results are "
+                                "bit-identical for any worker count)")
 
     solve = sub.add_parser(
         "solve", help="run WOLT on a random enterprise floor")
@@ -99,7 +103,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "fig5":
         print(fig5.main(args.seed + 3))
     elif args.command == "fig6":
-        print(fig6.main(args.seed, n_trials=args.trials))
+        print(fig6.main(args.seed, n_trials=args.trials,
+                        workers=args.workers))
     elif args.command == "sweeps":
         print(sweeps.main(args.seed))
     elif args.command == "robustness":
@@ -113,7 +118,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print()
         print(fig5.main(args.seed + 3))
         print()
-        print(fig6.main(args.seed, n_trials=args.trials))
+        print(fig6.main(args.seed, n_trials=args.trials,
+                        workers=args.workers))
     elif args.command == "solve":
         print(_solve(args))
     else:  # pragma: no cover - argparse enforces the choices

@@ -19,11 +19,23 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..net.engine import evaluate
+from ..net.engine import evaluate, evaluate_batch
 from .problem import MIN_USABLE_RATE, UNASSIGNED, Scenario
 
 __all__ = ["rssi_assignment", "greedy_assignment", "greedy_attach_user",
            "selfish_greedy_assignment", "random_assignment"]
+
+
+def _candidate_batch(scenario: Scenario, assign: np.ndarray, user: int,
+                     counts: np.ndarray) -> tuple:
+    """Feasible extenders for ``user`` and the candidate assignment batch."""
+    candidates = [int(j) for j in scenario.reachable(user)
+                  if counts[j] < scenario.capacity_of(int(j))]
+    if not candidates:
+        return [], None
+    batch = np.tile(assign, (len(candidates), 1))
+    batch[np.arange(len(candidates)), user] = candidates
+    return candidates, batch
 
 
 def rssi_assignment(scenario: Scenario) -> np.ndarray:
@@ -54,13 +66,16 @@ def rssi_assignment(scenario: Scenario) -> np.ndarray:
 def greedy_attach_user(scenario: Scenario,
                        assignment: Sequence[int],
                        user: int,
-                       plc_mode: str = "redistribute") -> int:
+                       plc_mode: str = "redistribute",
+                       batched: bool = True) -> int:
     """Best extender for one arriving user under the greedy policy.
 
     Evaluates the aggregate end-to-end throughput (under ``plc_mode``)
     for each reachable extender with free capacity (existing users
     fixed) and returns the argmax; ties break toward the stronger WiFi
-    link.
+    link.  With ``batched`` (the default) all candidates are scored in a
+    single :func:`repro.net.engine.evaluate_batch` call; ``batched=False``
+    keeps the one-engine-call-per-candidate reference loop.
 
     Raises:
         ValueError: if the user cannot be attached anywhere.
@@ -68,6 +83,19 @@ def greedy_attach_user(scenario: Scenario,
     assign = np.array(assignment, dtype=int)
     counts = np.bincount(assign[assign != UNASSIGNED],
                          minlength=scenario.n_extenders)
+    if batched:
+        candidates, batch = _candidate_batch(scenario, assign, user, counts)
+        if not candidates:
+            raise ValueError(f"user {user} cannot be attached anywhere")
+        aggregates = evaluate_batch(scenario, batch,
+                                    plc_mode=plc_mode).aggregates
+        best_k = 0
+        for k in range(1, len(candidates)):
+            if ((aggregates[k], scenario.wifi_rates[user, candidates[k]])
+                    > (aggregates[best_k],
+                       scenario.wifi_rates[user, candidates[best_k]])):
+                best_k = k
+        return candidates[best_k]
     best_j, best_key = UNASSIGNED, None
     for j in scenario.reachable(user):
         j = int(j)
@@ -86,7 +114,8 @@ def greedy_attach_user(scenario: Scenario,
 
 def greedy_assignment(scenario: Scenario,
                       arrival_order: Optional[Sequence[int]] = None,
-                      plc_mode: str = "redistribute") -> np.ndarray:
+                      plc_mode: str = "redistribute",
+                      batched: bool = True) -> np.ndarray:
     """Centralized online greedy association (§V-B baseline).
 
     Args:
@@ -96,6 +125,9 @@ def greedy_assignment(scenario: Scenario,
         plc_mode: PLC sharing law the controller's measurements reflect
             (the default "redistribute" is what a real deployment would
             observe).
+        batched: score each arrival's candidate extenders with one
+            batched engine call (default) instead of one scalar call per
+            candidate.
 
     Returns:
         A complete assignment array.
@@ -106,7 +138,8 @@ def greedy_assignment(scenario: Scenario,
     for user in arrival_order:
         assignment[user] = greedy_attach_user(scenario, assignment,
                                               int(user),
-                                              plc_mode=plc_mode)
+                                              plc_mode=plc_mode,
+                                              batched=batched)
     return assignment
 
 
@@ -130,13 +163,15 @@ def random_assignment(scenario: Scenario,
 
 def selfish_greedy_assignment(scenario: Scenario,
                               arrival_order: Optional[Sequence[int]] = None,
-                              plc_mode: str = "redistribute") -> np.ndarray:
+                              plc_mode: str = "redistribute",
+                              batched: bool = True) -> np.ndarray:
     """Self-interested greedy association (the §III-B case study policy).
 
     Each arriving user picks the extender that maximizes its *own*
     end-to-end throughput given the users already attached (Fig. 3c),
     rather than the network aggregate.  Kept as an extra baseline: it is
-    what uncoordinated rate-aware clients would do.
+    what uncoordinated rate-aware clients would do.  ``batched`` scores
+    each arrival's candidates with one batched engine call (default).
     """
     if arrival_order is None:
         arrival_order = range(scenario.n_users)
@@ -144,19 +179,34 @@ def selfish_greedy_assignment(scenario: Scenario,
     counts = np.zeros(scenario.n_extenders, dtype=int)
     for user in arrival_order:
         user = int(user)
-        best_j, best_key = UNASSIGNED, None
-        for j in scenario.reachable(user):
-            j = int(j)
-            if counts[j] >= scenario.capacity_of(j):
-                continue
-            assignment[user] = j
-            report = evaluate(scenario, assignment, plc_mode=plc_mode)
-            key = (report.user_throughputs[user],
-                   scenario.wifi_rates[user, j])
-            if best_key is None or key > best_key:
-                best_key, best_j = key, j
+        if batched:
+            candidates, batch = _candidate_batch(scenario, assignment,
+                                                 user, counts)
+            if not candidates:
+                raise ValueError(f"user {user} cannot be attached anywhere")
+            report = evaluate_batch(scenario, batch, plc_mode=plc_mode)
+            own = report.user_throughputs[:, user]
+            best_k = 0
+            for k in range(1, len(candidates)):
+                if ((own[k], scenario.wifi_rates[user, candidates[k]])
+                        > (own[best_k],
+                           scenario.wifi_rates[user, candidates[best_k]])):
+                    best_k = k
+            best_j = candidates[best_k]
+        else:
+            best_j, best_key = UNASSIGNED, None
+            for j in scenario.reachable(user):
+                j = int(j)
+                if counts[j] >= scenario.capacity_of(j):
+                    continue
+                assignment[user] = j
+                report = evaluate(scenario, assignment, plc_mode=plc_mode)
+                key = (report.user_throughputs[user],
+                       scenario.wifi_rates[user, j])
+                if best_key is None or key > best_key:
+                    best_key, best_j = key, j
+            if best_j == UNASSIGNED:
+                raise ValueError(f"user {user} cannot be attached anywhere")
         assignment[user] = best_j
-        if best_j == UNASSIGNED:
-            raise ValueError(f"user {user} cannot be attached anywhere")
         counts[best_j] += 1
     return assignment

@@ -26,7 +26,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..net.engine import evaluate
+from ..net.engine import evaluate, evaluate_batch
 from .baselines import greedy_assignment
 from .problem import Scenario, UNASSIGNED
 
@@ -121,6 +121,26 @@ def branch_and_bound_optimal(scenario: Scenario,
         # Try stronger links first: good incumbents appear early.
         options = options[np.argsort(-scenario.wifi_rates[user, options],
                                      kind="stable")]
+        if depth == n_users - 1:
+            # Last level: every feasible placement of the final user is a
+            # complete assignment — score them all in one batched engine
+            # call instead of one scalar evaluation per leaf.
+            feasible = [int(j) for j in options
+                        if counts[j] < scenario.capacity_of(int(j))]
+            if not feasible:
+                return
+            stats["expanded"] += len(feasible)
+            if stats["expanded"] > node_limit:
+                raise ValueError(f"node limit {node_limit} exceeded")
+            batch = np.tile(assignment, (len(feasible), 1))
+            batch[np.arange(len(feasible)), user] = feasible
+            values = evaluate_batch(scenario, batch, plc_mode=plc_mode,
+                                    require_complete=True).aggregates
+            for k, value in enumerate(values):
+                if value > best_value + 1e-12:
+                    best_value = float(value)
+                    best_assignment = batch[k].copy()
+            return
         for j in options:
             j = int(j)
             if counts[j] >= scenario.capacity_of(j):

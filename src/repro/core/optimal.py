@@ -15,13 +15,16 @@ from typing import Iterator, Optional
 
 import numpy as np
 
-from ..net.engine import evaluate
+from ..net.engine import evaluate_batch
 from .problem import Scenario
 
 __all__ = ["OptimalResult", "brute_force_optimal", "search_space_size"]
 
 #: Refuse to enumerate spaces larger than this without an explicit limit.
 DEFAULT_MAX_COMBINATIONS = 2_000_000
+
+#: Candidate assignments scored per batched engine call.
+BATCH_CHUNK = 1024
 
 
 @dataclass(frozen=True)
@@ -86,17 +89,34 @@ def brute_force_optimal(scenario: Scenario,
     best_assignment = None
     best_value = -np.inf
     explored = 0
+    chunk = []
+    # Feasible candidates are scored in batched chunks: one vectorized
+    # engine call per BATCH_CHUNK assignments instead of one scalar call
+    # per assignment.  Within a chunk the first-occurrence argmax matches
+    # the strict ``>`` scan of the per-assignment loop.
+    def flush():
+        nonlocal best_assignment, best_value, explored
+        if not chunk:
+            return
+        batch = np.asarray(chunk, dtype=int)
+        values = evaluate_batch(scenario, batch,
+                                plc_mode=plc_mode).aggregates
+        explored += batch.shape[0]
+        k = int(np.argmax(values))
+        if values[k] > best_value:
+            best_value = float(values[k])
+            best_assignment = batch[k].copy()
+        chunk.clear()
+
     for assignment in _candidate_assignments(scenario):
         if caps is not None:
             counts = np.bincount(assignment, minlength=scenario.n_extenders)
             if np.any(counts > caps):
                 continue
-        explored += 1
-        value = evaluate(scenario, assignment,
-                         plc_mode=plc_mode).aggregate
-        if value > best_value:
-            best_value = value
-            best_assignment = assignment
+        chunk.append(assignment)
+        if len(chunk) >= BATCH_CHUNK:
+            flush()
+    flush()
     if best_assignment is None:
         raise ValueError("no capacity-feasible complete assignment exists")
     return OptimalResult(assignment=best_assignment,

@@ -29,6 +29,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..net.engine import _record
 from .problem import MIN_USABLE_RATE, UNASSIGNED, Scenario
 
 __all__ = ["Phase2Result", "solve_phase2", "solve_phase2_continuous",
@@ -90,6 +91,7 @@ class _CellState:
 
     def gain_of_adding(self, user: int, j: int) -> float:
         """Change in ``sum_j T_WiFi_j`` if ``user`` joins extender ``j``."""
+        _record(scalar=1)  # one candidate scored the scalar way
         r = self.scenario.wifi_rates[user, j]
         if r <= MIN_USABLE_RATE:
             return -np.inf
@@ -110,32 +112,79 @@ class _CellState:
         return self.counts[j] < self.scenario.capacity_of(j)
 
 
-def solve_phase2(scenario: Scenario,
-                 phase1_assignment: Sequence[int],
-                 max_rounds: int = 100) -> Phase2Result:
-    """Combinatorial Phase-II solver (greedy insertion + local search).
+class _BatchGains:
+    """Vectorized marginal-gain evaluation against a :class:`_CellState`.
 
-    Args:
-        scenario: the network snapshot.
-        phase1_assignment: per-user extender indices with the ``U1``
-            anchors set and everyone else :data:`UNASSIGNED`.
-        max_rounds: safety cap on local-search rounds.
-
-    Returns:
-        A :class:`Phase2Result` with a complete, integral assignment.
-
-    Raises:
-        ValueError: if some user cannot be attached anywhere (no reachable
-            extender with free capacity), i.e. constraint (7) cannot hold.
+    Precomputes the inverse-rate matrix and reachability mask once, then
+    scores whole candidate batches (every pending user x every extender)
+    with a couple of numpy sweeps.  The arithmetic is elementwise
+    identical to :meth:`_CellState.gain_of_adding`, so the vectorized
+    search makes bit-identical decisions to the scalar reference loop.
     """
-    assignment = np.array(phase1_assignment, dtype=int)
-    if assignment.shape[0] != scenario.n_users:
-        raise ValueError("phase1_assignment length must equal n_users")
-    state = _CellState(scenario, assignment)
-    remaining = list(np.flatnonzero(assignment == UNASSIGNED))
 
-    # Greedy insertion: repeatedly place the (user, extender) pair with the
-    # largest marginal gain in total WiFi throughput.
+    def __init__(self, scenario: Scenario) -> None:
+        rates = scenario.wifi_rates
+        self.reach = rates > MIN_USABLE_RATE
+        self.inv_rates = np.zeros_like(rates)
+        self.inv_rates[self.reach] = 1.0 / rates[self.reach]
+        if scenario.capacities is None:
+            self.caps = np.full(scenario.n_extenders, np.inf)
+        else:
+            self.caps = scenario.capacities.astype(float)
+
+    def cell_throughputs(self, state: _CellState) -> np.ndarray:
+        out = np.zeros(state.counts.shape[0])
+        busy = state.counts > 0
+        out[busy] = state.counts[busy] / state.inv_rate_sums[busy]
+        return out
+
+    def gains(self, state: _CellState, users: np.ndarray) -> np.ndarray:
+        """``(len(users), n_extenders)`` matrix of insertion gains.
+
+        Unreachable pairs are ``-inf``; capacity is NOT masked here (the
+        callers need different room semantics).
+        """
+        _record(batch=1, rows=int(users.size) * self.reach.shape[1])
+        tput = self.cell_throughputs(state)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            new = ((state.counts[np.newaxis, :] + 1)
+                   / (state.inv_rate_sums[np.newaxis, :]
+                      + self.inv_rates[users]))
+        return np.where(self.reach[users], new - tput[np.newaxis, :],
+                        -np.inf)
+
+    def room(self, state: _CellState) -> np.ndarray:
+        return state.counts < self.caps
+
+
+def _greedy_insertion_batch(scenario: Scenario, state: _CellState,
+                            gains: _BatchGains, assignment: np.ndarray,
+                            remaining: list) -> None:
+    """Batched greedy insertion (vectorized candidate scoring).
+
+    Each iteration scores every (pending user, extender) candidate in one
+    vectorized pass and applies the row-major argmax — the same pair the
+    scalar first-strictly-greater scan selects.
+    """
+    while remaining:
+        rem = np.asarray(remaining, dtype=int)
+        batch = gains.gains(state, rem)
+        batch = np.where(gains.room(state)[np.newaxis, :], batch, -np.inf)
+        flat = int(np.argmax(batch))
+        if np.isneginf(batch.flat[flat]):
+            raise ValueError(
+                f"users {remaining} cannot be attached to any extender")
+        user = int(rem[flat // scenario.n_extenders])
+        j = flat % scenario.n_extenders
+        state.add(user, j)
+        assignment[user] = j
+        remaining.remove(user)
+
+
+def _greedy_insertion_scalar(scenario: Scenario, state: _CellState,
+                             assignment: np.ndarray,
+                             remaining: list) -> None:
+    """Reference scalar greedy insertion (one engine call per candidate)."""
     while remaining:
         best = None  # (gain, user, extender)
         for user in remaining:
@@ -153,6 +202,87 @@ def solve_phase2(scenario: Scenario,
         assignment[user] = j
         remaining.remove(user)
 
+
+def _relocate_batch(scenario: Scenario, state: _CellState,
+                    gains: _BatchGains, assignment: np.ndarray,
+                    user: int) -> int:
+    """Best relocation target for one user, gains scored in one batch.
+
+    Replicates the scalar hysteresis scan (ascending extenders, strict
+    ``> best + 1e-12`` improvement) over a vectorized gain vector.
+    """
+    cur = int(assignment[user])
+    state.remove(user, cur)
+    g = gains.gains(state, np.asarray([user]))[0]
+    room = gains.room(state)
+    best_j, best_gain = cur, g[cur]
+    for j in np.flatnonzero(gains.reach[user]):
+        j = int(j)
+        if j == cur or not room[j]:
+            continue
+        if g[j] > best_gain + 1e-12:
+            best_j, best_gain = j, g[j]
+    state.add(user, best_j)
+    return best_j
+
+
+def _relocate_scalar(scenario: Scenario, state: _CellState,
+                     assignment: np.ndarray, user: int) -> int:
+    """Reference scalar relocation scan."""
+    cur = int(assignment[user])
+    state.remove(user, cur)
+    base_gain = state.gain_of_adding(user, cur)
+    best_j, best_gain = cur, base_gain
+    for j in scenario.reachable(user):
+        j = int(j)
+        if j == cur or not state.room(j):
+            continue
+        gain = state.gain_of_adding(user, j)
+        if gain > best_gain + 1e-12:
+            best_j, best_gain = j, gain
+    state.add(user, best_j)
+    return best_j
+
+
+def solve_phase2(scenario: Scenario,
+                 phase1_assignment: Sequence[int],
+                 max_rounds: int = 100,
+                 vectorized: bool = True) -> Phase2Result:
+    """Combinatorial Phase-II solver (greedy insertion + local search).
+
+    Args:
+        scenario: the network snapshot.
+        phase1_assignment: per-user extender indices with the ``U1``
+            anchors set and everyone else :data:`UNASSIGNED`.
+        max_rounds: safety cap on local-search rounds.
+        vectorized: score candidate batches with numpy sweeps (the
+            default).  ``False`` selects the scalar reference loops; both
+            paths make bit-identical decisions (asserted by the
+            test-suite) — the scalar path exists only as the differential
+            oracle.
+
+    Returns:
+        A :class:`Phase2Result` with a complete, integral assignment.
+
+    Raises:
+        ValueError: if some user cannot be attached anywhere (no reachable
+            extender with free capacity), i.e. constraint (7) cannot hold.
+    """
+    assignment = np.array(phase1_assignment, dtype=int)
+    if assignment.shape[0] != scenario.n_users:
+        raise ValueError("phase1_assignment length must equal n_users")
+    state = _CellState(scenario, assignment)
+    remaining = list(np.flatnonzero(assignment == UNASSIGNED))
+    gains = _BatchGains(scenario) if vectorized else None
+
+    # Greedy insertion: repeatedly place the (user, extender) pair with the
+    # largest marginal gain in total WiFi throughput.
+    if vectorized:
+        _greedy_insertion_batch(scenario, state, gains, assignment,
+                                remaining)
+    else:
+        _greedy_insertion_scalar(scenario, state, assignment, remaining)
+
     # Local search over single relocations and pairwise swaps of U2 users
     # (the Phase-I anchors stay put, as the paper fixes U1).  Relocations
     # realize the shift argument of Theorem 3; swaps escape the
@@ -165,17 +295,12 @@ def solve_phase2(scenario: Scenario,
         rounds += 1
         for user in movable:
             cur = assignment[user]
-            state.remove(user, cur)
-            base_gain = state.gain_of_adding(user, cur)
-            best_j, best_gain = cur, base_gain
-            for j in scenario.reachable(user):
-                j = int(j)
-                if j == cur or not state.room(j):
-                    continue
-                gain = state.gain_of_adding(user, j)
-                if gain > best_gain + 1e-12:
-                    best_j, best_gain = j, gain
-            state.add(user, best_j)
+            if vectorized:
+                best_j = _relocate_batch(scenario, state, gains,
+                                         assignment, int(user))
+            else:
+                best_j = _relocate_scalar(scenario, state, assignment,
+                                          int(user))
             assignment[user] = best_j
             if best_j != cur:
                 improved = True

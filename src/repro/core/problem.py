@@ -17,7 +17,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-__all__ = ["UNASSIGNED", "Scenario", "validate_assignment", "users_of"]
+__all__ = ["UNASSIGNED", "Scenario", "validate_assignment",
+           "validate_assignment_batch", "users_of"]
 
 #: Sentinel extender index for an unattached user.
 UNASSIGNED = -1
@@ -166,6 +167,66 @@ def validate_assignment(scenario: Scenario,
         if over.size:
             raise ValueError(
                 f"constraint (8) violated at extenders {over.tolist()}")
+    return assign
+
+
+def validate_assignment_batch(scenario: Scenario,
+                              assignments: Sequence[Sequence[int]],
+                              require_complete: bool = True,
+                              enforce_capacity: bool = True) -> np.ndarray:
+    """Vectorized :func:`validate_assignment` for a batch of candidates.
+
+    Args:
+        scenario: the network snapshot.
+        assignments: ``(B, n_users)`` matrix of per-user extender indices
+            (or :data:`UNASSIGNED`); a 1-D assignment is promoted to a
+            batch of one.
+        require_complete: enforce constraint (7) on every row.
+        enforce_capacity: enforce constraint (8) on every row.
+
+    Returns:
+        The assignments as a validated ``(B, n_users)`` integer array.
+
+    Raises:
+        ValueError: on any constraint violation in any row (the message
+            names the offending batch rows).
+    """
+    assign = np.atleast_2d(np.asarray(assignments, dtype=int))
+    if assign.ndim != 2 or assign.shape[1] != scenario.n_users:
+        raise ValueError(
+            f"assignments must be (B, {scenario.n_users}); got shape "
+            f"{assign.shape}")
+    attached = assign != UNASSIGNED
+    bad = attached & ((assign < 0) | (assign >= scenario.n_extenders))
+    if np.any(bad):
+        raise ValueError(
+            f"extender index out of range in batch rows "
+            f"{sorted(set(np.nonzero(bad)[0].tolist()))}")
+    if require_complete and not np.all(attached):
+        raise ValueError(
+            f"constraint (7) violated in batch rows "
+            f"{sorted(set(np.nonzero(~attached)[0].tolist()))}")
+    if np.any(attached):
+        safe = np.where(attached, assign, 0)
+        rates = scenario.wifi_rates[
+            np.arange(scenario.n_users)[np.newaxis, :], safe]
+        unreachable = attached & (rates <= MIN_USABLE_RATE)
+        if np.any(unreachable):
+            raise ValueError(
+                f"users assigned to an unreachable extender in batch rows "
+                f"{sorted(set(np.nonzero(unreachable)[0].tolist()))}")
+    if enforce_capacity and scenario.capacities is not None:
+        n_batch = assign.shape[0]
+        n_ext = scenario.n_extenders
+        flat = (np.arange(n_batch)[:, np.newaxis] * n_ext
+                + np.where(attached, assign, 0))[attached]
+        counts = np.bincount(flat, minlength=n_batch * n_ext)
+        counts = counts.reshape(n_batch, n_ext)
+        over = counts > scenario.capacities[np.newaxis, :]
+        if np.any(over):
+            raise ValueError(
+                f"constraint (8) violated in batch rows "
+                f"{sorted(set(np.nonzero(over)[0].tolist()))}")
     return assign
 
 

@@ -52,7 +52,8 @@ class WoltResult:
 def solve_wolt(scenario: Scenario,
                phase2_solver: str = "combinatorial",
                plc_mode: str = "redistribute",
-               rng: Optional[np.random.Generator] = None) -> WoltResult:
+               rng: Optional[np.random.Generator] = None,
+               vectorized: bool = True) -> WoltResult:
     """Run the full WOLT association algorithm (Alg. 1 of the paper).
 
     Args:
@@ -65,6 +66,9 @@ def solve_wolt(scenario: Scenario,
             algorithm itself is model-free; see
             :func:`repro.net.engine.evaluate`).
         rng: optional generator for the continuous solver's start point.
+        vectorized: score Phase-II candidate moves in batches (default);
+            ``False`` selects the scalar reference loops, which make
+            bit-identical decisions (see :func:`repro.core.phase2.solve_phase2`).
 
     Returns:
         A :class:`WoltResult`.
@@ -72,7 +76,8 @@ def solve_wolt(scenario: Scenario,
     utilities = phase1_utilities(scenario)
     phase1 = solve_phase1(scenario, utilities)
     if phase2_solver == "combinatorial":
-        phase2: Phase2Result = solve_phase2(scenario, phase1.assignment)
+        phase2: Phase2Result = solve_phase2(scenario, phase1.assignment,
+                                            vectorized=vectorized)
     elif phase2_solver == "continuous":
         phase2 = solve_phase2_continuous(scenario, phase1.assignment,
                                          rng=rng)

@@ -65,11 +65,17 @@ class Fig6aResult:
 def run_fig6a(n_trials: int = 100, seed: int = 0,
               n_extenders: int = SIM_EXTENDERS,
               n_users: int = SIM_USERS,
-              plc_mode: str = "fixed") -> Fig6aResult:
-    """Reproduce the Fig. 6a Monte-Carlo comparison."""
+              plc_mode: str = "fixed",
+              workers: int = None) -> Fig6aResult:
+    """Reproduce the Fig. 6a Monte-Carlo comparison.
+
+    ``workers`` fans the trials out over that many processes; results are
+    bit-identical to the serial run (see
+    :func:`repro.sim.runner.run_trials`).
+    """
     trials = run_trials(n_trials, n_extenders, n_users,
                         policies=("wolt", "greedy"), seed=seed,
-                        plc_mode=plc_mode)
+                        plc_mode=plc_mode, workers=workers)
     wolt = np.array([t.aggregate("wolt") for t in trials])
     greedy = np.array([t.aggregate("greedy") for t in trials])
     return Fig6aResult(wolt_mbps=wolt, greedy_mbps=greedy,
@@ -123,11 +129,12 @@ class FairnessResult:
 
 
 def run_fairness(n_trials: int = 30, seed: int = 0,
-                 plc_mode: str = "fixed") -> FairnessResult:
+                 plc_mode: str = "fixed",
+                 workers: int = None) -> FairnessResult:
     """Reproduce the §V-E Jain-index comparison."""
     trials = run_trials(n_trials, SIM_EXTENDERS, SIM_USERS,
                         policies=("wolt", "greedy", "rssi"), seed=seed,
-                        plc_mode=plc_mode)
+                        plc_mode=plc_mode, workers=workers)
     jain = {}
     for policy in ("wolt", "greedy", "rssi"):
         jain[policy] = float(np.mean(
@@ -135,9 +142,10 @@ def run_fairness(n_trials: int = 30, seed: int = 0,
     return FairnessResult(jain=jain)
 
 
-def main(seed: int = 0, n_trials: int = 100, n_epochs: int = 3) -> str:
+def main(seed: int = 0, n_trials: int = 100, n_epochs: int = 3,
+         workers: int = None) -> str:
     """Run the Fig. 6 suite and format the paper-style summary."""
-    a = run_fig6a(n_trials=n_trials, seed=seed)
+    a = run_fig6a(n_trials=n_trials, seed=seed, workers=workers)
     out = ["Fig 6a - aggregate throughput over "
            f"{a.wolt_mbps.size} trials (Mbps)"]
     out.append(format_rows(
@@ -168,7 +176,7 @@ def main(seed: int = 0, n_trials: int = 100, n_epochs: int = 3) -> str:
          for e in bc.histories["wolt"]]))
     out.append(f"re-assignments per arrival: "
                f"{bc.reassignment_per_arrival:.2f} (paper: <= ~2)")
-    f = run_fairness(seed=seed)
+    f = run_fairness(seed=seed, workers=workers)
     out.append("\nJain fairness (paper: WOLT 0.66, Greedy 0.52, RSSI 0.65)")
     out.append(format_rows(
         ["policy", "Jain index", "paper"],

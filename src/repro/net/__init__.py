@@ -1,6 +1,8 @@
 """Network model: topology, end-to-end throughput engine, metrics."""
 
-from .engine import ThroughputReport, aggregate_throughput, evaluate
+from .engine import (BatchThroughputReport, ThroughputReport,
+                     aggregate_throughput, count_engine_calls, evaluate,
+                     evaluate_batch)
 from .estimate import (EwmaEstimator, estimate_rate_from_rssi_samples,
                        noisy_scenario)
 from .metrics import (PerUserComparison, bottom_k_users, compare_per_user,
@@ -10,7 +12,8 @@ from .topology import (FloorPlan, build_scenario, enterprise_floor,
 from .visualize import render_floor
 
 __all__ = [
-    "evaluate", "aggregate_throughput", "ThroughputReport",
+    "evaluate", "evaluate_batch", "aggregate_throughput",
+    "ThroughputReport", "BatchThroughputReport", "count_engine_calls",
     "jain_fairness", "compare_per_user", "PerUserComparison",
     "bottom_k_users", "top_k_users",
     "FloorPlan", "build_scenario", "enterprise_floor",

@@ -23,16 +23,75 @@ independently validate the two sharing laws.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
-from ..core.problem import UNASSIGNED, Scenario, validate_assignment
-from ..plc.sharing import PlcAllocation, allocate_backhaul
-from ..wifi.sharing import cell_throughputs
+from ..core.problem import (UNASSIGNED, Scenario, validate_assignment,
+                            validate_assignment_batch)
+from ..plc.sharing import (BatchPlcAllocation, PlcAllocation,
+                           allocate_backhaul, allocate_backhaul_batch)
+from ..wifi.sharing import cell_throughputs, cell_throughputs_batch
 
-__all__ = ["ThroughputReport", "evaluate", "aggregate_throughput"]
+__all__ = ["ThroughputReport", "BatchThroughputReport", "evaluate",
+           "evaluate_batch", "aggregate_throughput", "EngineCallStats",
+           "count_engine_calls"]
+
+
+@dataclass
+class EngineCallStats:
+    """Live counters of engine invocations (see :func:`count_engine_calls`).
+
+    Attributes:
+        scalar_calls: scalar evaluations — :func:`evaluate` invocations
+            plus per-candidate scalar scoring inside the Phase-II
+            reference loops.
+        batch_calls: vectorized evaluations — :func:`evaluate_batch`
+            invocations plus Phase-II batched gain sweeps.
+        batch_rows: total candidates scored across all batched
+            evaluations.
+    """
+
+    scalar_calls: int = 0
+    batch_calls: int = 0
+    batch_rows: int = 0
+
+    @property
+    def candidates_scored(self) -> int:
+        """Total assignments scored, scalar and batched combined."""
+        return self.scalar_calls + self.batch_rows
+
+
+#: Stack of active counter frames (the engine increments every frame, so
+#: nested ``count_engine_calls`` blocks each see their own totals).
+_COUNTER_STACK: list = []
+
+
+@contextmanager
+def count_engine_calls() -> Iterator[EngineCallStats]:
+    """Count engine invocations within a ``with`` block.
+
+    The counting happens inside :func:`evaluate` / :func:`evaluate_batch`
+    themselves, so call sites that bound the functions at import time
+    (``from ..net.engine import evaluate``) are counted too.  Used by the
+    test-suite to assert that the batched search paths issue fewer scalar
+    engine calls than the candidates they score.
+    """
+    stats = EngineCallStats()
+    _COUNTER_STACK.append(stats)
+    try:
+        yield stats
+    finally:
+        _COUNTER_STACK.remove(stats)
+
+
+def _record(scalar: int = 0, batch: int = 0, rows: int = 0) -> None:
+    for stats in _COUNTER_STACK:
+        stats.scalar_calls += scalar
+        stats.batch_calls += batch
+        stats.batch_rows += rows
 
 
 @dataclass(frozen=True)
@@ -68,8 +127,12 @@ class ThroughputReport:
     @property
     def n_active_extenders(self) -> int:
         """Number of extenders with at least one attached user."""
+        assign = np.asarray(self.assignment, dtype=int)
+        attached = assign[assign != UNASSIGNED]
+        if attached.size == 0:
+            return 0
         return int(np.count_nonzero(
-            np.bincount(self.assignment[self.assignment != UNASSIGNED],
+            np.bincount(attached,
                         minlength=self.extender_throughputs.shape[0])))
 
 
@@ -94,6 +157,7 @@ def evaluate(scenario: Scenario,
     Returns:
         A :class:`ThroughputReport`.
     """
+    _record(scalar=1)
     assign = validate_assignment(scenario, assignment,
                                  require_complete=require_complete)
     wifi = cell_throughputs(scenario.wifi_rates, assign,
@@ -127,3 +191,126 @@ def aggregate_throughput(scenario: Scenario,
                          plc_mode: str = "redistribute") -> float:
     """Shorthand for the aggregate objective value of an assignment."""
     return evaluate(scenario, assignment, plc_mode=plc_mode).aggregate
+
+
+@dataclass(frozen=True)
+class BatchThroughputReport:
+    """Throughput breakdowns for a batch of candidate assignments.
+
+    Every array carries a leading batch axis of size ``B`` (the number of
+    candidates); the remaining axes match :class:`ThroughputReport`.
+
+    Attributes:
+        assignments: ``(B, n_users)`` validated extender indices.
+        wifi_throughputs: ``(B, n_extenders)`` WiFi aggregates (Mbps).
+        plc_throughputs: ``(B, n_extenders)`` granted backhaul (Mbps).
+        plc_time_shares: ``(B, n_extenders)`` granted medium-time shares.
+        extender_throughputs: ``(B, n_extenders)`` end-to-end throughputs.
+        user_throughputs: ``(B, n_users)`` per-user throughputs (Mbps).
+        bottleneck_is_plc: ``(B, n_extenders)`` backhaul-bound flags.
+    """
+
+    assignments: np.ndarray
+    wifi_throughputs: np.ndarray
+    plc_throughputs: np.ndarray
+    plc_time_shares: np.ndarray
+    extender_throughputs: np.ndarray
+    user_throughputs: np.ndarray
+    bottleneck_is_plc: np.ndarray
+
+    def __len__(self) -> int:
+        return self.assignments.shape[0]
+
+    @property
+    def aggregates(self) -> np.ndarray:
+        """Per-candidate total end-to-end throughput, shape ``(B,)``."""
+        return self.extender_throughputs.sum(axis=1)
+
+    def best(self) -> int:
+        """Index of the candidate with the highest aggregate throughput.
+
+        Ties break toward the lowest index (numpy's first-occurrence
+        argmax), matching the strict-improvement scans of the scalar
+        search loops.
+        """
+        if len(self) == 0:
+            raise ValueError("empty batch has no best candidate")
+        return int(np.argmax(self.aggregates))
+
+    def expand(self, b: int) -> ThroughputReport:
+        """The exact single-candidate :class:`ThroughputReport` of row ``b``.
+
+        The returned report is built from the batch's own rows (no
+        re-evaluation), so it is numerically identical to the batch entry.
+        """
+        return ThroughputReport(
+            assignment=self.assignments[b].copy(),
+            wifi_throughputs=self.wifi_throughputs[b].copy(),
+            plc_throughputs=self.plc_throughputs[b].copy(),
+            plc_time_shares=self.plc_time_shares[b].copy(),
+            extender_throughputs=self.extender_throughputs[b].copy(),
+            user_throughputs=self.user_throughputs[b].copy(),
+            bottleneck_is_plc=self.bottleneck_is_plc[b].copy(),
+        )
+
+
+def evaluate_batch(scenario: Scenario,
+                   assignments: Sequence[Sequence[int]],
+                   plc_mode: str = "redistribute",
+                   require_complete: bool = False) -> BatchThroughputReport:
+    """Evaluate a whole batch of candidate assignments in one pass.
+
+    Semantically equivalent to calling :func:`evaluate` on every row of
+    ``assignments``, but the WiFi sharing law, the PLC allocation, and the
+    per-user split are all vectorized across the batch, so scoring ``B``
+    candidates costs a handful of numpy sweeps instead of ``B`` Python
+    round-trips.  This is the hot path of every association-search
+    algorithm (greedy insertion, local search, branch-and-bound leaves,
+    the online baselines).
+
+    Args:
+        scenario: the network snapshot (rates and capacities).
+        assignments: ``(B, n_users)`` matrix of per-user extender indices,
+            ``-1`` for unassigned; a single 1-D assignment is promoted to
+            a batch of one.
+        plc_mode: PLC medium-sharing law (see :func:`evaluate`).
+        require_complete: insist that every user is attached in every row.
+
+    Returns:
+        A :class:`BatchThroughputReport`; ``report.expand(b)`` recovers the
+        exact scalar report of candidate ``b``.
+    """
+    assign = validate_assignment_batch(scenario, assignments,
+                                       require_complete=require_complete)
+    n_batch = assign.shape[0]
+    _record(batch=1, rows=n_batch)
+    n_ext = scenario.n_extenders
+    n_users = scenario.n_users
+    wifi = cell_throughputs_batch(scenario.wifi_rates, assign, n_ext)
+    alloc: BatchPlcAllocation = allocate_backhaul_batch(
+        scenario.plc_rates, wifi, mode=plc_mode)
+    extender_tput = np.minimum(wifi, alloc.throughputs)
+
+    attached = assign != UNASSIGNED
+    safe = np.where(attached, assign, 0)
+    flat = (np.arange(n_batch)[:, np.newaxis] * n_ext + safe)[attached]
+    counts = np.bincount(flat, minlength=n_batch * n_ext)
+    counts = counts.reshape(n_batch, n_ext)
+
+    per_user = np.zeros((n_batch, n_ext), dtype=float)
+    busy = counts > 0
+    per_user[busy] = extender_tput[busy] / counts[busy]
+    user_tput = np.zeros((n_batch, n_users), dtype=float)
+    if np.any(attached):
+        user_tput[attached] = np.take_along_axis(per_user, safe,
+                                                 axis=1)[attached]
+    bottleneck = busy & (alloc.throughputs + 1e-12 < wifi)
+    return BatchThroughputReport(
+        assignments=assign,
+        wifi_throughputs=wifi,
+        plc_throughputs=alloc.throughputs,
+        plc_time_shares=alloc.time_shares,
+        extender_throughputs=extender_tput,
+        user_throughputs=user_tput,
+        bottleneck_is_plc=bottleneck,
+    )

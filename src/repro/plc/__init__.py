@@ -7,14 +7,18 @@ from .qos import (QosClass, class_weighted_schedule,
                   optimal_tdma_weights)
 from .mac import (Ieee1901CsmaSimulator, Ieee1901Parameters,
                   Ieee1901Result, TdmaScheduler)
-from .sharing import (PLC_MODES, PlcAllocation, allocate_backhaul,
-                      max_min_time_shares, time_fair_throughputs)
+from .sharing import (PLC_MODES, BatchPlcAllocation, PlcAllocation,
+                      allocate_backhaul, allocate_backhaul_batch,
+                      max_min_time_shares, max_min_time_shares_batch,
+                      time_fair_throughputs)
 
 __all__ = [
     "PowerlineNetwork", "random_building", "Av2Phy", "DEFAULT_AV2",
     "Ieee1901CsmaSimulator", "Ieee1901Parameters", "Ieee1901Result",
-    "TdmaScheduler", "PLC_MODES", "PlcAllocation", "allocate_backhaul",
-    "max_min_time_shares", "time_fair_throughputs",
+    "TdmaScheduler", "PLC_MODES", "PlcAllocation", "BatchPlcAllocation",
+    "allocate_backhaul", "allocate_backhaul_batch",
+    "max_min_time_shares", "max_min_time_shares_batch",
+    "time_fair_throughputs",
     "NoiseProcess", "TimeVaryingPlc",
     "optimal_tdma_weights", "QosClass", "class_weighted_schedule",
 ]

@@ -28,8 +28,11 @@ import numpy as np
 __all__ = [
     "time_fair_throughputs",
     "max_min_time_shares",
+    "max_min_time_shares_batch",
     "PlcAllocation",
+    "BatchPlcAllocation",
     "allocate_backhaul",
+    "allocate_backhaul_batch",
     "PLC_MODES",
 ]
 
@@ -108,6 +111,57 @@ def max_min_time_shares(demand_fractions: Sequence[float]) -> np.ndarray:
         remaining -= float(demands[below].sum())
         keep = demands[unsatisfied] > level + _EPS
         unsatisfied = unsatisfied[keep]
+    return granted
+
+
+def max_min_time_shares_batch(demand_fractions: np.ndarray) -> np.ndarray:
+    """Row-wise max-min fair time allocation for a batch of demand vectors.
+
+    Vectorized counterpart of :func:`max_min_time_shares`: every row of
+    ``demand_fractions`` is an independent progressive-filling problem, and
+    all rows advance through the water-filling iterations simultaneously.
+    Each iteration either saturates at least one extender per still-active
+    row or finishes the row, so the loop runs at most ``n_extenders + 1``
+    times regardless of the batch size.
+
+    Args:
+        demand_fractions: ``(B, n_extenders)`` matrix of required time
+            fractions (``>= 0``; ``np.inf`` means unbounded demand).
+
+    Returns:
+        ``(B, n_extenders)`` array of granted time fractions; each row sums
+        to at most 1.
+    """
+    demands = np.atleast_2d(np.asarray(demand_fractions, dtype=float))
+    if np.any(demands < 0) or np.any(np.isnan(demands)):
+        raise ValueError("demand fractions must be non-negative numbers")
+    n_batch = demands.shape[0]
+    granted = np.zeros_like(demands)
+    remaining = np.ones(n_batch)
+    unsat = demands > _EPS
+    active_rows = unsat.any(axis=1) & (remaining > _EPS)
+    while np.any(active_rows):
+        n_unsat = unsat.sum(axis=1)
+        level = np.zeros(n_batch)
+        level[active_rows] = (remaining[active_rows]
+                              / n_unsat[active_rows])
+        below = unsat & (demands <= level[:, np.newaxis] + _EPS)
+        below &= active_rows[:, np.newaxis]
+        has_below = below.any(axis=1)
+        # Rows where nobody's demand fits under the water level: split the
+        # remaining time equally and finish the row.
+        split = active_rows & ~has_below
+        if np.any(split):
+            sel = split[:, np.newaxis] & unsat
+            granted = np.where(sel, level[:, np.newaxis], granted)
+            remaining[split] = 0.0
+        # Rows with saturated extenders: grant their demands exactly and
+        # redistribute the surplus in the next iteration.
+        if np.any(has_below):
+            granted = np.where(below, demands, granted)
+            remaining = remaining - np.where(below, demands, 0.0).sum(axis=1)
+            unsat &= ~below
+        active_rows = unsat.any(axis=1) & (remaining > _EPS)
     return granted
 
 
@@ -201,3 +255,73 @@ def allocate_backhaul(plc_rates: Sequence[float],
     saturated = active & (throughputs + _EPS < load)
     return PlcAllocation(time_shares=shares, throughputs=throughputs,
                          saturated=saturated)
+
+
+@dataclass(frozen=True)
+class BatchPlcAllocation:
+    """PLC backhaul allocations for a batch of demand vectors.
+
+    Same semantics as :class:`PlcAllocation` with a leading batch axis:
+    every array is ``(B, n_extenders)``.
+    """
+
+    time_shares: np.ndarray
+    throughputs: np.ndarray
+    saturated: np.ndarray
+
+    @property
+    def busy_fractions(self) -> np.ndarray:
+        """Per-candidate total fraction of the medium time in use."""
+        return self.time_shares.sum(axis=1)
+
+
+def allocate_backhaul_batch(plc_rates: Sequence[float],
+                            demands: np.ndarray,
+                            mode: str = "redistribute"
+                            ) -> BatchPlcAllocation:
+    """Allocate the PLC backhaul for a batch of WiFi-side demand vectors.
+
+    Vectorized counterpart of :func:`allocate_backhaul`: ``demands`` is a
+    ``(B, n_extenders)`` matrix and every row is allocated independently
+    under the same sharing law, without a Python loop over candidates.
+
+    Args:
+        plc_rates: per-extender PLC PHY rates ``c_j`` (Mbps).
+        demands: ``(B, n_extenders)`` matrix of WiFi-side offered loads.
+        mode: one of :data:`PLC_MODES`.
+
+    Returns:
+        A :class:`BatchPlcAllocation`.
+    """
+    if mode not in PLC_MODES:
+        raise ValueError(f"mode must be one of {PLC_MODES}, got {mode!r}")
+    rates = np.asarray(plc_rates, dtype=float)
+    load = np.atleast_2d(np.asarray(demands, dtype=float))
+    if load.ndim != 2 or load.shape[1] != rates.shape[0]:
+        raise ValueError(
+            "demands must be a (B, n_extenders) matrix matching plc_rates")
+    if np.any(rates < 0) or np.any(load < 0):
+        raise ValueError("rates and demands must be non-negative")
+
+    active = load > _EPS
+    rates_row = rates[np.newaxis, :]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        needed = np.where(active & (rates_row > 0),
+                          load / np.maximum(rates_row, _EPS), 0.0)
+    needed = np.where(active & (rates_row <= _EPS), np.inf, needed)
+
+    if mode == "redistribute":
+        shares = max_min_time_shares_batch(needed)
+    elif mode == "active":
+        shares = np.zeros_like(load)
+        n_active = active.sum(axis=1)
+        rows = n_active > 0
+        shares[rows] = active[rows] / n_active[rows, np.newaxis]
+    else:  # fixed
+        shares = np.zeros_like(load)
+        if rates.size > 0:
+            shares[active] = 1.0 / rates.size
+    throughputs = np.minimum(shares * rates_row, load)
+    saturated = active & (throughputs + _EPS < load)
+    return BatchPlcAllocation(time_shares=shares, throughputs=throughputs,
+                              saturated=saturated)

@@ -7,13 +7,13 @@ from .phy import MCS_TABLE_80211N_20MHZ, WifiPhy
 from .rate_adaptation import (ArfRateController,
                               frame_success_probability, probe_rate)
 from .sharing import (anomaly_ratio, cell_throughput, cell_throughputs,
-                      per_user_throughput)
+                      cell_throughputs_batch, per_user_throughput)
 
 __all__ = [
     "WifiPhy", "MCS_TABLE_80211N_20MHZ",
     "DcfSimulator", "DcfParameters", "DcfResult",
-    "cell_throughput", "cell_throughputs", "per_user_throughput",
-    "anomaly_ratio",
+    "cell_throughput", "cell_throughputs", "cell_throughputs_batch",
+    "per_user_throughput", "anomaly_ratio",
     "assign_channels", "ChannelPlan", "interference_graph",
     "NON_OVERLAPPING_2_4GHZ",
     "ArfRateController", "frame_success_probability", "probe_rate",

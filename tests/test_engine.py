@@ -80,6 +80,47 @@ class TestEvaluateSemantics:
             evaluate(fig3_scenario, [1, 0]).aggregate)
 
 
+class TestNActiveExtenders:
+    """Regression: the empty-attachment path must not crash or miscount."""
+
+    def test_all_unassigned_is_zero(self, fig3_scenario):
+        report = evaluate(fig3_scenario, [UNASSIGNED, UNASSIGNED])
+        assert report.n_active_extenders == 0
+
+    def test_zero_users_is_zero(self):
+        sc = Scenario(wifi_rates=np.empty((0, 3)),
+                      plc_rates=np.array([50.0, 50.0, 50.0]))
+        report = evaluate(sc, np.empty(0, dtype=int))
+        assert report.n_active_extenders == 0
+
+    def test_counts_distinct_extenders_only(self):
+        sc = Scenario(wifi_rates=np.full((4, 3), 40.0),
+                      plc_rates=np.full(3, 100.0))
+        report = evaluate(sc, [2, 2, 2, UNASSIGNED])
+        assert report.n_active_extenders == 1
+
+    def test_list_typed_assignment(self, fig3_scenario):
+        # The report may be built from a plain python list; the property
+        # must coerce rather than rely on ndarray methods.
+        report = evaluate(fig3_scenario, [0, 1])
+        patched = type(report)(
+            assignment=[0, 1],
+            wifi_throughputs=report.wifi_throughputs,
+            plc_throughputs=report.plc_throughputs,
+            plc_time_shares=report.plc_time_shares,
+            extender_throughputs=report.extender_throughputs,
+            user_throughputs=report.user_throughputs,
+            bottleneck_is_plc=report.bottleneck_is_plc)
+        assert patched.n_active_extenders == 2
+
+    def test_matches_manual_count(self, rng):
+        sc = random_scenario(rng, 10, 4)
+        assignment = rng.integers(-1, 4, size=10)
+        report = evaluate(sc, assignment)
+        manual = len({int(j) for j in assignment if j != UNASSIGNED})
+        assert report.n_active_extenders == manual
+
+
 class TestEngineInvariants:
     @given(st.integers(2, 12), st.integers(1, 8), st.integers(0, 2**31 - 1))
     @settings(max_examples=100, deadline=None)

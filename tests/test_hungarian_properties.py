@@ -1,0 +1,116 @@
+"""Property tests for the from-scratch rectangular assignment solver.
+
+Randomized cross-checks of :func:`repro.core.hungarian.solve_assignment`
+against :func:`scipy.optimize.linear_sum_assignment` on rectangular
+matrices with forbidden pairs, plus explicit guarantees that a
+fully-forbidden row raises :class:`InfeasibleAssignmentError` instead of
+silently matching the sentinel "big" cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.core.hungarian import InfeasibleAssignmentError, solve_assignment
+
+
+def _random_instance(seed: int, n_rows: int, n_cols: int,
+                     forbidden_prob: float) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    weights = rng.uniform(-50.0, 150.0, size=(n_rows, n_cols))
+    forbidden = rng.random((n_rows, n_cols)) < forbidden_prob
+    return np.where(forbidden, -np.inf, weights)
+
+
+def _scipy_reference(weights: np.ndarray):
+    """scipy's verdict: (feasible, total utility of an optimal matching)."""
+    try:
+        rows, cols = linear_sum_assignment(weights, maximize=True)
+    except ValueError:
+        return False, None
+    if np.any(np.isneginf(weights[rows, cols])):
+        return False, None
+    return True, float(weights[rows, cols].sum())
+
+
+class TestScipyDifferential:
+    @given(st.integers(1, 7), st.integers(1, 7),
+           st.sampled_from([0.0, 0.2, 0.4, 0.6]),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=120, deadline=None)
+    def test_same_verdict_and_value(self, n_rows, n_cols, forbidden_prob,
+                                    seed):
+        weights = _random_instance(seed, n_rows, n_cols, forbidden_prob)
+        feasible, best = _scipy_reference(weights)
+        if not feasible:
+            with pytest.raises(InfeasibleAssignmentError):
+                solve_assignment(weights, maximize=True)
+            return
+        rows, cols = solve_assignment(weights, maximize=True)
+        assert rows.size == cols.size == min(n_rows, n_cols)
+        assert len(set(rows.tolist())) == rows.size
+        assert len(set(cols.tolist())) == cols.size
+        assert not np.any(np.isneginf(weights[rows, cols]))
+        assert float(weights[rows, cols].sum()) == pytest.approx(best)
+
+    @given(st.integers(1, 6), st.integers(1, 6),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_minimize_orientation(self, n_rows, n_cols, seed):
+        rng = np.random.default_rng(seed)
+        costs = rng.uniform(0.0, 100.0, size=(n_rows, n_cols))
+        rows, cols = solve_assignment(costs, maximize=False)
+        ref_rows, ref_cols = linear_sum_assignment(costs)
+        assert float(costs[rows, cols].sum()) == pytest.approx(
+            float(costs[ref_rows, ref_cols].sum()))
+
+
+class TestFullyForbiddenRows:
+    def test_square_matrix_with_dead_row_is_infeasible(self):
+        weights = np.array([[10.0, 20.0, 30.0],
+                            [-np.inf, -np.inf, -np.inf],
+                            [5.0, 15.0, 25.0]])
+        with pytest.raises(InfeasibleAssignmentError):
+            solve_assignment(weights, maximize=True)
+
+    def test_wide_matrix_with_dead_row_is_infeasible(self):
+        # Fewer rows than columns: every row must still be matched.
+        weights = np.array([[-np.inf, -np.inf, -np.inf, -np.inf],
+                            [1.0, 2.0, 3.0, 4.0]])
+        with pytest.raises(InfeasibleAssignmentError):
+            solve_assignment(weights, maximize=True)
+
+    def test_tall_matrix_skips_dead_row(self):
+        # More rows than columns: a dead row can simply stay unmatched.
+        weights = np.array([[10.0, 1.0],
+                            [-np.inf, -np.inf],
+                            [2.0, 20.0]])
+        rows, cols = solve_assignment(weights, maximize=True)
+        assert 1 not in rows.tolist()
+        assert float(weights[rows, cols].sum()) == pytest.approx(30.0)
+
+    def test_all_forbidden_matrix_is_infeasible(self):
+        weights = np.full((2, 2), -np.inf)
+        with pytest.raises(InfeasibleAssignmentError):
+            solve_assignment(weights, maximize=True)
+
+    def test_minimize_dead_row_is_infeasible(self):
+        costs = np.array([[np.inf, np.inf],
+                          [1.0, 2.0]])
+        with pytest.raises(InfeasibleAssignmentError):
+            solve_assignment(costs, maximize=False)
+
+    @given(st.integers(2, 6), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_never_matches_sentinel_cost(self, n, seed):
+        """A forbidden pair never leaks into the matching via `big`."""
+        rng = np.random.default_rng(seed)
+        weights = rng.uniform(0.0, 100.0, size=(n, n))
+        dead = int(rng.integers(n))
+        weights[dead, :] = -np.inf
+        with pytest.raises(InfeasibleAssignmentError):
+            solve_assignment(weights, maximize=True)
