@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Run the full static-analysis gate locally: woltlint, then ruff and
+# mypy when they are installed (both live in the ``dev`` extra; CI runs
+# all three unconditionally).  Mirrors the ``lint`` job in
+# .github/workflows/ci.yml.  Usage: scripts/lint.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+status=0
+
+echo "== woltlint =="
+python -m tools.woltlint src tests || status=1
+
+echo "== ruff =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests tools || status=1
+else
+    echo "ruff not installed; skipping (pip install -e '.[dev]')"
+fi
+
+echo "== mypy =="
+if command -v mypy >/dev/null 2>&1; then
+    mypy || status=1
+else
+    echo "mypy not installed; skipping (pip install -e '.[dev]')"
+fi
+
+exit "$status"

@@ -22,7 +22,6 @@ brute force.  Certified identical to
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -45,7 +44,7 @@ class BnbResult:
     """
 
     assignment: np.ndarray
-    aggregate_throughput: float
+    aggregate_throughput: float  # woltlint: disable=W005 — established result API; value is Mbps
     nodes_expanded: int
     nodes_pruned: int
 

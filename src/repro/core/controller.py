@@ -14,13 +14,13 @@ charged against the throughput the network would otherwise deliver.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from ..net.engine import evaluate
-from .baselines import greedy_attach_user, rssi_assignment
+from ..net.engine import ThroughputReport, evaluate
+from .baselines import greedy_attach_user
 from .problem import Scenario, UNASSIGNED
 from .wolt import solve_wolt
 
@@ -162,7 +162,7 @@ class CentralController:
     # ------------------------------------------------------------------
     # measurement
 
-    def network_report(self):
+    def network_report(self) -> "ThroughputReport":
         """Current end-to-end throughput report (see
         :func:`repro.net.engine.evaluate`)."""
         scenario, ids = self._scenario()
@@ -192,7 +192,7 @@ class CentralController:
         self._assignment[user_id] = extender
         return AssociationDirective(user_id=user_id, extender=extender)
 
-    def _scenario(self):
+    def _scenario(self) -> "Tuple[Scenario, List[int]]":
         ids = sorted(self._reports)
         wifi = np.vstack([self._reports[uid].wifi_rates for uid in ids])
         return (Scenario(wifi_rates=wifi, plc_rates=self.plc_rates,

@@ -18,12 +18,12 @@ epoch-boundary WOLT; larger thresholds approach "never reassign"
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..net.engine import evaluate
-from .problem import Scenario, UNASSIGNED
+from ..net.engine import evaluate, evaluate_batch
+from .problem import Scenario
 from .wolt import solve_wolt
 
 __all__ = ["ReconfigureOutcome", "IncrementalWolt"]
@@ -63,7 +63,8 @@ class IncrementalWolt:
         plc_mode: PLC sharing law for evaluation and move scoring.
     """
 
-    def __init__(self, plc_rates, min_gain_mbps: float = 0.0,
+    def __init__(self, plc_rates: "Union[Sequence[float], np.ndarray]",
+                 min_gain_mbps: float = 0.0,
                  max_moves: Optional[int] = None,
                  plc_mode: str = "redistribute") -> None:
         if min_gain_mbps < 0:
@@ -89,7 +90,8 @@ class IncrementalWolt:
     def n_users(self) -> int:
         return len(self._rates)
 
-    def add_user(self, user_id: int, wifi_rates) -> int:
+    def add_user(self, user_id: int,
+                 wifi_rates: "Union[Sequence[float], np.ndarray]") -> int:
         """Admit a user on its strongest extender; returns the extender."""
         rates = np.asarray(wifi_rates, dtype=float)
         if rates.shape != self.plc_rates.shape:
@@ -152,13 +154,16 @@ class IncrementalWolt:
             if (self.max_moves is not None
                     and len(applied) >= self.max_moves):
                 break
-            gains = []
-            for idx in pending:
-                trial = working.copy()
-                trial[idx] = target.assignment[idx]
-                agg = evaluate(scenario, trial, plc_mode=self.plc_mode,
-                               require_complete=True).aggregate
-                gains.append((agg - best, idx))
+            # Score every pending move in one batched engine call
+            # (bit-identical to the scalar loop by the PR-1 contract).
+            idxs = sorted(pending)
+            batch = np.tile(working, (len(idxs), 1))
+            batch[np.arange(len(idxs)), idxs] = target.assignment[idxs]
+            aggregates = evaluate_batch(scenario, batch,
+                                        plc_mode=self.plc_mode,
+                                        require_complete=True).aggregates
+            gains = [(float(agg) - best, idx)
+                     for agg, idx in zip(aggregates, idxs)]
             gain, idx = max(gains)
             if gain < self.min_gain_mbps or gain <= 1e-12:
                 break

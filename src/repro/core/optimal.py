@@ -38,7 +38,7 @@ class OptimalResult:
     """
 
     assignment: np.ndarray
-    aggregate_throughput: float
+    aggregate_throughput: float  # woltlint: disable=W005 — established result API; value is Mbps
     explored: int
 
 
@@ -94,7 +94,7 @@ def brute_force_optimal(scenario: Scenario,
     # engine call per BATCH_CHUNK assignments instead of one scalar call
     # per assignment.  Within a chunk the first-occurrence argmax matches
     # the strict ``>`` scan of the per-assignment loop.
-    def flush():
+    def flush() -> None:
         nonlocal best_assignment, best_value, explored
         if not chunk:
             return

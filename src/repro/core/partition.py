@@ -28,7 +28,7 @@ why no polynomial exact algorithm should be expected.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Sequence
 
 import itertools
 

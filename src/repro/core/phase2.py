@@ -25,7 +25,7 @@ Two solvers are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -159,7 +159,7 @@ class _BatchGains:
 
 def _greedy_insertion_batch(scenario: Scenario, state: _CellState,
                             gains: _BatchGains, assignment: np.ndarray,
-                            remaining: list) -> None:
+                            remaining: "List[int]") -> None:
     """Batched greedy insertion (vectorized candidate scoring).
 
     Each iteration scores every (pending user, extender) candidate in one
@@ -183,7 +183,7 @@ def _greedy_insertion_batch(scenario: Scenario, state: _CellState,
 
 def _greedy_insertion_scalar(scenario: Scenario, state: _CellState,
                              assignment: np.ndarray,
-                             remaining: list) -> None:
+                             remaining: "List[int]") -> None:
     """Reference scalar greedy insertion (one engine call per candidate)."""
     while remaining:
         best = None  # (gain, user, extender)

@@ -12,7 +12,7 @@ whose entry is the extender index a user attaches to, or
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np

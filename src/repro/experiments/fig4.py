@@ -22,13 +22,11 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from ..core.baselines import greedy_assignment, rssi_assignment
-from ..core.problem import Scenario
 from ..core.wolt import solve_wolt
 from ..net.engine import evaluate
 from ..net.metrics import compare_per_user
 from ..testbed.devices import EmulatedTestbed, Laptop, PlcExtender
-from .common import (TESTBED_EXTENDERS, TESTBED_LAPTOPS, format_rows,
-                     lab_scenario)
+from .common import format_rows, lab_scenario
 
 __all__ = ["Fig4aResult", "run_fig4a", "Fig4bResult", "run_fig4b",
            "Fig4cResult", "run_fig4c", "main", "PAPER_FIG4A_IMPROVEMENT"]
@@ -110,9 +108,10 @@ def run_fig4b(n_topologies: int = 25, seed: int = 0,
     wolt_all: List[float] = []
     greedy_all: List[float] = []
     rssi_all: List[float] = []
+    order_seqs = np.random.SeedSequence(seed).spawn(n_topologies)
     for t in range(n_topologies):
         scenario = lab_scenario(seed + t)
-        rng = np.random.default_rng(seed + t)
+        rng = np.random.default_rng(order_seqs[t])
         wolt = solve_wolt(scenario, plc_mode=plc_mode)
         greedy = evaluate(scenario,
                           greedy_assignment(

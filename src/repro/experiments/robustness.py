@@ -57,8 +57,9 @@ def run_robustness(noise_levels: Sequence[float] = (0.0, 0.1, 0.2, 0.4),
         raise ValueError("noise levels must be non-negative")
     sums = {policy: np.zeros(len(levels))
             for policy in ("wolt", "greedy", "rssi")}
+    trial_seqs = np.random.SeedSequence(seed).spawn(n_trials)
     for trial in range(n_trials):
-        rng = np.random.default_rng(seed + trial)
+        rng = np.random.default_rng(trial_seqs[trial])
         truth = enterprise_floor(n_extenders, n_users, rng)
         order = rng.permutation(n_users)
         for li, level in enumerate(levels):

@@ -16,7 +16,7 @@ The paper evaluates two operating points (3 ext / 7 users and 15 ext /
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -50,10 +50,27 @@ class SweepResult:
     ratio_wolt_rssi: Tuple[float, ...]
 
 
-def _ratios_for(scenarios, seed: int) -> Tuple[float, float]:
+def _spawn_streams(seed: int, n_trials: int
+                   ) -> "Tuple[List[np.random.SeedSequence], List[np.random.SeedSequence]]":
+    """Paired per-trial child streams for scenarios and arrival orders.
+
+    Both sets are spawned from one ``SeedSequence(seed)`` root (spawn
+    state advances between the two calls, so the sets are disjoint).
+    Each sweep reuses the same children across its swept values, keeping
+    the design paired: value ``k`` and value ``k+1`` see the same
+    scenario randomness, so their ratio difference is attributable to
+    the parameter.
+    """
+    root = np.random.SeedSequence(seed)
+    return root.spawn(n_trials), root.spawn(n_trials)
+
+
+def _ratios_for(scenarios: "Sequence[Scenario]",
+                order_seqs: "Sequence[np.random.SeedSequence]"
+                ) -> Tuple[float, float]:
     wg, wr = [], []
-    for trial, scenario in enumerate(scenarios):
-        rng = np.random.default_rng(seed + 1000 + trial)
+    for scenario, order_seq in zip(scenarios, order_seqs):
+        rng = np.random.default_rng(order_seq)
         wolt = solve_wolt(scenario, plc_mode="fixed").aggregate_throughput
         greedy = evaluate(scenario,
                           greedy_assignment(
@@ -71,12 +88,14 @@ def sweep_extenders(extender_counts: Sequence[int] = (3, 6, 9, 12, 15),
                     n_users: int = 36, n_trials: int = 6,
                     seed: int = 0) -> SweepResult:
     """WOLT's advantage vs extender count."""
+    scenario_seqs, order_seqs = _spawn_streams(seed, n_trials)
     wg_series, wr_series = [], []
     for n_ext in extender_counts:
         scenarios = [enterprise_floor(n_ext, n_users,
-                                      np.random.default_rng(seed + t))
+                                      np.random.default_rng(
+                                          scenario_seqs[t]))
                      for t in range(n_trials)]
-        wg, wr = _ratios_for(scenarios, seed)
+        wg, wr = _ratios_for(scenarios, order_seqs)
         wg_series.append(wg)
         wr_series.append(wr)
     return SweepResult(parameter="n_extenders",
@@ -89,12 +108,14 @@ def sweep_users(user_counts: Sequence[int] = (15, 36, 60, 90, 124),
                 n_extenders: int = 15, n_trials: int = 6,
                 seed: int = 0) -> SweepResult:
     """WOLT's advantage vs population size (generalized Fig. 6b)."""
+    scenario_seqs, order_seqs = _spawn_streams(seed, n_trials)
     wg_series, wr_series = [], []
     for n_users in user_counts:
         scenarios = [enterprise_floor(n_extenders, n_users,
-                                      np.random.default_rng(seed + t))
+                                      np.random.default_rng(
+                                          scenario_seqs[t]))
                      for t in range(n_trials)]
-        wg, wr = _ratios_for(scenarios, seed)
+        wg, wr = _ratios_for(scenarios, order_seqs)
         wg_series.append(wg)
         wr_series.append(wr)
     return SweepResult(parameter="n_users",
@@ -114,16 +135,17 @@ def sweep_plc_quality(capacity_scales: Sequence[float] = (0.5, 1.0, 2.0,
     backhaul) and the association policies converge toward parity.
     """
     phy = WifiPhy()
+    scenario_seqs, order_seqs = _spawn_streams(seed, n_trials)
     wg_series, wr_series = [], []
     for scale in capacity_scales:
         scenarios = []
         for t in range(n_trials):
-            rng = np.random.default_rng(seed + t)
+            rng = np.random.default_rng(scenario_seqs[t])
             base = enterprise_floor(n_extenders, n_users, rng, phy=phy)
             caps = sample_isolation_capacities(n_extenders, rng) * scale
             scenarios.append(Scenario(wifi_rates=base.wifi_rates,
                                       plc_rates=caps))
-        wg, wr = _ratios_for(scenarios, seed)
+        wg, wr = _ratios_for(scenarios, order_seqs)
         wg_series.append(wg)
         wr_series.append(wr)
     return SweepResult(parameter="plc_capacity_scale",

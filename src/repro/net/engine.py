@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Iterator, List, Sequence
 
 import numpy as np
 
@@ -66,7 +66,7 @@ class EngineCallStats:
 
 #: Stack of active counter frames (the engine increments every frame, so
 #: nested ``count_engine_calls`` blocks each see their own totals).
-_COUNTER_STACK: list = []
+_COUNTER_STACK: "List[EngineCallStats]" = []
 
 
 @contextmanager

@@ -10,7 +10,6 @@ experiment (``repro.experiments.robustness``) perturbs inputs with.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np

@@ -8,7 +8,7 @@ and association structure visible at a glance in a terminal.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -50,7 +50,7 @@ def render_floor(plan: FloorPlan,
 
     grid = [[" "] * width_chars for _ in range(height_chars)]
 
-    def to_cell(x: float, y: float):
+    def to_cell(x: float, y: float) -> Tuple[int, int]:
         col = int(x / plan.width_m * (width_chars - 1))
         row = int(y / plan.height_m * (height_chars - 1))
         return (min(max(row, 0), height_chars - 1),

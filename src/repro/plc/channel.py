@@ -19,7 +19,7 @@ Fig. 2b.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import networkx as nx
 import numpy as np

@@ -93,7 +93,9 @@ class Ieee1901CsmaSimulator:
         if any(r < 0 for r in self.rates):
             raise ValueError("PHY rates must be non-negative")
         self.params = params or Ieee1901Parameters()
-        self.rng = rng or np.random.default_rng()
+        # Fixed default seed: backhaul MAC runs must be reproducible
+        # (woltlint W001); pass an explicit generator for fresh streams.
+        self.rng = rng if rng is not None else np.random.default_rng(0)
 
     def run(self, sim_time_us: float = 5e6) -> Ieee1901Result:
         """Simulate the backhaul for ``sim_time_us`` of channel time."""

@@ -11,11 +11,11 @@ serving higher QoS classes receive proportionally larger reservations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
-from ..core.problem import Scenario, UNASSIGNED
+from ..core.problem import Scenario
 from ..wifi.sharing import cell_throughputs
 from .sharing import allocate_backhaul
 

@@ -21,7 +21,7 @@ is fully deterministic given a seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -57,7 +57,7 @@ class EpochStats:
     arrivals: int
     departures: int
     reassignments: int
-    aggregate_throughput: float
+    aggregate_throughput: float  # woltlint: disable=W005 — established result API; value is Mbps
     jain_fairness: float
 
 

@@ -89,7 +89,7 @@ class FailureEpoch:
     failed_extenders: Tuple[int, ...] = ()
     orphaned_users: int = 0
     offline_users: int = 0
-    aggregate_throughput: float = 0.0
+    aggregate_throughput: float = 0.0  # woltlint: disable=W005 — established result API; value is Mbps
 
 
 class FailureSimulation:

@@ -12,7 +12,7 @@ handoff load mobility induces on top of churn.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -40,7 +40,8 @@ class RandomWaypoint:
         pause_time: pause at each waypoint (time units).
     """
 
-    def __init__(self, position, width_m: float, height_m: float,
+    def __init__(self, position: "Union[Sequence[float], np.ndarray]",
+                 width_m: float, height_m: float,
                  rng: np.random.Generator,
                  v_min: float = 0.5, v_max: float = 1.5,
                  pause_time: float = 2.0) -> None:
@@ -105,7 +106,7 @@ class MobilityEpoch:
     """
 
     epoch: int
-    aggregate_throughput: float
+    aggregate_throughput: float  # woltlint: disable=W005 — established result API; value is Mbps
     handoffs: int
     mean_displacement_m: float
 

@@ -8,8 +8,8 @@ benchmarks and examples.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -17,7 +17,7 @@ from ..core.baselines import (greedy_assignment, random_assignment,
                               rssi_assignment)
 from ..core.problem import Scenario
 from ..core.wolt import solve_wolt
-from ..net.engine import ThroughputReport, evaluate
+from ..net.engine import evaluate
 from ..net.metrics import jain_fairness
 from ..net.topology import FloorPlan, enterprise_floor
 from ..plc.channel import random_building
@@ -44,7 +44,7 @@ class PolicyOutcome:
     """
 
     policy: str
-    aggregate_throughput: float
+    aggregate_throughput: float  # woltlint: disable=W005 — established result API; value is Mbps
     jain_fairness: float
     user_throughputs: np.ndarray
     assignment: np.ndarray
@@ -210,13 +210,18 @@ def run_online_comparison(n_epochs: int,
 
     Every policy sees the same floor plan and its own identically-seeded
     arrival process, so differences are attributable to the policy.
+
+    The floor-plan and arrival-process streams are independent children
+    of ``SeedSequence(seed)`` (spawned afresh per policy, so each policy
+    replays identical randomness).
     """
     histories: Dict[str, List[EpochStats]] = {}
     for policy in policies:
-        rng = np.random.default_rng(seed)
+        plan_seq, arrival_seq = np.random.SeedSequence(seed).spawn(2)
+        rng = np.random.default_rng(plan_seq)
         plan = sample_floor_plan(n_extenders, rng)
         sim = OnlineSimulation(plan, policy,
-                               rng=np.random.default_rng(seed + 1),
+                               rng=np.random.default_rng(arrival_seq),
                                arrival_rate=arrival_rate,
                                departure_rate=departure_rate,
                                epoch_duration=epoch_duration,

@@ -15,7 +15,7 @@ recycled — letting experiments study WOLT under non-saturated load.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -13,7 +13,6 @@ captures those measurements:
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

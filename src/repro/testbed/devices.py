@@ -13,12 +13,12 @@ exhibits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..core.problem import Scenario, UNASSIGNED
+from ..core.problem import Scenario
 from ..net.engine import evaluate
 from ..wifi.phy import WifiPhy
 
@@ -217,7 +217,7 @@ class EmulatedTestbed:
     # ------------------------------------------------------------------
     # internals
 
-    def _build_scenario(self):
+    def _build_scenario(self) -> "Tuple[Scenario, np.ndarray, List[str]]":
         """Model the current bench as a Scenario + assignment.
 
         Wired laptops become users with an effectively infinite WiFi rate

@@ -16,7 +16,7 @@ detect where it breaks at high extender density.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import networkx as nx
 import numpy as np

@@ -17,8 +17,8 @@ validate Eq. (1) against protocol-level behaviour.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -92,13 +92,22 @@ class DcfSimulator:
     def __init__(self, phy_rates_mbps: Sequence[float],
                  params: Optional[DcfParameters] = None,
                  rng: Optional[np.random.Generator] = None) -> None:
+        """Args:
+            phy_rates_mbps: per-station WiFi PHY rates.
+            params: DCF timing constants (802.11n defaults).
+            rng: seeded backoff generator; defaults to
+                ``np.random.default_rng(0)`` so repeated runs are
+                bit-identical unless a caller opts into its own stream.
+        """
         self.rates = [float(r) for r in phy_rates_mbps]
         if not self.rates:
             raise ValueError("at least one station is required")
         if any(r <= 0 for r in self.rates):
             raise ValueError("PHY rates must be positive")
         self.params = params or DcfParameters()
-        self.rng = rng or np.random.default_rng()
+        # Default to a fixed seed: MAC runs must be reproducible, so an
+        # unseeded generator is never handed out (woltlint W001).
+        self.rng = rng if rng is not None else np.random.default_rng(0)
 
     def run(self, sim_time_us: float = 5e6) -> DcfResult:
         """Simulate the cell for ``sim_time_us`` of channel time."""

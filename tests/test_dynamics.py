@@ -11,10 +11,11 @@ from repro.sim.runner import sample_floor_plan
 
 
 def _sim(policy="wolt", seed=0, **kwargs) -> OnlineSimulation:
-    rng = np.random.default_rng(seed)
+    plan_seq, arrival_seq = np.random.SeedSequence(seed).spawn(2)
+    rng = np.random.default_rng(plan_seq)
     plan = sample_floor_plan(5, rng)
     return OnlineSimulation(plan, policy,
-                            rng=np.random.default_rng(seed + 1),
+                            rng=np.random.default_rng(arrival_seq),
                             **kwargs)
 
 

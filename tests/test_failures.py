@@ -61,10 +61,11 @@ class TestReassociateOrphans:
 
 class TestFailureSimulation:
     def _sim(self, policy="wolt", seed=0, **kwargs):
-        rng = np.random.default_rng(seed)
+        sc_seq, fail_seq = np.random.SeedSequence(seed).spawn(2)
+        rng = np.random.default_rng(sc_seq)
         sc = random_scenario(rng, 15, 5)
         return FailureSimulation(sc, policy,
-                                 rng=np.random.default_rng(seed + 1),
+                                 rng=np.random.default_rng(fail_seq),
                                  **kwargs)
 
     def test_history_grows(self):

@@ -9,8 +9,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.plc.mac import (Ieee1901CsmaSimulator, Ieee1901Parameters,
-                           TdmaScheduler)
+from repro.plc.mac import Ieee1901CsmaSimulator, TdmaScheduler
 from repro.wifi.mac import DcfParameters, DcfSimulator
 from repro.wifi.sharing import cell_throughput
 

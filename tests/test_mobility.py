@@ -61,10 +61,11 @@ class TestRandomWaypoint:
 
 class TestMobilitySimulation:
     def _sim(self, policy="wolt", seed=0, n_users=10, **kwargs):
-        rng = np.random.default_rng(seed)
+        plan_seq, walk_seq = np.random.SeedSequence(seed).spawn(2)
+        rng = np.random.default_rng(plan_seq)
         plan = sample_floor_plan(5, rng)
         return MobilitySimulation(plan, n_users, policy,
-                                  rng=np.random.default_rng(seed + 1),
+                                  rng=np.random.default_rng(walk_seq),
                                   **kwargs)
 
     def test_epochs_recorded(self):

@@ -1,0 +1,198 @@
+"""CLI, suppression, and baseline-ratchet tests for woltlint."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from tools.woltlint import analyze_source
+from tools.woltlint.baseline import Baseline, apply_baseline
+from tools.woltlint.cli import main
+from tools.woltlint.findings import Finding
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: A file with one W001 violation (an unseeded generator).
+VIOLATION = textwrap.dedent("""
+    import numpy as np
+
+    rng = np.random.default_rng()
+""")
+
+#: The same file with a second, distinct violation added later.
+VIOLATION_PLUS_ONE = VIOLATION + textwrap.dedent("""
+    extra = np.random.default_rng()
+""")
+
+
+def write_tree(tmp_path: Path, source: str) -> Path:
+    pkg = tmp_path / "pkg"
+    pkg.mkdir(exist_ok=True)
+    (pkg / "module.py").write_text(source)
+    return pkg
+
+
+class TestSuppressions:
+    def test_same_line_suppression(self):
+        src = ("import numpy as np\n"
+               "rng = np.random.default_rng()"
+               "  # woltlint: disable=W001 — fixture\n")
+        assert analyze_source(src, "m.py") == []
+
+    def test_preceding_comment_suppression(self):
+        src = ("import numpy as np\n"
+               "# woltlint: disable=W001 — justification here\n"
+               "rng = np.random.default_rng()\n")
+        assert analyze_source(src, "m.py") == []
+
+    def test_file_wide_suppression(self):
+        src = ("# woltlint: disable-file=W001\n"
+               "import numpy as np\n"
+               "a = np.random.default_rng()\n"
+               "b = np.random.default_rng()\n")
+        assert analyze_source(src, "m.py") == []
+
+    def test_suppression_is_per_rule(self):
+        src = ("import numpy as np\n"
+               "rng = np.random.default_rng()"
+               "  # woltlint: disable=W002\n")
+        assert [f.rule for f in analyze_source(src, "m.py")] == ["W001"]
+
+    def test_suppression_only_covers_its_line(self):
+        src = ("import numpy as np\n"
+               "a = np.random.default_rng()"
+               "  # woltlint: disable=W001\n"
+               "b = np.random.default_rng()\n")
+        findings = analyze_source(src, "m.py")
+        assert [(f.rule, f.line) for f in findings] == [("W001", 3)]
+
+
+class TestBaselineRatchet:
+    def test_grandfathered_finding_stays_silent(self):
+        findings = [Finding("pkg/m.py", 3, 0, "W001", "msg")]
+        baseline = Baseline.from_findings(findings)
+        reported, grandfathered = apply_baseline(findings, baseline)
+        assert reported == []
+        assert grandfathered == 1
+
+    def test_new_violation_in_same_file_reports_whole_group(self):
+        old = [Finding("pkg/m.py", 3, 0, "W001", "msg")]
+        baseline = Baseline.from_findings(old)
+        grown = old + [Finding("pkg/m.py", 9, 0, "W001", "msg2")]
+        reported, grandfathered = apply_baseline(grown, baseline)
+        assert len(reported) == 2  # the old finding resurfaces too
+        assert grandfathered == 0
+
+    def test_other_rules_unaffected_by_grandfathering(self):
+        baseline = Baseline.from_findings(
+            [Finding("pkg/m.py", 3, 0, "W001", "msg")])
+        findings = [Finding("pkg/m.py", 3, 0, "W001", "msg"),
+                    Finding("pkg/m.py", 5, 0, "W004", "msg")]
+        reported, grandfathered = apply_baseline(findings, baseline)
+        assert [f.rule for f in reported] == ["W004"]
+        assert grandfathered == 1
+
+    def test_round_trip(self, tmp_path):
+        baseline = Baseline.from_findings(
+            [Finding("a.py", 1, 0, "W001", "m"),
+             Finding("a.py", 2, 0, "W001", "m"),
+             Finding("b.py", 1, 0, "W005", "m")])
+        path = tmp_path / "baseline.json"
+        baseline.save(str(path))
+        loaded = Baseline.load(str(path))
+        assert loaded.counts == {"a.py::W001": 2, "b.py::W005": 1}
+
+    def test_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": {}}))
+        with pytest.raises(ValueError):
+            Baseline.load(str(path))
+
+
+class TestCli:
+    def run(self, tmp_path, *argv):
+        return main([str(tmp_path / "pkg"), "--root", str(tmp_path),
+                     *argv])
+
+    def test_violation_fails_without_baseline_file(self, tmp_path,
+                                                   capsys):
+        write_tree(tmp_path, VIOLATION)
+        bl = tmp_path / "baseline.json"
+        assert self.run(tmp_path, "--baseline", str(bl)) == 1
+        out = capsys.readouterr().out
+        assert "pkg/module.py" in out and "W001" in out
+
+    def test_update_then_grandfathered_run_is_green(self, tmp_path,
+                                                    capsys):
+        write_tree(tmp_path, VIOLATION)
+        bl = tmp_path / "baseline.json"
+        assert self.run(tmp_path, "--baseline", str(bl),
+                        "--update-baseline") == 0
+        assert self.run(tmp_path, "--baseline", str(bl)) == 0
+        out = capsys.readouterr().out
+        assert "grandfathered" in out
+
+    def test_new_violation_still_fails_same_file(self, tmp_path,
+                                                 capsys):
+        write_tree(tmp_path, VIOLATION)
+        bl = tmp_path / "baseline.json"
+        assert self.run(tmp_path, "--baseline", str(bl),
+                        "--update-baseline") == 0
+        write_tree(tmp_path, VIOLATION_PLUS_ONE)
+        assert self.run(tmp_path, "--baseline", str(bl)) == 1
+        out = capsys.readouterr().out
+        assert out.count("W001") >= 2  # whole group resurfaces
+
+    def test_no_baseline_reports_everything(self, tmp_path, capsys):
+        write_tree(tmp_path, VIOLATION)
+        bl = tmp_path / "baseline.json"
+        assert self.run(tmp_path, "--baseline", str(bl),
+                        "--update-baseline") == 0
+        assert self.run(tmp_path, "--baseline", str(bl),
+                        "--no-baseline") == 1
+        assert "W001" in capsys.readouterr().out
+
+    def test_json_output_shape(self, tmp_path, capsys):
+        write_tree(tmp_path, VIOLATION)
+        bl = tmp_path / "baseline.json"
+        assert self.run(tmp_path, "--baseline", str(bl),
+                        "--format", "json") == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["reported"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "W001"
+        assert finding["path"] == "pkg/module.py"
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        assert main([str(tmp_path / "nope")]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("W001", "W002", "W003", "W004", "W005", "W006"):
+            assert code in out
+
+    def test_select_and_ignore(self, tmp_path, capsys):
+        write_tree(tmp_path, VIOLATION)
+        bl = tmp_path / "baseline.json"
+        assert self.run(tmp_path, "--baseline", str(bl),
+                        "--ignore", "W001") == 0
+        assert self.run(tmp_path, "--baseline", str(bl),
+                        "--select", "W002") == 0
+
+
+class TestRealTree:
+    """The PR gate: the shipped tree is clean under the shipped baseline."""
+
+    def test_src_and_tests_are_clean(self, capsys):
+        argv = [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests"),
+                "--root", str(REPO_ROOT)]
+        assert main(argv) == 0
+
+    def test_checked_in_baseline_is_empty(self):
+        baseline = Baseline.load(
+            str(REPO_ROOT / "tools" / "woltlint" / "baseline.json"))
+        assert baseline.is_empty()

@@ -1,0 +1,271 @@
+"""Per-rule tests for the woltlint invariant checker.
+
+Every rule gets at least one true-positive fixture and one clean
+fixture, exercised through :func:`tools.woltlint.analyze_source` with a
+virtual path (several rules are path-scoped).
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from tools.woltlint import analyze_source
+from tools.woltlint.rules import RULES
+
+
+def findings_for(source: str, path: str = "core/module.py",
+                 select=None):
+    return analyze_source(textwrap.dedent(source), path, select=select)
+
+
+def codes(source: str, path: str = "core/module.py", select=None):
+    return [f.rule for f in findings_for(source, path, select=select)]
+
+
+class TestRegistry:
+    def test_all_six_rules_registered(self):
+        assert set(RULES) == {"W001", "W002", "W003", "W004", "W005",
+                              "W006"}
+
+    def test_rules_carry_metadata(self):
+        for code, rule in RULES.items():
+            assert rule.code == code
+            assert rule.name
+            assert rule.description
+            assert rule.rationale
+
+
+class TestW001UnseededRng:
+    def test_unseeded_default_rng_flagged(self):
+        src = """
+        import numpy as np
+        rng = np.random.default_rng()
+        """
+        assert codes(src) == ["W001"]
+
+    def test_bare_default_rng_import_flagged(self):
+        src = """
+        from numpy.random import default_rng
+        rng = default_rng()
+        """
+        assert codes(src) == ["W001"]
+
+    def test_global_state_call_flagged(self):
+        src = """
+        import numpy as np
+        np.random.seed(3)
+        x = np.random.uniform(0, 1, 5)
+        """
+        assert codes(src) == ["W001", "W001"]
+
+    def test_seeded_generator_clean(self):
+        src = """
+        import numpy as np
+        rng = np.random.default_rng(42)
+        child = np.random.default_rng(np.random.SeedSequence(1))
+        x = rng.uniform(0, 1, 5)
+        y = rng.random(3)
+        """
+        assert codes(src) == []
+
+
+class TestW002SeedArithmetic:
+    def test_seed_plus_offset_flagged(self):
+        src = """
+        import numpy as np
+        rng = np.random.default_rng(seed + 1000 + trial)
+        """
+        assert codes(src) == ["W002"]
+
+    def test_seed_sequence_arithmetic_flagged(self):
+        src = """
+        import numpy as np
+        ss = np.random.SeedSequence(2 * base_seed)
+        """
+        assert codes(src) == ["W002"]
+
+    def test_spawned_children_clean(self):
+        src = """
+        import numpy as np
+        children = np.random.SeedSequence(seed).spawn(4)
+        rng = np.random.default_rng(children[2])
+        plain = np.random.default_rng(seed)
+        """
+        assert codes(src) == []
+
+    def test_arithmetic_without_seed_name_clean(self):
+        src = """
+        import numpy as np
+        rng = np.random.default_rng(2 + 3)
+        """
+        assert codes(src) == []
+
+
+class TestW003ScalarEvalInLoop:
+    def test_evaluate_in_for_loop_flagged(self):
+        src = """
+        def search(scenario, candidates):
+            best = None
+            for cand in candidates:
+                value = evaluate(scenario, cand).aggregate
+            return best
+        """
+        assert codes(src) == ["W003"]
+
+    def test_evaluate_in_while_and_comprehension_flagged(self):
+        src = """
+        def search(scenario, cands):
+            while cands:
+                engine.evaluate(scenario, cands.pop())
+            return [evaluate(scenario, c) for c in cands]
+        """
+        assert codes(src) == ["W003", "W003"]
+
+    def test_batch_call_in_loop_clean(self):
+        src = """
+        def search(scenario, chunks):
+            for chunk in chunks:
+                evaluate_batch(scenario, chunk)
+        """
+        assert codes(src) == []
+
+    def test_evaluate_outside_loop_clean(self):
+        src = """
+        def score(scenario, assignment):
+            return evaluate(scenario, assignment).aggregate
+        """
+        assert codes(src) == []
+
+    def test_nested_function_escapes_enclosing_loop(self):
+        # The def runs later, not per-iteration: lexical nesting inside
+        # a loop does not make the call a per-iteration call.
+        src = """
+        def outer(scenario):
+            for _ in range(3):
+                def helper(vec):
+                    return evaluate(scenario, vec)
+        """
+        assert codes(src) == []
+
+    def test_scoped_to_core_and_sim(self):
+        src = """
+        def search(scenario, candidates):
+            for cand in candidates:
+                evaluate(scenario, cand)
+        """
+        assert codes(src, path="experiments/module.py") == []
+        assert codes(src, path="src/repro/sim/module.py") == ["W003"]
+
+
+class TestW004ReportMutation:
+    def test_attribute_assignment_flagged(self):
+        src = """
+        report.aggregate = 3.0
+        """
+        assert codes(src) == ["W004"]
+
+    def test_augmented_and_setattr_flagged(self):
+        src = """
+        batch_report.user_throughputs += 1.0
+        object.__setattr__(report, "aggregate", 0.0)
+        """
+        assert codes(src) == ["W004", "W004"]
+
+    def test_building_and_binding_clean(self):
+        src = """
+        report = evaluate(scenario, assignment)
+        self.report = report
+        value = report.aggregate
+        other.assignment = vec
+        """
+        assert codes(src) == []
+
+
+class TestW005UnitSuffix:
+    def test_float_field_without_suffix_flagged(self):
+        src = """
+        class Result:
+            capacity: float
+        """
+        assert codes(src) == ["W005"]
+
+    def test_float_parameter_without_suffix_flagged(self):
+        src = """
+        def allocate(total_throughput: float) -> float:
+            return total_throughput
+        """
+        assert codes(src) == ["W005"]
+
+    def test_suffixed_and_nonfloat_clean(self):
+        src = """
+        class Result:
+            capacity_mbps: float
+            throughputs: tuple
+            n_users: int
+
+        def allocate(link_capacity_mbps: float, alpha: float) -> float:
+            return link_capacity_mbps * alpha
+        """
+        assert codes(src) == []
+
+
+class TestW006BareExceptInEngine:
+    def test_bare_except_flagged_in_engine(self):
+        src = """
+        try:
+            allocate()
+        except:
+            pass
+        """
+        assert codes(src, path="src/repro/net/engine.py") == ["W006"]
+
+    def test_swallowing_broad_except_flagged(self):
+        src = """
+        try:
+            allocate()
+        except Exception:
+            result = None
+        """
+        assert codes(src, path="src/repro/plc/sharing.py") == ["W006"]
+
+    def test_reraising_broad_except_clean(self):
+        src = """
+        try:
+            allocate()
+        except Exception as exc:
+            raise RuntimeError("engine failure") from exc
+        """
+        assert codes(src, path="src/repro/wifi/sharing.py") == []
+
+    def test_narrow_except_clean(self):
+        src = """
+        try:
+            allocate()
+        except ValueError:
+            result = None
+        """
+        assert codes(src, path="src/repro/net/engine.py") == []
+
+    def test_rule_scoped_to_engine_modules(self):
+        src = """
+        try:
+            allocate()
+        except:
+            pass
+        """
+        assert codes(src, path="src/repro/cli.py") == []
+
+
+class TestParseErrors:
+    def test_unparsable_file_reported(self):
+        assert codes("def broken(:\n") == ["E001"]
+
+
+class TestSelection:
+    def test_select_restricts_rules(self):
+        src = """
+        import numpy as np
+        rng = np.random.default_rng()
+        rng2 = np.random.default_rng(seed + 1)
+        """
+        assert codes(src, select=["W002"]) == ["W002"]

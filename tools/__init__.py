@@ -1,0 +1,1 @@
+"""Repository-local developer tooling (not part of the installed package)."""

@@ -1,0 +1,38 @@
+"""woltlint — AST-based invariant checker for the WOLT reproduction.
+
+PR 1 made the repo's correctness guarantees *contractual*: batched
+searches must be bit-identical to the scalar oracles, and parallel
+trials must be bit-identical to serial runs via SeedSequence-spawned
+RNGs.  Those contracts rest on coding disciplines that ordinary linters
+cannot see — seeded RNG plumbing, ``SeedSequence.spawn`` child-stream
+derivation, batch-engine usage on hot paths, immutable throughput
+reports, and Mbps unit conventions.  ``woltlint`` turns each discipline
+into a machine-checked rule over the stdlib :mod:`ast`.
+
+Run it with::
+
+    python -m tools.woltlint src tests
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue, the suppression
+syntax (``# woltlint: disable=W001``), the baseline ratchet, and how to
+add a rule.
+"""
+
+from .analyzer import Finding, analyze_file, analyze_paths, analyze_source
+from .baseline import Baseline, apply_baseline
+from .rules import RULES, Rule, all_rule_codes, register
+
+__all__ = [
+    "Finding",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "Baseline",
+    "apply_baseline",
+    "RULES",
+    "Rule",
+    "all_rule_codes",
+    "register",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,16 @@
+"""Module entry point: ``python -m tools.woltlint [paths...]``."""
+
+import os
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Output was piped into a pager/head that exited early; redirect
+        # stdout to devnull so interpreter teardown does not re-raise.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    raise SystemExit(code)

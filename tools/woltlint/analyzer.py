@@ -1,0 +1,167 @@
+"""File walking, suppression comments, and rule dispatch.
+
+Suppression syntax (mirrors the familiar ``noqa`` shape):
+
+* ``some_code()  # woltlint: disable=W001`` — suppresses the listed
+  rule(s) on that line.
+* A standalone ``# woltlint: disable=W003`` comment line also covers
+  the next line, so a suppression can sit above the statement it
+  excuses together with its justification.
+* ``# woltlint: disable-file=W005`` anywhere in a file suppresses the
+  rule(s) for the whole file.
+
+Multiple rules are comma-separated (``disable=W001,W002``); anything
+after the rule list (a justification) is ignored by the parser but
+strongly encouraged for readers.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from .findings import Finding
+from .rules import RULES, Rule
+
+__all__ = ["analyze_source", "analyze_file", "analyze_paths",
+           "iter_python_files", "parse_suppressions"]
+
+#: Rule code for files the parser rejects.
+PARSE_ERROR = "E001"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*woltlint:\s*(disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z]\d{3}(?:\s*,\s*[A-Za-z]\d{3})*)")
+
+#: Directories never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "venv", "node_modules",
+              ".mypy_cache", ".ruff_cache", ".pytest_cache"}
+
+
+def parse_suppressions(source: str):
+    """Extract suppression comments from ``source``.
+
+    Returns:
+        ``(per_line, file_wide)`` where ``per_line`` maps a 1-based line
+        number to the set of rule codes disabled on it and ``file_wide``
+        is the set of codes disabled for the whole file.
+    """
+    per_line: Dict[int, Set[str]] = {}
+    file_wide: Set[str] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(
+            io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return per_line, file_wide
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(tok.string)
+        if not match:
+            continue
+        codes = {c.strip().upper()
+                 for c in match.group("rules").split(",")}
+        if match.group(1) == "disable-file":
+            file_wide |= codes
+            continue
+        line = tok.start[0]
+        per_line.setdefault(line, set()).update(codes)
+        standalone = tok.line[:tok.start[1]].strip() == ""
+        if standalone:
+            # A comment-only line excuses the statement below it.
+            per_line.setdefault(line + 1, set()).update(codes)
+    return per_line, file_wide
+
+
+def _select_rules(select: Optional[Iterable[str]] = None,
+                  ignore: Optional[Iterable[str]] = None) -> List[Rule]:
+    codes = set(RULES)
+    if select is not None:
+        codes &= {c.upper() for c in select}
+    if ignore is not None:
+        codes -= {c.upper() for c in ignore}
+    return [RULES[code]() for code in sorted(codes)]
+
+
+def analyze_source(source: str, path: str,
+                   select: Optional[Iterable[str]] = None,
+                   ignore: Optional[Iterable[str]] = None
+                   ) -> List[Finding]:
+    """Run every applicable rule over one file's source text.
+
+    ``path`` is the analysis-root-relative display path; rules also use
+    it for path scoping (e.g. W003 only fires under ``core/``/``sim/``).
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path=path, line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1, rule=PARSE_ERROR,
+                        message=f"file does not parse: {exc.msg}")]
+    per_line, file_wide = parse_suppressions(source)
+    findings: List[Finding] = []
+    for rule in _select_rules(select, ignore):
+        if not rule.applies_to(path):
+            continue
+        for finding in rule.check(tree, path):
+            if finding.rule in file_wide:
+                continue
+            if finding.rule in per_line.get(finding.line, ()):
+                continue
+            findings.append(finding)
+    return sorted(findings)
+
+
+def _display_path(filename: str, root: Optional[str]) -> str:
+    if root is not None:
+        try:
+            rel = os.path.relpath(filename, root)
+        except ValueError:  # different drive on Windows
+            rel = filename
+        if not rel.startswith(".."):
+            filename = rel
+    return filename.replace(os.sep, "/")
+
+
+def analyze_file(filename: str, root: Optional[str] = None,
+                 select: Optional[Iterable[str]] = None,
+                 ignore: Optional[Iterable[str]] = None
+                 ) -> List[Finding]:
+    """Analyze one file; the display path is made relative to ``root``."""
+    with open(filename, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return analyze_source(source, _display_path(filename, root),
+                          select=select, ignore=ignore)
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(d for d in dirnames
+                                     if d not in _SKIP_DIRS
+                                     and not d.startswith("."))
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        found.append(os.path.join(dirpath, name))
+        else:
+            found.append(path)
+    return sorted(dict.fromkeys(found))
+
+
+def analyze_paths(paths: Sequence[str], root: Optional[str] = None,
+                  select: Optional[Iterable[str]] = None,
+                  ignore: Optional[Iterable[str]] = None
+                  ) -> List[Finding]:
+    """Analyze every ``.py`` file reachable from ``paths``."""
+    findings: List[Finding] = []
+    for filename in iter_python_files(paths):
+        findings.extend(analyze_file(filename, root=root,
+                                     select=select, ignore=ignore))
+    return sorted(findings)

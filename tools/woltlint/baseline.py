@@ -1,0 +1,91 @@
+"""The grandfathering baseline: a per-(file, rule) finding ratchet.
+
+The baseline records, for each ``(path, rule)`` pair, how many findings
+existed when the gate was introduced.  A run stays green while each
+pair's count is at or below its grandfathered count; the moment a file
+gains a *new* violation of a grandfathered rule, every finding for that
+pair is reported (the old ones included, so the author sees the full
+picture).  Line numbers are deliberately not recorded — they drift with
+every edit, while counts only move when violations are added or fixed.
+
+``--update-baseline`` regenerates the file; shrinking it (by fixing
+grandfathered findings) is always welcome and never breaks the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from .findings import Finding
+
+__all__ = ["Baseline", "apply_baseline"]
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Grandfathered finding counts keyed by ``path::rule``."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @staticmethod
+    def _key(path: str, rule: str) -> str:
+        return f"{path}::{rule}"
+
+    def allowance(self, path: str, rule: str) -> int:
+        return self.counts.get(self._key(path, rule), 0)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        counter = Counter(f.key for f in findings)
+        return cls(counts={cls._key(path, rule): n
+                           for (path, rule), n in sorted(counter.items())})
+
+    @classmethod
+    def load(cls, filename: str) -> "Baseline":
+        with open(filename, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {payload.get('version')!r}"
+                f" in {filename}")
+        counts = payload.get("entries", {})
+        if not all(isinstance(v, int) and v >= 0
+                   for v in counts.values()):
+            raise ValueError(f"corrupt baseline entries in {filename}")
+        return cls(counts=dict(counts))
+
+    def save(self, filename: str) -> None:
+        payload = {"version": _VERSION,
+                   "entries": dict(sorted(self.counts.items()))}
+        with open(filename, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+    def is_empty(self) -> bool:
+        return not self.counts
+
+
+def apply_baseline(findings: Sequence[Finding], baseline: Baseline
+                   ) -> Tuple[List[Finding], int]:
+    """Split findings into (reported, n_grandfathered).
+
+    A ``(path, rule)`` group whose size fits the grandfathered count is
+    silenced entirely; a group that outgrew its allowance is reported in
+    full so the offending file shows every violation at once.
+    """
+    groups: Dict[Tuple[str, str], List[Finding]] = {}
+    for finding in findings:
+        groups.setdefault(finding.key, []).append(finding)
+    reported: List[Finding] = []
+    grandfathered = 0
+    for (path, rule), group in groups.items():
+        if len(group) <= baseline.allowance(path, rule):
+            grandfathered += len(group)
+        else:
+            reported.extend(group)
+    return sorted(reported), grandfathered

@@ -1,0 +1,126 @@
+"""Command-line front end: ``python -m tools.woltlint src tests``.
+
+Exit status: 0 — clean (after inline suppressions and the baseline);
+1 — findings reported; 2 — usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from .analyzer import analyze_paths
+from .baseline import Baseline, apply_baseline
+from .findings import Finding
+from .rules import RULES
+
+__all__ = ["main", "build_parser", "DEFAULT_BASELINE"]
+
+#: The checked-in baseline shipping next to the tool.
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__),
+                                "baseline.json")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="woltlint",
+        description=("AST-based invariant checker for the WOLT "
+                     "reproduction (see docs/STATIC_ANALYSIS.md)"))
+    parser.add_argument("paths", nargs="*", default=["src", "tests"],
+                        help="files or directories to analyze "
+                             "(default: src tests)")
+    parser.add_argument("--root", default=".",
+                        help="directory finding paths are reported "
+                             "relative to (default: cwd; run from the "
+                             "repo root so baseline paths match)")
+    parser.add_argument("--format", choices=("human", "json"),
+                        default="human", help="output format")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="baseline file (default: the checked-in "
+                             "tools/woltlint/baseline.json)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline and report every "
+                             "finding")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from the current "
+                             "findings and exit 0")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    parser.add_argument("--ignore", metavar="RULES",
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for code in sorted(RULES):
+        rule = RULES[code]
+        lines.append(f"{code} {rule.name}: {rule.description}")
+        lines.append(f"     rationale: {rule.rationale}")
+    return "\n".join(lines)
+
+
+def _emit_human(reported: List[Finding], grandfathered: int,
+                stream) -> None:
+    for finding in reported:
+        print(finding.render(), file=stream)
+    summary = (f"woltlint: {len(reported)} finding(s)"
+               if reported else "woltlint: clean")
+    if grandfathered:
+        summary += f" ({grandfathered} grandfathered by baseline)"
+    print(summary, file=stream)
+
+
+def _emit_json(reported: List[Finding], grandfathered: int,
+               stream) -> None:
+    payload = {
+        "version": 1,
+        "findings": [f.to_json() for f in reported],
+        "summary": {"reported": len(reported),
+                    "grandfathered": grandfathered},
+    }
+    json.dump(payload, stream, indent=2)
+    stream.write("\n")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+    missing = [p for p in args.paths if not os.path.exists(p)]
+    if missing:
+        print(f"woltlint: path not found: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    findings = analyze_paths(args.paths, root=args.root,
+                             select=select, ignore=ignore)
+    if args.update_baseline:
+        Baseline.from_findings(findings).save(args.baseline)
+        print(f"woltlint: baseline updated with {len(findings)} "
+              f"finding(s) -> {args.baseline}")
+        return 0
+    grandfathered = 0
+    reported = findings
+    if not args.no_baseline and os.path.exists(args.baseline):
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (ValueError, OSError, json.JSONDecodeError) as exc:
+            print(f"woltlint: cannot read baseline: {exc}",
+                  file=sys.stderr)
+            return 2
+        reported, grandfathered = apply_baseline(findings, baseline)
+    if args.format == "json":
+        _emit_json(reported, grandfathered, sys.stdout)
+    else:
+        _emit_human(reported, grandfathered, sys.stdout)
+    return 1 if reported else 0

@@ -1,0 +1,38 @@
+"""The finding record shared by the analyzer, rules, and reporters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        path: file path, ``/``-separated, relative to the analysis root.
+        line: 1-based source line.
+        col: 0-based source column.
+        rule: rule code (``W001`` ... ``W006``, or ``E001`` for files
+            that fail to parse).
+        message: human-readable description with the suggested fix.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """Baseline grouping key: findings ratchet per (path, rule)."""
+        return (self.path, self.rule)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule": self.rule, "message": self.message}

@@ -1,0 +1,402 @@
+"""The woltlint rule registry and the six WOLT-specific rules.
+
+Every rule encodes one of the coding disciplines the PR-1 correctness
+contracts (bit-identical batching, SeedSequence-derived parallel
+determinism) silently depend on.  Rules are plain classes registered in
+:data:`RULES`; adding a rule means subclassing :class:`Rule`, decorating
+it with :func:`register`, and giving it a focused unit test (see
+``docs/STATIC_ANALYSIS.md``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Type
+
+from .findings import Finding
+
+__all__ = ["Rule", "RULES", "register", "all_rule_codes",
+           "UnseededRng", "SeedArithmetic", "ScalarEvalInLoop",
+           "ReportMutation", "UnitSuffix", "SwallowedEngineException"]
+
+
+def dotted_parts(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` as ``["a", "b", "c"]``; None for non-name expressions."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+def _path_parts(path: str) -> List[str]:
+    return path.replace("\\", "/").split("/")
+
+
+class Rule:
+    """Base class: one invariant, one code, one ``check`` pass."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+    rationale: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        """Whether the rule runs on ``path`` (analysis-root relative)."""
+        return True
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, node: ast.AST, message: str) -> Finding:
+        return Finding(path=path, line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0),
+                       rule=self.code, message=message)
+
+
+RULES: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in RULES:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    RULES[cls.code] = cls
+    return cls
+
+
+def all_rule_codes() -> List[str]:
+    return sorted(RULES)
+
+
+# ---------------------------------------------------------------------------
+# W001 — unseeded RNG
+
+
+#: numpy legacy global-state sampling/seeding functions: any
+#: ``np.random.<fn>`` call routes through the hidden global RandomState
+#: and silently couples otherwise-independent components.
+_GLOBAL_STATE_FNS = frozenset({
+    "seed", "random", "rand", "randn", "randint", "random_sample",
+    "random_integers", "sample", "ranf", "choice", "bytes", "shuffle",
+    "permutation", "uniform", "normal", "standard_normal", "exponential",
+    "poisson", "binomial", "beta", "gamma", "lognormal", "geometric",
+})
+
+
+@register
+class UnseededRng(Rule):
+    """``default_rng()`` with no seed, or any legacy global-state call."""
+
+    code = "W001"
+    name = "unseeded-rng"
+    description = ("np.random.default_rng() without a seed, or a legacy "
+                   "np.random.* global-state call")
+    rationale = ("Every RNG must be seeded (or derived from a "
+                 "SeedSequence) for trials to be reproducible and for "
+                 "parallel runs to be bit-identical to serial runs.")
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            parts = dotted_parts(node.func)
+            if parts is None:
+                continue
+            if parts[-1] == "default_rng" and not node.args \
+                    and not node.keywords:
+                yield self.finding(
+                    path, node,
+                    "unseeded default_rng() — pass an explicit seed or a "
+                    "SeedSequence child so results are reproducible")
+            elif (len(parts) >= 3 and parts[-3] in ("np", "numpy")
+                    and parts[-2] == "random"
+                    and parts[-1] in _GLOBAL_STATE_FNS):
+                yield self.finding(
+                    path, node,
+                    f"legacy global-state call np.random.{parts[-1]}() — "
+                    "use a seeded np.random.Generator instead")
+
+
+# ---------------------------------------------------------------------------
+# W002 — seed arithmetic
+
+
+def _mentions_seed(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and "seed" in sub.id.lower():
+            return True
+        if isinstance(sub, ast.Attribute) and "seed" in sub.attr.lower():
+            return True
+    return False
+
+
+@register
+class SeedArithmetic(Rule):
+    """Child seeds derived by arithmetic instead of SeedSequence.spawn."""
+
+    code = "W002"
+    name = "seed-arithmetic"
+    description = ("default_rng()/SeedSequence() called with arithmetic "
+                   "on a seed (e.g. seed + trial)")
+    rationale = ("seed + k child streams overlap statistically and tie "
+                 "results to loop order; SeedSequence.spawn gives "
+                 "independent child streams and is what makes "
+                 "workers=N bit-identical to serial.")
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            parts = dotted_parts(node.func)
+            if parts is None or parts[-1] not in ("default_rng",
+                                                  "SeedSequence"):
+                continue
+            values = list(node.args) + [kw.value for kw in node.keywords]
+            for arg in values:
+                has_binop = any(isinstance(sub, ast.BinOp)
+                                for sub in ast.walk(arg))
+                if has_binop and _mentions_seed(arg):
+                    yield self.finding(
+                        path, node,
+                        f"{parts[-1]} seeded with seed arithmetic — "
+                        "derive child seeds with "
+                        "np.random.SeedSequence(seed).spawn(n) instead")
+                    break
+
+
+# ---------------------------------------------------------------------------
+# W003 — scalar evaluate inside a candidate loop
+
+
+@register
+class ScalarEvalInLoop(Rule):
+    """Scalar ``evaluate`` called inside a for/while on a hot path."""
+
+    code = "W003"
+    name = "scalar-eval-in-loop"
+    description = ("scalar engine evaluate() inside a for/while loop in "
+                   "core/ or sim/ hot paths")
+    rationale = ("Scoring candidates one evaluate() call per iteration "
+                 "is the hot path PR 1 vectorized; use evaluate_batch "
+                 "(bit-identical by contract) or suppress with a "
+                 "justification if the loop is a reference oracle.")
+
+    def applies_to(self, path: str) -> bool:
+        return bool({"core", "sim"} & set(_path_parts(path)[:-1]))
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        rule = self
+        findings: List[Finding] = []
+
+        class Visitor(ast.NodeVisitor):
+            def __init__(self) -> None:
+                self.loop_depth = 0
+
+            def _new_scope(self, node: ast.AST) -> None:
+                saved, self.loop_depth = self.loop_depth, 0
+                self.generic_visit(node)
+                self.loop_depth = saved
+
+            visit_FunctionDef = _new_scope
+            visit_AsyncFunctionDef = _new_scope
+            visit_Lambda = _new_scope
+
+            def _loop(self, node: ast.AST) -> None:
+                self.loop_depth += 1
+                self.generic_visit(node)
+                self.loop_depth -= 1
+
+            visit_For = _loop
+            visit_While = _loop
+            visit_ListComp = _loop
+            visit_SetComp = _loop
+            visit_DictComp = _loop
+            visit_GeneratorExp = _loop
+
+            def visit_Call(self, node: ast.Call) -> None:
+                parts = dotted_parts(node.func)
+                if (self.loop_depth > 0 and parts is not None
+                        and parts[-1] == "evaluate"):
+                    findings.append(rule.finding(
+                        path, node,
+                        "scalar evaluate() inside a loop — score the "
+                        "whole candidate batch with evaluate_batch()"))
+                self.generic_visit(node)
+
+        Visitor().visit(tree)
+        return iter(findings)
+
+
+# ---------------------------------------------------------------------------
+# W004 — mutation of throughput reports
+
+
+@register
+class ReportMutation(Rule):
+    """Attribute assignment to a ThroughputReport-like object."""
+
+    code = "W004"
+    name = "report-mutation"
+    description = ("attribute assignment to a ThroughputReport / "
+                   "BatchThroughputReport instance")
+    rationale = ("Reports are frozen snapshots shared across search "
+                 "code; mutating one (or bypassing frozen with "
+                 "object.__setattr__) silently corrupts every holder.")
+
+    @staticmethod
+    def _is_report_expr(node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return "report" in node.id.lower()
+        if isinstance(node, ast.Attribute):
+            return "report" in node.attr.lower()
+        return False
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            targets: Sequence[ast.AST] = ()
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = (node.target,)
+            elif isinstance(node, ast.Call):
+                parts = dotted_parts(node.func)
+                if (parts is not None and parts[-1] == "__setattr__"
+                        and node.args
+                        and self._is_report_expr(node.args[0])):
+                    yield self.finding(
+                        path, node,
+                        "__setattr__ on a throughput report — reports "
+                        "are frozen; build a new one instead")
+                continue
+            for target in targets:
+                if isinstance(target, ast.Attribute) \
+                        and self._is_report_expr(target.value):
+                    yield self.finding(
+                        path, node,
+                        f"mutation of report attribute "
+                        f"'.{target.attr}' — ThroughputReport and "
+                        "BatchThroughputReport are frozen snapshots; "
+                        "build a new report instead")
+
+
+# ---------------------------------------------------------------------------
+# W005 — Mbps unit suffix
+
+
+#: Substrings that mark a float as a link-throughput quantity.
+_UNIT_WORDS = ("throughput", "capacity", "tput", "bandwidth", "goodput")
+
+
+def _is_float_annotation(annotation: Optional[ast.AST]) -> bool:
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Name):
+        return annotation.id == "float"
+    if isinstance(annotation, ast.Constant):
+        return annotation.value == "float"
+    return False
+
+
+def _needs_suffix(name: str) -> bool:
+    lowered = name.lower()
+    return (any(word in lowered for word in _UNIT_WORDS)
+            and not lowered.endswith("_mbps"))
+
+
+@register
+class UnitSuffix(Rule):
+    """Float throughput/capacity names must end in ``_mbps``."""
+
+    code = "W005"
+    name = "unit-suffix"
+    description = ("float-typed throughput/capacity parameter or field "
+                   "without a _mbps suffix")
+    rationale = ("Mixing Mbps with other units is invisible to the type "
+                 "checker; the suffix convention makes the unit part of "
+                 "every signature.  Established result-API names may "
+                 "carry a documented inline exemption.")
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = (list(node.args.posonlyargs) + list(node.args.args)
+                        + list(node.args.kwonlyargs))
+                for arg in args:
+                    if _is_float_annotation(arg.annotation) \
+                            and _needs_suffix(arg.arg):
+                        yield self.finding(
+                            path, arg,
+                            f"float parameter '{arg.arg}' carries a "
+                            "throughput/capacity value — name it "
+                            f"'{arg.arg}_mbps' (or document an "
+                            "exemption)")
+            elif isinstance(node, ast.ClassDef):
+                for stmt in node.body:
+                    if isinstance(stmt, ast.AnnAssign) \
+                            and isinstance(stmt.target, ast.Name) \
+                            and _is_float_annotation(stmt.annotation) \
+                            and _needs_suffix(stmt.target.id):
+                        yield self.finding(
+                            path, stmt,
+                            f"float field '{stmt.target.id}' carries a "
+                            "throughput/capacity value — name it "
+                            f"'{stmt.target.id}_mbps' (or document an "
+                            "exemption)")
+
+
+# ---------------------------------------------------------------------------
+# W006 — swallowed exceptions in the engine / sharing laws
+
+
+#: Analysis-root-relative path suffixes the rule guards.
+_ENGINE_SUFFIXES = ("net/engine.py", "plc/sharing.py", "wifi/sharing.py")
+
+
+@register
+class SwallowedEngineException(Rule):
+    """Bare/broad except that swallows errors in the throughput engine."""
+
+    code = "W006"
+    name = "bare-except-in-engine"
+    description = ("bare except, or broad except that swallows the "
+                   "exception, in the engine/sharing-law modules")
+    rationale = ("The engine and the two sharing laws are the ground "
+                 "truth every policy is scored against; a swallowed "
+                 "exception there turns a wrong number into a silent "
+                 "wrong answer.")
+
+    def applies_to(self, path: str) -> bool:
+        normalized = path.replace("\\", "/")
+        return any(normalized.endswith(suffix)
+                   for suffix in _ENGINE_SUFFIXES)
+
+    @staticmethod
+    def _is_broad(handler: ast.ExceptHandler) -> bool:
+        parts = (dotted_parts(handler.type)
+                 if handler.type is not None else None)
+        return parts is not None and parts[-1] in ("Exception",
+                                                   "BaseException")
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    path, node,
+                    "bare except in an engine module — catch the "
+                    "specific exception and re-raise or report it")
+            elif self._is_broad(node):
+                reraises = any(isinstance(sub, ast.Raise)
+                               for sub in ast.walk(node))
+                if not reraises:
+                    yield self.finding(
+                        path, node,
+                        "broad except swallows the exception in an "
+                        "engine module — narrow it or re-raise")
