@@ -7,6 +7,7 @@ Runs any of the paper's experiments from a shell::
     wolt fig4            # testbed comparison
     wolt fig5            # per-user fairness drill-down
     wolt fig6            # large-scale simulation suite
+    wolt faults          # control-plane fault-injection sweep
     wolt solve --extenders 15 --users 36 --seed 1
     wolt all             # every figure, paper-scale
 
@@ -21,7 +22,8 @@ from typing import List, Optional
 
 import numpy as np
 
-from .experiments import fig2, fig3, fig4, fig5, fig6, robustness, sweeps
+from .experiments import (faults, fig2, fig3, fig4, fig5, fig6,
+                          robustness, sweeps)
 
 __all__ = ["main", "build_parser"]
 
@@ -41,6 +43,8 @@ def build_parser() -> argparse.ArgumentParser:
             ("fig6", "large-scale simulation suite"),
             ("sweeps", "scalability sweeps (extension)"),
             ("robustness", "estimation-noise robustness (extension)"),
+            ("faults", "control-plane fault-injection sweep "
+                       "(extension)"),
             ("all", "run every figure")]:
         p = sub.add_parser(name, help=help_text)
         p.add_argument("--seed", type=int, default=0,
@@ -52,6 +56,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="worker processes for the Monte-Carlo "
                                 "trials (default: serial; results are "
                                 "bit-identical for any worker count)")
+        elif name == "faults":
+            p.add_argument("--trials", type=int, default=10,
+                           help="floors per fault level (default 10)")
 
     solve = sub.add_parser(
         "solve", help="run WOLT on a random enterprise floor")
@@ -109,6 +116,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(sweeps.main(args.seed))
     elif args.command == "robustness":
         print(robustness.main(args.seed))
+    elif args.command == "faults":
+        print(faults.main(args.seed, n_trials=args.trials))
     elif args.command == "all":
         print(fig2.main(args.seed))
         print()

@@ -4,7 +4,7 @@ from .baselines import (greedy_assignment, random_assignment,
                         rssi_assignment, selfish_greedy_assignment)
 from .bnb import BnbResult, branch_and_bound_optimal
 from .bounds import GapCertificate, certify
-from .controller import CentralController
+from .controller import CentralController, Transport
 from .dynamic import IncrementalWolt, ReconfigureOutcome
 from .fairness import AlphaFairResult, alpha_fair_utility, solve_alpha_fair
 from .hungarian import InfeasibleAssignmentError, solve_assignment
@@ -24,6 +24,7 @@ __all__ = [
     "solve_wolt", "WoltResult",
     "rssi_assignment", "greedy_assignment", "selfish_greedy_assignment",
     "random_assignment", "brute_force_optimal", "CentralController",
+    "Transport",
     "IncrementalWolt", "ReconfigureOutcome",
     "solve_alpha_fair", "alpha_fair_utility", "AlphaFairResult",
     "certify", "GapCertificate",

@@ -10,12 +10,20 @@ re-assignment overhead of Fig. 6c (and the paper's claim that it is
 "relatively minor") can be quantified: every scan report, directive and
 re-association handoff is counted, and the handoff outage time is
 charged against the throughput the network would otherwise deliver.
+
+Messages travel through an injectable :class:`Transport`.  The default
+transport is lossless (the paper's assumption); the fault-injection
+layer in :mod:`repro.sim.faults` substitutes a seeded lossy transport to
+study a degraded control plane.  Directive delivery uses bounded retry
+with exponential backoff, and the controller degrades gracefully: a
+client that never receives its directive stays on its previous extender
+(or on the strongest-RSSI extender it used to reach the CC).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,7 +33,7 @@ from .problem import Scenario, UNASSIGNED
 from .wolt import solve_wolt
 
 __all__ = ["ScanReport", "AssociationDirective", "ControllerStats",
-           "CentralController"]
+           "Transport", "CentralController"]
 
 
 @dataclass(frozen=True)
@@ -64,12 +72,59 @@ class ControllerStats:
         directives_sent: association directives issued.
         reassignments: directives that *changed* an existing association.
         handoff_time_s: cumulative client outage caused by handoffs.
+        dropped_reports: scan reports lost in transit (never seen by
+            the CC).
+        dropped_directives: directives whose every delivery attempt
+            (initial send plus retries) was lost.
+        retries: directive retransmission attempts after a lost send.
+        failed_handoffs: delivered directives the client failed to act
+            on (it stays on its previous extender).
+        backoff_wait_s: cumulative exponential-backoff wait spent on
+            directive retransmissions.
     """
 
     scan_reports: int = 0
     directives_sent: int = 0
     reassignments: int = 0
     handoff_time_s: float = 0.0
+    dropped_reports: int = 0
+    dropped_directives: int = 0
+    retries: int = 0
+    failed_handoffs: int = 0
+    backoff_wait_s: float = 0.0
+
+
+class Transport:
+    """The control-plane message channel between clients and the CC.
+
+    The base class is the paper's lossless §V-A control plane: every
+    scan report arrives unperturbed, every directive lands on the first
+    attempt, and every commanded handoff completes.  Fault injection
+    (:class:`repro.sim.faults.FaultyTransport`) overrides these hooks
+    with seeded Bernoulli losses and estimate noise.
+
+    Attributes:
+        max_retries: retransmissions the CC attempts after a lost
+            directive send (0 for the lossless transport).
+    """
+
+    max_retries: int = 0
+
+    def observe_report(self, report: ScanReport) -> Optional[ScanReport]:
+        """The report as the CC receives it; ``None`` if lost."""
+        return report
+
+    def deliver_directive(self, directive: AssociationDirective) -> bool:
+        """Whether one delivery attempt of ``directive`` lands."""
+        return True
+
+    def handoff_succeeds(self, directive: AssociationDirective) -> bool:
+        """Whether the client acts on a delivered re-association."""
+        return True
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff wait before retransmission ``attempt`` (0-based)."""
+        return 0.0
 
 
 class CentralController:
@@ -85,10 +140,13 @@ class CentralController:
         handoff_outage_s: client outage per re-association (the time to
             disassociate, switch BSS and re-run DHCP/ARP; ~1 s for
             commodity clients).
+        transport: control-plane message channel; defaults to the
+            lossless :class:`Transport`.
     """
 
     def __init__(self, plc_rates: Sequence[float], policy: str = "wolt",
-                 handoff_outage_s: float = 1.0) -> None:
+                 handoff_outage_s: float = 1.0,
+                 transport: Optional[Transport] = None) -> None:
         if policy not in ("wolt", "greedy", "rssi"):
             raise ValueError(f"unsupported policy {policy!r}")
         self.plc_rates = np.asarray(plc_rates, dtype=float)
@@ -96,6 +154,7 @@ class CentralController:
             raise ValueError("plc_rates must be a non-empty vector")
         self.policy = policy
         self.handoff_outage_s = handoff_outage_s
+        self.transport = transport if transport is not None else Transport()
         self.stats = ControllerStats()
         self._reports: Dict[int, ScanReport] = {}
         self._assignment: Dict[int, int] = {}
@@ -112,22 +171,47 @@ class CentralController:
         """User ids currently associated, sorted."""
         return sorted(self._assignment)
 
-    def receive_scan_report(self, report: ScanReport
-                            ) -> AssociationDirective:
-        """Handle a new client's scan report; reply with a directive.
+    @property
+    def associations(self) -> Dict[int, int]:
+        """Current user id -> extender associations (a copy)."""
+        return dict(self._assignment)
 
-        The new client is admitted immediately: Greedy places it to
+    def receive_scan_report(self, report: ScanReport
+                            ) -> Optional[AssociationDirective]:
+        """Handle a client's scan report; reply with a directive.
+
+        A new client is admitted immediately: Greedy places it to
         maximize aggregate throughput, RSSI and WOLT park it on its
         strongest extender (WOLT re-optimizes everyone at the next
-        :meth:`reconfigure`).
+        :meth:`reconfigure`).  A *refreshed* report from an
+        already-connected client only updates the CC's rate table — its
+        association is kept as long as its current extender is still
+        reachable, so an optimized WOLT placement survives re-reports.
+        A client is re-parked only when its extender became unreachable
+        (e.g. the extender browned out).
+
+        Returns ``None`` when no directive reaches the client: the
+        report was lost in transit, every directive delivery attempt
+        was lost, or no directive was needed.  A new client whose
+        directive never arrives stays on the strongest-RSSI extender it
+        used to reach the CC (graceful degradation).
         """
         rates = np.asarray(report.wifi_rates, dtype=float)
         if rates.shape != (self.n_extenders,):
             raise ValueError("scan report must cover every extender")
         if not np.any(rates > 0):
             raise ValueError(f"user {report.user_id} hears no extender")
+        observed = self.transport.observe_report(
+            ScanReport(report.user_id, rates))
+        if observed is None:
+            self.stats.dropped_reports += 1
+            return None
+        seen = np.asarray(observed.wifi_rates, dtype=float)
         self.stats.scan_reports += 1
-        self._reports[report.user_id] = ScanReport(report.user_id, rates)
+        self._reports[report.user_id] = ScanReport(report.user_id, seen)
+        current = self._assignment.get(report.user_id)
+        if current is not None and seen[current] > 0:
+            return None
         if self.policy == "greedy":
             scenario, ids = self._scenario()
             idx = ids.index(report.user_id)
@@ -135,8 +219,14 @@ class CentralController:
             vec[idx] = UNASSIGNED
             extender = greedy_attach_user(scenario, vec, idx)
         else:
-            extender = int(np.argmax(rates))
-        return self._issue(report.user_id, extender)
+            extender = int(np.argmax(seen))
+        directive = self._issue(report.user_id, extender)
+        if directive is None and current is None:
+            # The client reached the CC over its strongest-RSSI
+            # association and never heard back: it physically stays
+            # there (per its own, unperturbed scan).
+            self._assignment[report.user_id] = int(np.argmax(rates))
+        return directive
 
     def disconnect(self, user_id: int) -> None:
         """Remove a departing client."""
@@ -146,7 +236,10 @@ class CentralController:
     def reconfigure(self) -> List[AssociationDirective]:
         """Epoch-boundary re-optimization (WOLT only; others no-op).
 
-        Returns the directives sent to clients whose extender changed.
+        Returns the directives *delivered* to clients whose extender
+        changed (a directive lost on every attempt is counted in
+        :attr:`ControllerStats.dropped_directives` instead; its client
+        keeps its previous extender).
         """
         if self.policy != "wolt" or not self._reports:
             return []
@@ -156,7 +249,9 @@ class CentralController:
         for idx, uid in enumerate(ids):
             new_j = int(result.assignment[idx])
             if self._assignment.get(uid) != new_j:
-                directives.append(self._issue(uid, new_j))
+                directive = self._issue(uid, new_j)
+                if directive is not None:
+                    directives.append(directive)
         return directives
 
     # ------------------------------------------------------------------
@@ -183,14 +278,41 @@ class CentralController:
     # ------------------------------------------------------------------
     # internals
 
-    def _issue(self, user_id: int, extender: int) -> AssociationDirective:
+    def _issue(self, user_id: int,
+               extender: int) -> Optional[AssociationDirective]:
+        """Send one directive through the transport.
+
+        Delivery is retried up to ``transport.max_retries`` times with
+        exponential backoff.  On exhaustion the directive is recorded
+        as dropped and ``None`` is returned — the client keeps its
+        previous association.  A delivered re-association may still
+        fail client-side (``failed_handoffs``); only a completed
+        handoff changes the association and is charged outage time.
+        """
         previous = self._assignment.get(user_id)
+        directive = AssociationDirective(user_id=user_id,
+                                         extender=extender)
         self.stats.directives_sent += 1
+        delivered = False
+        for attempt in range(self.transport.max_retries + 1):
+            if self.transport.deliver_directive(directive):
+                delivered = True
+                break
+            if attempt < self.transport.max_retries:
+                self.stats.retries += 1
+                self.stats.backoff_wait_s += \
+                    self.transport.backoff_s(attempt)
+        if not delivered:
+            self.stats.dropped_directives += 1
+            return None
         if previous is not None and previous != extender:
+            if not self.transport.handoff_succeeds(directive):
+                self.stats.failed_handoffs += 1
+                return directive
             self.stats.reassignments += 1
             self.stats.handoff_time_s += self.handoff_outage_s
         self._assignment[user_id] = extender
-        return AssociationDirective(user_id=user_id, extender=extender)
+        return directive
 
     def _scenario(self) -> "Tuple[Scenario, List[int]]":
         ids = sorted(self._reports)

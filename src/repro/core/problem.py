@@ -61,8 +61,8 @@ class Scenario:
             raise ValueError(
                 f"wifi_rates has {wifi.shape[1]} extender columns but "
                 f"plc_rates has {plc.shape[0]} entries")
-        if np.any(np.isnan(wifi)) or np.any(np.isnan(plc)):
-            raise ValueError("rates must not contain NaN")
+        if not np.all(np.isfinite(wifi)) or not np.all(np.isfinite(plc)):
+            raise ValueError("rates must be finite (no NaN or inf)")
         if np.any(plc < 0):
             raise ValueError("PLC rates must be non-negative")
         if self.capacities is not None:

@@ -4,9 +4,13 @@ from .dynamics import EpochStats, OnlineSimulation
 from .events import EventHandle, EventQueue
 from .failures import (FailureEpoch, FailureSimulation, fail_extenders,
                        reassociate_orphans)
+from .faults import (ControlPlaneOutcome, CrashSchedule, FaultModel,
+                     FaultyTransport, InjectedCrash,
+                     run_faulty_control_plane)
 from .mobility import MobilityEpoch, MobilitySimulation, RandomWaypoint
-from .runner import (PolicyOutcome, TrialResult, run_online_comparison,
-                     run_policy, run_trials, sample_floor_plan)
+from .runner import (PolicyOutcome, TrialFailure, TrialResult,
+                     run_online_comparison, run_policy, run_trials,
+                     sample_floor_plan)
 from .workload import DiurnalProfile, hotspot_positions
 from .trace import (load_history, load_scenario, save_history,
                     save_scenario)
@@ -21,4 +25,7 @@ __all__ = [
     "save_history", "load_history", "save_scenario", "load_scenario",
     "FailureSimulation", "FailureEpoch", "fail_extenders",
     "reassociate_orphans", "hotspot_positions", "DiurnalProfile",
+    "FaultModel", "FaultyTransport", "ControlPlaneOutcome",
+    "run_faulty_control_plane", "InjectedCrash", "CrashSchedule",
+    "TrialFailure",
 ]

@@ -1,0 +1,257 @@
+"""Seeded fault injection for the control plane and the trial runner.
+
+The paper's §V-A deployment story assumes a clean control plane: every
+scan report reaches the Central Controller, every directive lands, and
+every handoff completes.  Real enterprise PLC deployments are messier —
+extenders brown out, clients miss directives, and 802.11k/v-style
+steering must tolerate clients that ignore transition requests.  This
+module makes that degradation injectable and *reproducible*:
+
+* :class:`FaultModel` — the fault rates (per-message drop
+  probabilities, handoff-failure probability, stale-rate-estimate
+  noise, extender brown-out schedule) plus the retry budget;
+* :class:`FaultyTransport` — a seeded :class:`repro.core.Transport`
+  that applies the model to every control-plane message;
+* :func:`run_faulty_control_plane` — admission + epoch reconfiguration
+  of one scenario through a lossy control plane, returning the ground
+  truth association (graceful degradation included);
+* :class:`CrashSchedule` / :data:`InjectedCrash` — a picklable fault
+  hook that crashes selected Monte-Carlo trials inside
+  :func:`repro.sim.runner.run_trials` workers, exercising its
+  retry-and-:class:`~repro.sim.runner.TrialFailure` path.
+
+Determinism contract: a :class:`FaultyTransport` consumes its generator
+in message order, so for a fixed seed and a fixed call sequence every
+fault lands identically — including across ``run_trials`` worker
+counts (each trial carries its own SeedSequence child).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.controller import (AssociationDirective, CentralController,
+                               ControllerStats, ScanReport, Transport)
+from ..core.problem import Scenario, UNASSIGNED
+from .failures import fail_extenders, reassociate_orphans
+
+__all__ = ["FaultModel", "FaultyTransport", "ControlPlaneOutcome",
+           "run_faulty_control_plane", "InjectedCrash", "CrashSchedule"]
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Fault rates for one control-plane emulation.
+
+    Attributes:
+        report_drop_prob: probability a client's scan report is lost in
+            transit (the CC never learns the client's rates).
+        directive_drop_prob: probability one directive delivery attempt
+            is lost (the CC retries up to ``max_retries`` times).
+        handoff_failure_prob: probability a client ignores a delivered
+            re-association directive (an 802.11v BTM-style refusal);
+            the client stays on its previous extender.
+        rate_noise_fraction: relative std-dev of log-normal noise on
+            the rates the CC *receives* (stale/quantized estimates);
+            zero entries stay zero, so reachability is preserved.
+        brownout_schedule: epoch -> extender indices browned out during
+            that epoch (power-strip brown-outs; see
+            :func:`repro.sim.failures.fail_extenders`).
+        max_retries: directive retransmissions after a lost send.
+        backoff_base_s: base of the exponential backoff wait
+            (retransmission ``k`` waits ``backoff_base_s * 2**k``).
+    """
+
+    report_drop_prob: float = 0.0
+    directive_drop_prob: float = 0.0
+    handoff_failure_prob: float = 0.0
+    rate_noise_fraction: float = 0.0
+    brownout_schedule: Mapping[int, Tuple[int, ...]] = \
+        field(default_factory=dict)
+    max_retries: int = 2
+    backoff_base_s: float = 0.1
+
+    def __post_init__(self) -> None:
+        for name in ("report_drop_prob", "directive_drop_prob",
+                     "handoff_failure_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.rate_noise_fraction < 0:
+            raise ValueError("rate_noise_fraction must be non-negative")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be non-negative")
+        schedule: Dict[int, Tuple[int, ...]] = {}
+        for epoch, extenders in dict(self.brownout_schedule).items():
+            schedule[int(epoch)] = tuple(int(j) for j in extenders)
+        object.__setattr__(self, "brownout_schedule", schedule)
+
+    def brownouts_at(self, epoch: int) -> Tuple[int, ...]:
+        """Extenders browned out during ``epoch`` (0-based)."""
+        return self.brownout_schedule.get(epoch, ())
+
+
+class FaultyTransport(Transport):
+    """A seeded lossy control-plane transport.
+
+    Every hook consumes the generator in call order, so a fixed seed
+    and call sequence reproduce the exact same fault pattern.
+
+    Args:
+        model: the fault rates.
+        rng: dedicated generator (spawn a SeedSequence child for it;
+            sharing a stream with other components couples them).
+    """
+
+    def __init__(self, model: FaultModel,
+                 rng: np.random.Generator) -> None:
+        self.model = model
+        self.rng = rng
+        self.max_retries = model.max_retries
+
+    def observe_report(self, report: ScanReport) -> Optional[ScanReport]:
+        if self.rng.random() < self.model.report_drop_prob:
+            return None
+        rates = np.asarray(report.wifi_rates, dtype=float)
+        noise = self.model.rate_noise_fraction
+        if noise > 0:
+            sigma = math.sqrt(math.log1p(noise ** 2))
+            factors = self.rng.lognormal(-sigma ** 2 / 2, sigma,
+                                         rates.shape)
+            rates = np.where(rates > 0, rates * factors, 0.0)
+        return ScanReport(report.user_id, rates)
+
+    def deliver_directive(self, directive: AssociationDirective) -> bool:
+        return bool(self.rng.random() >= self.model.directive_drop_prob)
+
+    def handoff_succeeds(self, directive: AssociationDirective) -> bool:
+        return bool(self.rng.random()
+                    >= self.model.handoff_failure_prob)
+
+    def backoff_s(self, attempt: int) -> float:
+        return self.model.backoff_base_s * (2.0 ** attempt)
+
+
+@dataclass(frozen=True)
+class ControlPlaneOutcome:
+    """Result of one lossy control-plane emulation.
+
+    Attributes:
+        assignment: ground-truth per-user extender indices after the
+            last epoch (:data:`~repro.core.problem.UNASSIGNED` for
+            users no live extender reaches).
+        live: the scenario as of the last epoch (brown-outs applied);
+            evaluate the assignment against this.
+        stats: the controller's control-plane counters.
+        offline_users: users left UNASSIGNED.
+    """
+
+    assignment: np.ndarray
+    live: Scenario
+    stats: ControllerStats
+    offline_users: int
+
+
+def run_faulty_control_plane(scenario: Scenario, policy: str,
+                             model: FaultModel,
+                             rng: np.random.Generator,
+                             n_epochs: int = 1) -> ControlPlaneOutcome:
+    """Emulate admission and reconfiguration over a lossy control plane.
+
+    Every epoch, each client scans the live network (brown-outs from
+    the model's schedule applied) and reports to the CC through a
+    :class:`FaultyTransport`; WOLT then runs its epoch-boundary
+    :meth:`~repro.core.CentralController.reconfigure`.  Degradation is
+    graceful at every step:
+
+    * a dropped scan report leaves the client camped on its strongest
+      live extender (the BSS it used to look for the CC);
+    * a dropped directive (after bounded retry with exponential
+      backoff) or a failed handoff leaves the client on its previous
+      extender;
+    * a client whose extender browned out falls back to its strongest
+      surviving extender (:func:`repro.sim.failures.reassociate_orphans`)
+      even when the CC never heard about it.
+
+    Args:
+        scenario: the healthy ground-truth network.
+        policy: ``"wolt"``, ``"greedy"`` or ``"rssi"``.
+        model: fault rates and retry budget.
+        rng: dedicated generator for the transport's fault draws.
+        n_epochs: scan/reconfigure rounds to run.
+
+    Returns:
+        The :class:`ControlPlaneOutcome` after the last epoch.
+    """
+    if n_epochs < 1:
+        raise ValueError("n_epochs must be positive")
+    transport = FaultyTransport(model, rng)
+    cc = CentralController(scenario.plc_rates, policy=policy,
+                           transport=transport)
+    live = scenario
+    for epoch in range(n_epochs):
+        live = fail_extenders(scenario, model.brownouts_at(epoch))
+        for user in range(live.n_users):
+            if live.reachable(user).size == 0:
+                continue  # hears nothing this epoch; cannot report
+            cc.receive_scan_report(
+                ScanReport(user, live.wifi_rates[user]))
+        if policy == "wolt":
+            cc.reconfigure()
+    known = cc.associations
+    assignment = np.empty(live.n_users, dtype=int)
+    for user in range(live.n_users):
+        if user in known:
+            assignment[user] = known[user]
+        else:
+            # The CC never heard this client; it camps on its
+            # strongest live extender (or stays offline).
+            reachable = live.reachable(user)
+            assignment[user] = (UNASSIGNED if reachable.size == 0 else
+                                int(reachable[np.argmax(
+                                    live.wifi_rates[user, reachable])]))
+    # Clients cannot remain on a browned-out extender, whatever the CC
+    # believes: physics moves them to their strongest survivor.
+    assignment = reassociate_orphans(live, assignment)
+    return ControlPlaneOutcome(
+        assignment=assignment, live=live, stats=cc.stats,
+        offline_users=int(np.sum(assignment == UNASSIGNED)))
+
+
+class InjectedCrash(RuntimeError):
+    """Raised by :class:`CrashSchedule` to simulate a worker crash."""
+
+
+@dataclass(frozen=True)
+class CrashSchedule:
+    """Picklable trial-crash fault hook for ``run_trials``.
+
+    ``crashes`` maps a trial index to the number of attempts that must
+    crash before the trial is allowed to succeed; the schedule raises
+    :class:`InjectedCrash` on those attempts.  Passing it as
+    ``run_trials(..., fault_hook=CrashSchedule({1: 3}), max_retries=2)``
+    exhausts trial 1's retry budget and yields a
+    :class:`~repro.sim.runner.TrialFailure` for it while every other
+    trial completes normally.
+    """
+
+    crashes: Mapping[int, int]
+
+    def __post_init__(self) -> None:
+        normalized = {int(t): int(n) for t, n in
+                      dict(self.crashes).items()}
+        if any(n < 0 for n in normalized.values()):
+            raise ValueError("crash counts must be non-negative")
+        object.__setattr__(self, "crashes", normalized)
+
+    def __call__(self, trial_index: int, attempt: int) -> None:
+        if attempt < self.crashes.get(trial_index, 0):
+            raise InjectedCrash(
+                f"injected crash: trial {trial_index}, "
+                f"attempt {attempt}")

@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (Callable, Dict, List, Optional, Sequence, Tuple,
+                    Union)
 
 import numpy as np
 
@@ -24,11 +25,17 @@ from ..plc.channel import random_building
 from ..wifi.phy import WifiPhy
 from .dynamics import EpochStats, OnlineSimulation
 
-__all__ = ["PolicyOutcome", "TrialResult", "run_policy", "run_trials",
-           "run_online_comparison", "sample_floor_plan"]
+__all__ = ["PolicyOutcome", "TrialResult", "TrialFailure", "run_policy",
+           "run_trials", "run_online_comparison", "sample_floor_plan"]
 
 #: The association policies known to the runner.
 POLICY_NAMES = ("wolt", "greedy", "rssi", "random")
+
+#: A fault hook called as ``hook(trial_index, attempt)`` at the start of
+#: every trial attempt; it may raise to simulate a worker crash (see
+#: :class:`repro.sim.faults.CrashSchedule`).  Must be picklable when
+#: ``workers`` is used.
+FaultHook = Callable[[int, int], None]
 
 
 @dataclass(frozen=True)
@@ -59,6 +66,27 @@ class TrialResult:
 
     def aggregate(self, policy: str) -> float:
         return self.outcomes[policy].aggregate_throughput
+
+
+@dataclass(frozen=True)
+class TrialFailure:
+    """A trial whose every attempt crashed (retry budget exhausted).
+
+    Returned in place of a :class:`TrialResult` when ``run_trials`` is
+    given ``max_retries`` — the run's surviving trials are preserved
+    instead of one worker exception destroying all of them.
+
+    Attributes:
+        trial_index: 0-based position of the trial in the run.
+        attempts: attempts made (``max_retries + 1``).
+        error_type: class name of the last exception.
+        error: ``repr`` of the last exception.
+    """
+
+    trial_index: int
+    attempts: int
+    error_type: str
+    error: str
 
 
 def run_policy(scenario: Scenario, policy: str,
@@ -123,24 +151,75 @@ def sample_floor_plan(n_extenders: int, rng: np.random.Generator,
         plc_rates=building.rates(chosen))
 
 
-def _run_single_trial(payload: Tuple) -> TrialResult:
-    """Run one Monte-Carlo trial from a self-contained payload.
+@dataclass(frozen=True)
+class _TrialPayload:
+    """Self-contained description of one trial (picklable).
+
+    ``scenario_seq`` seeds the floor sampling; ``policy_seqs`` holds one
+    pre-spawned SeedSequence child *per policy name* (keyed by identity,
+    not by position in the ``policies`` tuple), so a policy's stream —
+    and therefore its outcome — never depends on which other policies
+    run alongside it, on execution order, or on retry attempts.
+    """
+
+    trial_index: int
+    scenario_seq: np.random.SeedSequence
+    policy_seqs: Dict[str, np.random.SeedSequence]
+    n_extenders: int
+    n_users: int
+    policies: Tuple[str, ...]
+    width_m: float
+    height_m: float
+    phy: Optional[WifiPhy]
+    plc_mode: str
+    fault_hook: Optional[FaultHook]
+    max_retries: int
+
+
+def _run_single_trial(payload: _TrialPayload,
+                      attempt: int = 0) -> TrialResult:
+    """Run one Monte-Carlo trial attempt from its payload.
 
     Module-level (rather than a closure) so :class:`ProcessPoolExecutor`
-    can pickle it; the payload carries the trial's own
-    :class:`numpy.random.SeedSequence` child, which makes the result
-    independent of which worker — or how many workers — execute it.
+    can pickle it; the payload carries the trial's own pre-spawned
+    :class:`numpy.random.SeedSequence` children, which make the result
+    independent of which worker — or how many workers — execute it, and
+    bit-identical across retry attempts.
     """
-    (seed_seq, n_extenders, n_users, policies, width_m, height_m, phy,
-     plc_mode) = payload
-    rng = np.random.default_rng(seed_seq)
-    scenario = enterprise_floor(n_extenders, n_users, rng,
-                                width_m=width_m, height_m=height_m,
-                                phy=phy)
-    outcomes = {policy: run_policy(scenario, policy, rng,
-                                   plc_mode=plc_mode)
-                for policy in policies}
+    if payload.fault_hook is not None:
+        payload.fault_hook(payload.trial_index, attempt)
+    rng = np.random.default_rng(payload.scenario_seq)
+    scenario = enterprise_floor(payload.n_extenders, payload.n_users,
+                                rng, width_m=payload.width_m,
+                                height_m=payload.height_m,
+                                phy=payload.phy)
+    outcomes = {}
+    for policy in payload.policies:
+        policy_rng = np.random.default_rng(payload.policy_seqs[policy])
+        outcomes[policy] = run_policy(scenario, policy, policy_rng,
+                                      plc_mode=payload.plc_mode)
     return TrialResult(scenario=scenario, outcomes=outcomes)
+
+
+def _run_trial_guarded(payload: _TrialPayload
+                       ) -> Union[TrialResult, TrialFailure]:
+    """Run one trial with bounded retries; never raises on trial errors.
+
+    A crashed attempt is retried with the *same* SeedSequence children
+    (a clean retry reproduces the original trial bit-identically); when
+    the budget is exhausted the trial is returned as an explicit
+    :class:`TrialFailure` instead of destroying the whole run.
+    """
+    last_error: Optional[BaseException] = None
+    for attempt in range(payload.max_retries + 1):
+        try:
+            return _run_single_trial(payload, attempt)
+        except Exception as exc:
+            last_error = exc
+    return TrialFailure(trial_index=payload.trial_index,
+                        attempts=payload.max_retries + 1,
+                        error_type=type(last_error).__name__,
+                        error=repr(last_error))
 
 
 def run_trials(n_trials: int,
@@ -152,7 +231,10 @@ def run_trials(n_trials: int,
                height_m: float = 100.0,
                phy: Optional[WifiPhy] = None,
                plc_mode: str = "redistribute",
-               workers: Optional[int] = None) -> List[TrialResult]:
+               workers: Optional[int] = None,
+               max_retries: Optional[int] = None,
+               fault_hook: Optional[FaultHook] = None
+               ) -> List[Union[TrialResult, TrialFailure]]:
     """Monte-Carlo policy comparison over random floors (Fig. 6a).
 
     Each trial samples a fresh enterprise floor (wiring plant, extender
@@ -160,9 +242,11 @@ def run_trials(n_trials: int,
 
     Trials are seeded with per-trial children of
     ``numpy.random.SeedSequence(seed)`` (trial ``t`` gets the ``t``-th
-    spawn), so every trial owns a statistically independent stream that
-    does not depend on execution order: ``workers=N`` returns bit-identical
-    results to the serial run for any ``N``.
+    spawn); each trial additionally pre-spawns one grandchild per
+    *policy name*, so every policy owns a stream independent of which
+    other policies run alongside it.  Results are therefore
+    bit-identical across worker counts, across retry attempts, and —
+    for any single policy — across ``policies`` subsets.
 
     Args:
         n_trials: number of independent scenarios (paper: 100).
@@ -175,25 +259,51 @@ def run_trials(n_trials: int,
         plc_mode: PLC sharing law used for scoring (the paper's
             simulator corresponds to ``"fixed"``).
         workers: number of worker processes; ``None``, 0, or 1 run
-            serially in-process.  Worker exceptions propagate to the
-            caller.
+            serially in-process.
+        max_retries: when ``None`` (default), a trial exception
+            propagates to the caller unchanged.  When an int, a crashed
+            trial is retried up to ``max_retries`` times with the same
+            SeedSequence children and, on exhaustion, returned as an
+            explicit :class:`TrialFailure` record — surviving trials
+            are never lost.
+        fault_hook: optional ``hook(trial_index, attempt)`` run at the
+            start of every attempt; may raise to inject trial crashes
+            (see :class:`repro.sim.faults.CrashSchedule`).  Must be
+            picklable when ``workers`` is used.
 
     Returns:
-        One :class:`TrialResult` per trial, in trial order.
+        One :class:`TrialResult` (or, with ``max_retries`` set, possibly
+        a :class:`TrialFailure`) per trial, in trial order.
     """
     unknown = set(policies) - set(POLICY_NAMES)
     if unknown:
         raise ValueError(f"unknown policies: {sorted(unknown)}")
+    if max_retries is not None and max_retries < 0:
+        raise ValueError("max_retries must be non-negative")
     children = np.random.SeedSequence(seed).spawn(n_trials)
-    payloads = [(child, n_extenders, n_users, tuple(policies),
-                 width_m, height_m, phy, plc_mode)
-                for child in children]
+    payloads = []
+    for index, child in enumerate(children):
+        policy_children = child.spawn(len(POLICY_NAMES))
+        policy_seqs = {name: policy_children[k]
+                       for k, name in enumerate(POLICY_NAMES)}
+        payloads.append(_TrialPayload(
+            trial_index=index, scenario_seq=child,
+            policy_seqs=policy_seqs, n_extenders=n_extenders,
+            n_users=n_users, policies=tuple(policies), width_m=width_m,
+            height_m=height_m, phy=phy, plc_mode=plc_mode,
+            fault_hook=fault_hook,
+            max_retries=0 if max_retries is None else max_retries))
+    guarded = max_retries is not None
     if workers is None or workers <= 1:
+        if guarded:
+            return [_run_trial_guarded(payload) for payload in payloads]
         return [_run_single_trial(payload) for payload in payloads]
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        # pool.map preserves submission order and re-raises the first
-        # worker exception at iteration time instead of hanging.
-        return list(pool.map(_run_single_trial, payloads))
+        # pool.map preserves submission order and (in the unguarded
+        # mode) re-raises the first worker exception at iteration time
+        # instead of hanging.
+        runner = _run_trial_guarded if guarded else _run_single_trial
+        return list(pool.map(runner, payloads))
 
 
 def run_online_comparison(n_epochs: int,

@@ -15,13 +15,18 @@ class TestParser:
     def test_known_commands_parse(self):
         parser = build_parser()
         for cmd in ("fig2", "fig3", "fig4", "fig5", "fig6", "all",
-                    "solve"):
+                    "solve", "faults"):
             args = parser.parse_args([cmd])
             assert args.command == cmd
 
     def test_fig6_trials_flag(self):
         args = build_parser().parse_args(["fig6", "--trials", "5"])
         assert args.trials == 5
+
+    def test_faults_trials_flag(self):
+        args = build_parser().parse_args(["faults", "--trials", "3"])
+        assert args.trials == 3
+        assert args.seed == 0
 
     def test_solve_flags(self):
         args = build_parser().parse_args(
@@ -54,3 +59,9 @@ class TestExecution:
         assert main(["fig6", "--trials", "4"]) == 0
         out = capsys.readouterr().out
         assert "Fig 6a" in out and "Jain" in out
+
+    def test_faults_small(self, capsys):
+        assert main(["faults", "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Control-plane fault injection" in out
+        assert "WOLT" in out and "RSSI" in out

@@ -37,6 +37,29 @@ class TestAdmission:
         with pytest.raises(ValueError, match="hears no extender"):
             cc.receive_scan_report(_report(1, [0.0]))
 
+    def test_rereport_keeps_existing_association(self):
+        # A periodic re-scan from an already-placed client must not
+        # trigger a spurious handoff while its extender is reachable.
+        cc = CentralController([60.0, 20.0], policy="wolt")
+        cc.receive_scan_report(_report(1, [15.0, 10.0]))
+        cc.receive_scan_report(_report(2, [40.0, 20.0]))
+        cc.reconfigure()  # user 1 moves to extender 1 (Fig. 3 optimum)
+        moves = cc.stats.reassignments
+        assert cc.receive_scan_report(_report(1, [15.0, 10.0])) is None
+        assert cc.associations[1] == 1
+        assert cc.stats.reassignments == moves
+        # The refreshed estimates are still adopted for the next solve.
+        assert cc.reconfigure() == []
+
+    def test_rereport_reparks_when_extender_unreachable(self):
+        cc = CentralController([60.0, 20.0], policy="rssi")
+        cc.receive_scan_report(_report(1, [15.0, 10.0]))
+        assert cc.associations[1] == 0
+        # Extender 0 went silent for this client: re-admit afresh.
+        directive = cc.receive_scan_report(_report(1, [0.0, 10.0]))
+        assert directive == AssociationDirective(user_id=1, extender=1)
+        assert cc.associations[1] == 1
+
     def test_counters(self):
         cc = CentralController([60.0, 20.0])
         cc.receive_scan_report(_report(1, [15.0, 10.0]))
@@ -85,6 +108,19 @@ class TestDisconnectAndOverhead:
         cc.disconnect(1)
         assert cc.connected_users == []
         cc.disconnect(99)  # unknown id is a no-op
+
+    def test_disconnect_then_reconfigure_serves_remaining_users(self):
+        cc = CentralController([60.0, 20.0], policy="wolt")
+        cc.receive_scan_report(_report(1, [15.0, 10.0]))
+        cc.receive_scan_report(_report(2, [40.0, 20.0]))
+        cc.reconfigure()
+        cc.disconnect(1)
+        assert cc.connected_users == [2]
+        # The departed client leaves no stale report behind: the solve
+        # covers only user 2, who stays on its best extender.
+        assert cc.reconfigure() == []
+        assert cc.associations == {2: 0}
+        assert cc.network_report().aggregate == pytest.approx(40.0)
 
     def test_handoff_time_accrues_only_on_moves(self):
         cc = CentralController([60.0, 20.0], policy="wolt",

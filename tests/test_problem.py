@@ -28,6 +28,14 @@ class TestScenario:
             Scenario(wifi_rates=np.array([[np.nan]]),
                       plc_rates=np.array([1.0]))
 
+    def test_infinite_rates_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            Scenario(wifi_rates=np.array([[np.inf]]),
+                     plc_rates=np.array([1.0]))
+        with pytest.raises(ValueError, match="finite"):
+            Scenario(wifi_rates=np.ones((1, 1)),
+                     plc_rates=np.array([-np.inf]))
+
     def test_negative_plc_rejected(self):
         with pytest.raises(ValueError):
             Scenario(wifi_rates=np.ones((1, 1)), plc_rates=np.array([-1.0]))

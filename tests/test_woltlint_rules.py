@@ -23,9 +23,9 @@ def codes(source: str, path: str = "core/module.py", select=None):
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         assert set(RULES) == {"W001", "W002", "W003", "W004", "W005",
-                              "W006"}
+                              "W006", "W007"}
 
     def test_rules_carry_metadata(self):
         for code, rule in RULES.items():
@@ -254,6 +254,53 @@ class TestW006BareExceptInEngine:
             pass
         """
         assert codes(src, path="src/repro/cli.py") == []
+
+
+class TestW007SwallowedTransportException:
+    def test_broad_except_around_transport_call_flagged(self):
+        src = """
+        try:
+            delivered = self.transport.deliver_directive(directive)
+        except Exception:
+            delivered = False
+        """
+        assert codes(src, path="src/repro/core/controller.py") == ["W007"]
+
+    def test_bare_except_around_transport_method_flagged(self):
+        src = """
+        try:
+            report = observe_report(report)
+        except:
+            report = None
+        """
+        assert codes(src, path="src/repro/sim/faults.py") == ["W007"]
+
+    def test_reraising_broad_except_clean(self):
+        src = """
+        try:
+            delivered = transport.deliver_directive(directive)
+        except Exception as exc:
+            raise RuntimeError("transport failure") from exc
+        """
+        assert codes(src) == []
+
+    def test_non_transport_try_clean(self):
+        src = """
+        try:
+            value = compute()
+        except Exception:
+            value = None
+        """
+        assert codes(src) == []
+
+    def test_narrow_except_clean(self):
+        src = """
+        try:
+            ok = self.transport.handoff_succeeds(directive)
+        except ValueError:
+            ok = False
+        """
+        assert codes(src) == []
 
 
 class TestParseErrors:

@@ -17,7 +17,8 @@ from .findings import Finding
 
 __all__ = ["Rule", "RULES", "register", "all_rule_codes",
            "UnseededRng", "SeedArithmetic", "ScalarEvalInLoop",
-           "ReportMutation", "UnitSuffix", "SwallowedEngineException"]
+           "ReportMutation", "UnitSuffix", "SwallowedEngineException",
+           "SwallowedTransportException"]
 
 
 def dotted_parts(node: ast.AST) -> Optional[List[str]]:
@@ -400,3 +401,66 @@ class SwallowedEngineException(Rule):
                         path, node,
                         "broad except swallows the exception in an "
                         "engine module — narrow it or re-raise")
+
+
+# ---------------------------------------------------------------------------
+# W007 — swallowed exceptions around control-plane transport calls
+
+
+#: Method names of the :class:`repro.core.controller.Transport` seam.
+_TRANSPORT_METHODS = frozenset({
+    "observe_report", "deliver_directive", "handoff_succeeds",
+    "backoff_s",
+})
+
+
+def _calls_transport(stmts: Sequence[ast.stmt]) -> bool:
+    for stmt in stmts:
+        for sub in ast.walk(stmt):
+            if not isinstance(sub, ast.Call):
+                continue
+            parts = dotted_parts(sub.func)
+            if parts is None:
+                continue
+            if parts[-1] in _TRANSPORT_METHODS \
+                    or "transport" in parts[:-1]:
+                return True
+    return False
+
+
+@register
+class SwallowedTransportException(Rule):
+    """Bare/broad except that swallows errors around transport calls."""
+
+    code = "W007"
+    name = "swallowed-transport-exception"
+    description = ("bare except, or broad except that does not "
+                   "re-raise, around a control-plane transport call")
+    rationale = ("The controller's directive retry path must re-raise "
+                 "on exhaustion; an `except Exception` that swallows a "
+                 "transport error silently desynchronizes the CC's "
+                 "view of the network from the clients' real "
+                 "associations.")
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Try):
+                continue
+            if not _calls_transport(node.body):
+                continue
+            for handler in node.handlers:
+                if handler.type is None:
+                    yield self.finding(
+                        path, handler,
+                        "bare except around a transport call — catch "
+                        "the specific exception and re-raise on "
+                        "exhaustion")
+                elif SwallowedEngineException._is_broad(handler):
+                    reraises = any(isinstance(sub, ast.Raise)
+                                   for sub in ast.walk(handler))
+                    if not reraises:
+                        yield self.finding(
+                            path, handler,
+                            "broad except swallows a transport error — "
+                            "the retry path must re-raise on "
+                            "exhaustion")
