@@ -23,6 +23,7 @@ from repro.core.baselines import greedy_assignment
 from repro.core.wolt import solve_wolt
 from repro.net.engine import evaluate, evaluate_batch
 from repro.net.topology import enterprise_floor
+from repro.sim.checkpoint import atomic_write_text
 from repro.sim.runner import run_trials
 
 OUTPUT = Path(__file__).resolve().parent / "BENCH_engine.json"
@@ -127,7 +128,7 @@ def main() -> dict:
         "greedy_scalar_vs_batched": bench_greedy(scenario),
         "run_trials_serial_vs_parallel": bench_run_trials(),
     }
-    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    atomic_write_text(OUTPUT, json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
     print(f"\nwrote {OUTPUT}")
     return report

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""CI integration check: a SIGKILLed sweep resumes bit-identically.
+
+End-to-end exercise of the durable `wolt sim` path, as a real operator
+would hit it:
+
+1. start a checkpointed sweep via ``python -m repro.cli sim``;
+2. SIGKILL it once a few trials are journaled (no warning, no cleanup);
+3. corrupt the journal tail with a torn partial record, as a crash
+   mid-``write`` would;
+4. resume the sweep with ``--resume`` (different worker count, to prove
+   results do not depend on it);
+5. run the identical sweep uninterrupted into a second checkpoint;
+6. require the two checkpoint files to be **byte-identical** (both end
+   as canonical snapshots) and the reports to agree.
+
+Exits non-zero with a diagnostic on any deviation.  Needs only the
+repo + its runtime deps: run as ``PYTHONPATH=src python
+scripts/crash_resume_check.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+SIM_ARGS = ["sim", "--trials", "12", "--extenders", "3", "--users", "6",
+            "--seed", "7", "--policies", "wolt,greedy"]
+
+#: Journal lines (header + records) required before the kill: enough
+#: that the resumed run demonstrably merges prior work.
+MIN_LINES_BEFORE_KILL = 4
+
+#: A torn partial record, as left by a crash mid-append.
+TORN_TAIL = b'{"kind":"record","index":11,"payload":{"type":"res'
+
+
+def _fail(message: str) -> None:
+    print(f"crash_resume_check: FAIL — {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def _wolt(*extra: str, **kwargs):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *SIM_ARGS, *extra],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True, **kwargs)
+
+
+def _wait_for_journal(path: Path, deadline_s: float = 120.0) -> None:
+    start = time.monotonic()
+    while time.monotonic() - start < deadline_s:
+        if path.exists():
+            lines = path.read_bytes().count(b"\n")
+            if lines >= MIN_LINES_BEFORE_KILL:
+                return
+        time.sleep(0.05)
+    _fail(f"journal {path} never reached {MIN_LINES_BEFORE_KILL} lines")
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="crash-resume-"))
+    interrupted = workdir / "interrupted.jsonl"
+    uninterrupted = workdir / "uninterrupted.jsonl"
+
+    # 1-2. Start a checkpointed sweep and SIGKILL it mid-run.
+    victim = _wolt("--checkpoint", str(interrupted), "--workers", "2")
+    try:
+        _wait_for_journal(interrupted)
+    finally:
+        victim.kill()  # SIGKILL: no handler, no flush, no goodbye
+        victim.wait(timeout=60)
+    n_before = interrupted.read_bytes().count(b"\n")
+    print(f"killed sweep with {n_before} journal lines on disk")
+
+    # 3. Tear the journal tail, as a crash mid-write would.
+    with open(interrupted, "ab") as handle:
+        handle.write(TORN_TAIL)
+
+    # 4. Resume under a different worker count.
+    resumed = _wolt("--checkpoint", str(interrupted), "--resume",
+                    "--workers", "3")
+    out, err = resumed.communicate(timeout=600)
+    if resumed.returncode != 0:
+        _fail(f"resume exited {resumed.returncode}: {err}")
+    if "resumed from checkpoint" not in out:
+        _fail(f"resume report missing merge marker:\n{out}")
+    print("resumed run completed")
+
+    # 5. The same sweep, uninterrupted and serial.
+    cold = _wolt("--checkpoint", str(uninterrupted))
+    cold_out, cold_err = cold.communicate(timeout=600)
+    if cold.returncode != 0:
+        _fail(f"uninterrupted run exited {cold.returncode}: {cold_err}")
+
+    # 6. Byte-identical snapshots, matching per-policy reports.
+    if interrupted.read_bytes() != uninterrupted.read_bytes():
+        _fail("resumed checkpoint differs from the uninterrupted one "
+              f"({interrupted} vs {uninterrupted})")
+    resumed_stats = [line for line in out.splitlines()
+                     if "mean aggregate" in line]
+    cold_stats = [line for line in cold_out.splitlines()
+                  if "mean aggregate" in line]
+    if not resumed_stats or resumed_stats != cold_stats:
+        _fail("reports disagree:\n"
+              f"resumed: {resumed_stats}\ncold: {cold_stats}")
+    print("crash_resume_check: OK — kill + torn tail + resume is "
+          "byte-identical to an uninterrupted run")
+
+
+if __name__ == "__main__":
+    main()

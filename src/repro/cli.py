@@ -8,17 +8,24 @@ Runs any of the paper's experiments from a shell::
     wolt fig5            # per-user fairness drill-down
     wolt fig6            # large-scale simulation suite
     wolt faults          # control-plane fault-injection sweep
+    wolt sim --checkpoint run.jsonl --workers 4   # durable sweep
+    wolt sim --checkpoint run.jsonl --resume      # continue after a crash
     wolt solve --extenders 15 --users 36 --seed 1
     wolt all             # every figure, paper-scale
 
-All experiments are deterministic for a given ``--seed``.
+All experiments are deterministic for a given ``--seed``; a
+checkpointed ``wolt sim`` resumed after a crash is bit-identical to an
+uninterrupted run.  Exit codes: 0 success, 1 on checkpoint errors
+(fingerprint mismatch, corruption), 130/143 when a run was interrupted
+by SIGINT/SIGTERM after flushing its checkpoint.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -26,6 +33,13 @@ from .experiments import (faults, fig2, fig3, fig4, fig5, fig6,
                           robustness, sweeps)
 
 __all__ = ["main", "build_parser"]
+
+#: Exit codes for a gracefully interrupted durable run (128 + signum).
+INTERRUPT_EXIT_CODES = {"SIGINT": 128 + signal.SIGINT,
+                        "SIGTERM": 128 + signal.SIGTERM}
+
+#: Exit code for checkpoint-layer failures (mismatch, corruption).
+CHECKPOINT_ERROR_EXIT = 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,6 +73,53 @@ def build_parser() -> argparse.ArgumentParser:
         elif name == "faults":
             p.add_argument("--trials", type=int, default=10,
                            help="floors per fault level (default 10)")
+            p.add_argument("--checkpoint", type=str, default=None,
+                           help="journal per-trial partial results to "
+                                "this crash-consistent JSONL file")
+            p.add_argument("--resume", action="store_true",
+                           help="continue an interrupted fault sweep "
+                                "from its checkpoint")
+        elif name == "sweeps":
+            p.add_argument("--checkpoint-dir", type=str, default=None,
+                           help="persist each finished sweep "
+                                "atomically under this directory")
+            p.add_argument("--resume", action="store_true",
+                           help="skip sweeps already persisted in the "
+                                "checkpoint directory")
+
+    sim = sub.add_parser(
+        "sim",
+        help="durable Monte-Carlo sweep (checkpoint/resume/timeouts)")
+    sim.add_argument("--trials", type=int, default=100,
+                     help="Monte-Carlo trials (default 100)")
+    sim.add_argument("--extenders", type=int, default=15)
+    sim.add_argument("--users", type=int, default=36)
+    sim.add_argument("--policies", type=str, default="wolt,greedy,rssi",
+                     help="comma-separated policy list "
+                          "(default wolt,greedy,rssi)")
+    sim.add_argument("--seed", type=int, default=0,
+                     help="master random seed (default 0)")
+    sim.add_argument("--plc-mode",
+                     choices=("redistribute", "active", "fixed"),
+                     default="fixed",
+                     help="PLC sharing law for scoring (default fixed, "
+                          "the paper's simulator model)")
+    sim.add_argument("--workers", type=int, default=None,
+                     help="worker processes (default: serial; results "
+                          "are bit-identical for any worker count)")
+    sim.add_argument("--checkpoint", type=str, default=None,
+                     help="journal every completed trial to this "
+                          "crash-consistent JSONL file")
+    sim.add_argument("--resume", action="store_true",
+                     help="continue from the checkpoint: completed "
+                          "trials are merged, not recomputed")
+    sim.add_argument("--timeout-s", type=float, default=None,
+                     help="per-trial wall-clock deadline; a hung trial "
+                          "is reaped and recorded as a TrialFailure "
+                          "(requires --workers)")
+    sim.add_argument("--max-retries", type=int, default=None,
+                     help="retry budget for crashed trials before an "
+                          "explicit TrialFailure is recorded")
 
     solve = sub.add_parser(
         "solve", help="run WOLT on a random enterprise floor")
@@ -98,8 +159,48 @@ def _solve(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _sim(args: argparse.Namespace) -> Tuple[str, int]:
+    """The durable ``wolt sim`` sweep; returns (report, exit code)."""
+    from .sim.runner import TrialFailure, run_trials
+
+    policies = tuple(p.strip() for p in args.policies.split(",")
+                     if p.strip())
+    result = run_trials(args.trials, args.extenders, args.users,
+                        policies=policies, seed=args.seed,
+                        plc_mode=args.plc_mode, workers=args.workers,
+                        max_retries=args.max_retries,
+                        checkpoint=args.checkpoint, resume=args.resume,
+                        timeout_s=args.timeout_s)
+    completed = [t for t in result if not isinstance(t, TrialFailure)]
+    failures = [t for t in result if isinstance(t, TrialFailure)]
+    lines = [f"sim: {args.extenders} extenders, {args.users} users, "
+             f"seed {args.seed}, plc_mode={args.plc_mode}",
+             f"trials: {len(result)}/{args.trials} finished "
+             f"({result.resumed} resumed from checkpoint, "
+             f"{len(failures)} failed)"]
+    for policy in policies:
+        values = [t.aggregate(policy) for t in completed]
+        mean = float(np.mean(values)) if values else float("nan")
+        lines.append(f"{policy:>8s} mean aggregate: {mean:8.2f} Mbps "
+                     f"over {len(values)} trials")
+    for failure in failures:
+        lines.append(f"  trial {failure.trial_index} failed: "
+                     f"{failure.error_type} ({failure.error})")
+    if result.checkpoint is not None:
+        lines.append(f"checkpoint: {result.checkpoint}")
+    if result.interrupted is not None:
+        lines.append(f"interrupted by {result.interrupted} after "
+                     f"{len(result)} trials; checkpoint flushed — "
+                     "re-run with --resume to finish")
+        return ("\n".join(lines),
+                INTERRUPT_EXIT_CODES.get(result.interrupted, 1))
+    return "\n".join(lines), 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from .sim.checkpoint import CheckpointError
+
     args = build_parser().parse_args(argv)
     if args.command == "fig2":
         print(fig2.main(args.seed))
@@ -113,11 +214,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(fig6.main(args.seed, n_trials=args.trials,
                         workers=args.workers))
     elif args.command == "sweeps":
-        print(sweeps.main(args.seed))
+        print(sweeps.main(args.seed, checkpoint_dir=args.checkpoint_dir,
+                          resume=args.resume))
     elif args.command == "robustness":
         print(robustness.main(args.seed))
     elif args.command == "faults":
-        print(faults.main(args.seed, n_trials=args.trials))
+        try:
+            print(faults.main(args.seed, n_trials=args.trials,
+                              checkpoint=args.checkpoint,
+                              resume=args.resume))
+        except CheckpointError as exc:
+            print(f"checkpoint error: {exc}", file=sys.stderr)
+            return CHECKPOINT_ERROR_EXIT
+    elif args.command == "sim":
+        try:
+            text, code = _sim(args)
+        except CheckpointError as exc:
+            print(f"checkpoint error: {exc}", file=sys.stderr)
+            return CHECKPOINT_ERROR_EXIT
+        print(text)
+        return code
     elif args.command == "all":
         print(fig2.main(args.seed))
         print()

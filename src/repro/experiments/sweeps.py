@@ -15,8 +15,10 @@ The paper evaluates two operating points (3 ext / 7 users and 15 ext /
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -25,12 +27,15 @@ from ..core.problem import Scenario
 from ..core.wolt import solve_wolt
 from ..net.engine import evaluate
 from ..net.topology import enterprise_floor
+from ..sim.checkpoint import (FingerprintMismatch, atomic_write_json,
+                              fingerprint)
 from ..testbed.calibration import sample_isolation_capacities
 from ..wifi.phy import WifiPhy
 from .common import format_rows
 
 __all__ = ["SweepResult", "sweep_extenders", "sweep_users",
-           "sweep_plc_quality", "main"]
+           "sweep_plc_quality", "save_sweep_result",
+           "load_sweep_result", "main"]
 
 
 @dataclass(frozen=True)
@@ -154,16 +159,75 @@ def sweep_plc_quality(capacity_scales: Sequence[float] = (0.5, 1.0, 2.0,
                        ratio_wolt_rssi=tuple(wr_series))
 
 
-def main(seed: int = 0, n_trials: int = 6) -> str:
-    """Run all three sweeps and format the series."""
+def save_sweep_result(path: Union[str, Path], result: SweepResult,
+                      seed: int, n_trials: int) -> None:
+    """Atomically persist one sweep's series with its fingerprint.
+
+    The file is written through the atomic helper (temp file +
+    ``os.replace``), so a crash mid-write leaves either the previous
+    file or the new one — never a torn JSON document.
+    """
+    digest = fingerprint({"kind": "sweep", "parameter": result.parameter,
+                          "seed": int(seed), "n_trials": int(n_trials)})
+    atomic_write_json(path, {"version": 1, "kind": "sweep",
+                             "fingerprint": digest,
+                             "seed": int(seed),
+                             "n_trials": int(n_trials),
+                             "result": asdict(result)})
+
+
+def load_sweep_result(path: Union[str, Path], parameter: str,
+                      seed: int, n_trials: int) -> SweepResult:
+    """Load a persisted sweep, rejecting mismatched parameters loudly."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("kind") != "sweep" or payload.get("version") != 1:
+        raise ValueError(f"{path} is not a version-1 sweep result")
+    expected = fingerprint({"kind": "sweep", "parameter": parameter,
+                            "seed": int(seed),
+                            "n_trials": int(n_trials)})
+    if payload.get("fingerprint") != expected:
+        raise FingerprintMismatch(
+            f"{path} was produced by a sweep with different parameters "
+            f"(stored fingerprint {payload.get('fingerprint')!r}, "
+            f"expected {expected!r}); refusing to merge it")
+    raw = payload["result"]
+    return SweepResult(parameter=raw["parameter"],
+                       values=tuple(raw["values"]),
+                       ratio_wolt_greedy=tuple(raw["ratio_wolt_greedy"]),
+                       ratio_wolt_rssi=tuple(raw["ratio_wolt_rssi"]))
+
+
+def main(seed: int = 0, n_trials: int = 6,
+         checkpoint_dir: Optional[Union[str, Path]] = None,
+         resume: bool = False) -> str:
+    """Run all three sweeps and format the series.
+
+    With ``checkpoint_dir`` set, each finished sweep is persisted
+    atomically to ``sweep_<parameter>.json``; with ``resume`` a
+    persisted sweep (matching seed and trial count) is loaded instead
+    of recomputed, so a killed run only repeats its unfinished sweep.
+    """
     out = []
-    for name, sweep in [("extender count",
-                         sweep_extenders(seed=seed, n_trials=n_trials)),
-                        ("user count",
-                         sweep_users(seed=seed, n_trials=n_trials)),
-                        ("PLC capacity scale",
-                         sweep_plc_quality(seed=seed,
-                                           n_trials=n_trials))]:
+    sweep_fns = [("extender count",
+                  lambda: sweep_extenders(seed=seed, n_trials=n_trials)),
+                 ("user count",
+                  lambda: sweep_users(seed=seed, n_trials=n_trials)),
+                 ("PLC capacity scale",
+                  lambda: sweep_plc_quality(seed=seed,
+                                            n_trials=n_trials))]
+    parameters = ("n_extenders", "n_users", "plc_capacity_scale")
+    directory = None if checkpoint_dir is None else Path(checkpoint_dir)
+    if directory is not None:
+        directory.mkdir(parents=True, exist_ok=True)
+    for (name, run_sweep), parameter in zip(sweep_fns, parameters):
+        path = (None if directory is None
+                else directory / f"sweep_{parameter}.json")
+        if resume and path is not None and path.exists():
+            sweep = load_sweep_result(path, parameter, seed, n_trials)
+        else:
+            sweep = run_sweep()
+            if path is not None:
+                save_sweep_result(path, sweep, seed, n_trials)
         out.append(f"Sweep over {name} "
                    "(mean aggregate ratios, paper-model scoring)")
         out.append(format_rows(

@@ -1,5 +1,9 @@
 """Simulation layer: DES kernel, user dynamics, runners, traffic."""
 
+from .checkpoint import (CheckpointError, CheckpointExists,
+                         CorruptCheckpoint, FingerprintMismatch,
+                         TrialStore, atomic_write_json,
+                         atomic_write_text)
 from .dynamics import EpochStats, OnlineSimulation
 from .events import EventHandle, EventQueue
 from .failures import (FailureEpoch, FailureSimulation, fail_extenders,
@@ -9,8 +13,8 @@ from .faults import (ControlPlaneOutcome, CrashSchedule, FaultModel,
                      run_faulty_control_plane)
 from .mobility import MobilityEpoch, MobilitySimulation, RandomWaypoint
 from .runner import (PolicyOutcome, TrialFailure, TrialResult,
-                     run_online_comparison, run_policy, run_trials,
-                     sample_floor_plan)
+                     TrialRunResult, run_online_comparison, run_policy,
+                     run_trials, sample_floor_plan)
 from .workload import DiurnalProfile, hotspot_positions
 from .trace import (load_history, load_scenario, save_history,
                     save_scenario)
@@ -27,5 +31,7 @@ __all__ = [
     "reassociate_orphans", "hotspot_positions", "DiurnalProfile",
     "FaultModel", "FaultyTransport", "ControlPlaneOutcome",
     "run_faulty_control_plane", "InjectedCrash", "CrashSchedule",
-    "TrialFailure",
+    "TrialFailure", "TrialRunResult", "TrialStore", "CheckpointError",
+    "CheckpointExists", "CorruptCheckpoint", "FingerprintMismatch",
+    "atomic_write_text", "atomic_write_json",
 ]

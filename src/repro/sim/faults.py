@@ -29,6 +29,7 @@ counts (each trial carries its own SeedSequence child).
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
@@ -230,7 +231,7 @@ class InjectedCrash(RuntimeError):
 
 @dataclass(frozen=True)
 class CrashSchedule:
-    """Picklable trial-crash fault hook for ``run_trials``.
+    """Picklable trial-crash / trial-hang fault hook for ``run_trials``.
 
     ``crashes`` maps a trial index to the number of attempts that must
     crash before the trial is allowed to succeed; the schedule raises
@@ -239,9 +240,19 @@ class CrashSchedule:
     exhausts trial 1's retry budget and yields a
     :class:`~repro.sim.runner.TrialFailure` for it while every other
     trial completes normally.
+
+    ``hangs`` maps a trial index to the number of attempts that must
+    *hard-hang* (sleep ``hang_s`` seconds, emulating a wedged worker —
+    a deadlocked solver, a stuck I/O syscall) before the trial is
+    allowed to proceed.  Pair it with ``run_trials(...,
+    timeout_s=...)`` to exercise the supervisor's deadline reaping: the
+    hung worker is killed and the trial recorded as a timeout
+    :class:`~repro.sim.runner.TrialFailure`.
     """
 
     crashes: Mapping[int, int]
+    hangs: Mapping[int, int] = field(default_factory=dict)
+    hang_s: float = 3600.0
 
     def __post_init__(self) -> None:
         normalized = {int(t): int(n) for t, n in
@@ -249,9 +260,17 @@ class CrashSchedule:
         if any(n < 0 for n in normalized.values()):
             raise ValueError("crash counts must be non-negative")
         object.__setattr__(self, "crashes", normalized)
+        hangs = {int(t): int(n) for t, n in dict(self.hangs).items()}
+        if any(n < 0 for n in hangs.values()):
+            raise ValueError("hang counts must be non-negative")
+        object.__setattr__(self, "hangs", hangs)
+        if self.hang_s < 0:
+            raise ValueError("hang_s must be non-negative")
 
     def __call__(self, trial_index: int, attempt: int) -> None:
         if attempt < self.crashes.get(trial_index, 0):
             raise InjectedCrash(
                 f"injected crash: trial {trial_index}, "
                 f"attempt {attempt}")
+        if attempt < self.hangs.get(trial_index, 0):
+            time.sleep(self.hang_s)

@@ -3,14 +3,27 @@
 These helpers wrap topology sampling, policy execution, and metric
 collection behind seeded, reproducible entry points used by the
 benchmarks and examples.
+
+Durability (see ``docs/ROBUSTNESS.md``): ``run_trials`` can journal
+every completed trial to a crash-consistent
+:class:`~repro.sim.checkpoint.TrialStore`, resume an interrupted sweep
+bit-identically, enforce per-trial deadlines with hung-worker reaping,
+and convert pool crashes and SIGINT/SIGTERM into explicit partial
+results instead of run loss.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import (Callable, Dict, List, Optional, Sequence, Tuple,
-                    Union)
+import signal
+import time
+from collections import Counter, deque
+from concurrent.futures import (FIRST_COMPLETED, ProcessPoolExecutor,
+                                wait)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import (Any, Callable, Dict, List, Optional, Sequence,
+                    Tuple, Union)
 
 import numpy as np
 
@@ -23,10 +36,12 @@ from ..net.metrics import jain_fairness
 from ..net.topology import FloorPlan, enterprise_floor
 from ..plc.channel import random_building
 from ..wifi.phy import WifiPhy
+from .checkpoint import TrialStore, fingerprint
 from .dynamics import EpochStats, OnlineSimulation
 
-__all__ = ["PolicyOutcome", "TrialResult", "TrialFailure", "run_policy",
-           "run_trials", "run_online_comparison", "sample_floor_plan"]
+__all__ = ["PolicyOutcome", "TrialResult", "TrialFailure",
+           "TrialRunResult", "run_policy", "run_trials",
+           "run_online_comparison", "sample_floor_plan"]
 
 #: The association policies known to the runner.
 POLICY_NAMES = ("wolt", "greedy", "rssi", "random")
@@ -36,6 +51,16 @@ POLICY_NAMES = ("wolt", "greedy", "rssi", "random")
 #: :class:`repro.sim.faults.CrashSchedule`).  Must be picklable when
 #: ``workers`` is used.
 FaultHook = Callable[[int, int], None]
+
+#: Supervisor wake-up period: the upper bound on how stale the deadline
+#: and interrupt checks can be while workers are busy.
+_POLL_S = 0.2
+
+#: ``error_type`` recorded for a trial reaped past its deadline.
+TIMEOUT_ERROR_TYPE = "TrialTimeout"
+
+#: ``error_type`` recorded for a trial whose worker died (pool crash).
+POOL_ERROR_TYPE = "BrokenProcessPool"
 
 
 @dataclass(frozen=True)
@@ -73,20 +98,48 @@ class TrialFailure:
     """A trial whose every attempt crashed (retry budget exhausted).
 
     Returned in place of a :class:`TrialResult` when ``run_trials`` is
-    given ``max_retries`` — the run's surviving trials are preserved
-    instead of one worker exception destroying all of them.
+    given ``max_retries`` (or runs in durable mode) — the run's
+    surviving trials are preserved instead of one worker exception
+    destroying all of them.
 
     Attributes:
         trial_index: 0-based position of the trial in the run.
         attempts: attempts made (``max_retries + 1``).
-        error_type: class name of the last exception.
-        error: ``repr`` of the last exception.
+        error_type: class name of the last exception, or
+            :data:`TIMEOUT_ERROR_TYPE` / :data:`POOL_ERROR_TYPE` for
+            trials reaped by the supervisor.
+        error: ``repr`` of the last exception (or a supervisor note).
     """
 
     trial_index: int
     attempts: int
     error_type: str
     error: str
+
+
+class TrialRunResult(List[Union[TrialResult, TrialFailure]]):
+    """The list of per-trial results plus run-level durability markers.
+
+    Behaves exactly like the plain list older callers expect, with
+    three extra attributes:
+
+    Attributes:
+        interrupted: ``None`` for a run that finished, else the name of
+            the signal (``"SIGINT"``/``"SIGTERM"``) that stopped it; an
+            interrupted run returns only the trials completed so far.
+        resumed: number of trials merged from the checkpoint instead of
+            recomputed.
+        checkpoint: the journal path, when checkpointing was active.
+    """
+
+    def __init__(self,
+                 items: Sequence[Union[TrialResult, TrialFailure]] = (),
+                 interrupted: Optional[str] = None, resumed: int = 0,
+                 checkpoint: Optional[str] = None) -> None:
+        super().__init__(items)
+        self.interrupted = interrupted
+        self.resumed = resumed
+        self.checkpoint = checkpoint
 
 
 def run_policy(scenario: Scenario, policy: str,
@@ -222,6 +275,321 @@ def _run_trial_guarded(payload: _TrialPayload
                         error=repr(last_error))
 
 
+# ---------------------------------------------------------------------------
+# Checkpoint codec: TrialResult / TrialFailure <-> JSON payloads.
+#
+# Every float goes through Python's shortest-round-trip repr (what
+# json emits), so decode(encode(x)) is bit-identical to x — the basis
+# of the resume == cold-run contract.
+
+
+def _encode_record(result: Union[TrialResult, TrialFailure]
+                   ) -> Dict[str, Any]:
+    if isinstance(result, TrialFailure):
+        return {"type": "failure", "trial_index": result.trial_index,
+                "attempts": result.attempts,
+                "error_type": result.error_type, "error": result.error}
+    scenario = result.scenario
+    return {
+        "type": "result",
+        "scenario": {
+            "wifi_rates": scenario.wifi_rates.tolist(),
+            "plc_rates": scenario.plc_rates.tolist(),
+            "capacities": (None if scenario.capacities is None
+                           else scenario.capacities.tolist()),
+            "user_ids": (None if scenario.user_ids is None
+                         else np.asarray(scenario.user_ids).tolist()),
+        },
+        "outcomes": [
+            {"policy": o.policy,
+             "aggregate_throughput": o.aggregate_throughput,
+             "jain_fairness": o.jain_fairness,
+             "user_throughputs": o.user_throughputs.tolist(),
+             "assignment": o.assignment.tolist()}
+            for o in result.outcomes.values()
+        ],
+    }
+
+
+def _decode_record(payload: Dict[str, Any]
+                   ) -> Union[TrialResult, TrialFailure]:
+    if payload["type"] == "failure":
+        return TrialFailure(trial_index=int(payload["trial_index"]),
+                            attempts=int(payload["attempts"]),
+                            error_type=payload["error_type"],
+                            error=payload["error"])
+    raw = payload["scenario"]
+    scenario = Scenario(
+        wifi_rates=np.asarray(raw["wifi_rates"], dtype=float),
+        plc_rates=np.asarray(raw["plc_rates"], dtype=float),
+        capacities=(None if raw["capacities"] is None
+                    else np.asarray(raw["capacities"], dtype=int)),
+        user_ids=(None if raw["user_ids"] is None
+                  else np.asarray(raw["user_ids"])))
+    outcomes = {}
+    for entry in payload["outcomes"]:
+        outcomes[entry["policy"]] = PolicyOutcome(
+            policy=entry["policy"],
+            aggregate_throughput=entry["aggregate_throughput"],
+            jain_fairness=entry["jain_fairness"],
+            user_throughputs=np.asarray(entry["user_throughputs"],
+                                        dtype=float),
+            assignment=np.asarray(entry["assignment"], dtype=int))
+    return TrialResult(scenario=scenario, outcomes=outcomes)
+
+
+def _run_fingerprint(n_trials: int, n_extenders: int, n_users: int,
+                     policies: Sequence[str], seed: int, width_m: float,
+                     height_m: float, phy: Optional[WifiPhy],
+                     plc_mode: str) -> Tuple[str, Dict[str, Any]]:
+    """The checkpoint fingerprint over the run's scientific parameters.
+
+    Operational knobs (workers, retries, timeouts, fault hooks) are
+    deliberately excluded: they never change what a completed trial's
+    *result* is, so a sweep may be resumed with a different worker
+    count or deadline.
+    """
+    phy_params: Optional[Dict[str, Any]] = None
+    if phy is not None:
+        phy_params = asdict(phy)
+        phy_params["mcs_table"] = [list(row)
+                                   for row in phy_params["mcs_table"]]
+    params = {"kind": "run_trials", "n_trials": int(n_trials),
+              "n_extenders": int(n_extenders), "n_users": int(n_users),
+              "policies": list(policies), "seed": int(seed),
+              "width_m": float(width_m), "height_m": float(height_m),
+              "phy": phy_params, "plc_mode": plc_mode}
+    return fingerprint(params), params
+
+
+# ---------------------------------------------------------------------------
+# Supervision: signals, deadlines, pool recycling.
+
+
+class _InterruptState:
+    """Mutable flag the signal handlers share with the run loop."""
+
+    def __init__(self) -> None:
+        self.signal_name: Optional[str] = None
+
+    @property
+    def interrupted(self) -> bool:
+        return self.signal_name is not None
+
+
+class _SignalGuard:
+    """Install graceful SIGINT/SIGTERM handlers for a durable run.
+
+    The handler records the signal and lets the run loop drain: no
+    trial is torn mid-write, the journal is flushed, and the partial
+    results are returned with ``interrupted`` set.  Outside the main
+    thread (where ``signal.signal`` is unavailable) the guard is a
+    no-op and the default semantics apply.
+    """
+
+    _SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self, state: _InterruptState) -> None:
+        self.state = state
+        self._saved: List[Tuple[int, Any]] = []
+
+    def __enter__(self) -> "_SignalGuard":
+        for sig in self._SIGNALS:
+            try:
+                previous = signal.signal(sig, self._handle)
+            except ValueError:  # not the main thread
+                continue
+            self._saved.append((sig, previous))
+        return self
+
+    def _handle(self, signum: int, frame: Any) -> None:
+        self.state.signal_name = signal.Signals(signum).name
+
+    def __exit__(self, *exc_info: Any) -> None:
+        for sig, previous in self._saved:
+            signal.signal(sig, previous)
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Forcibly reap a pool, hung workers included.
+
+    ``ProcessPoolExecutor`` has no public kill switch — ``shutdown``
+    waits for running calls, which is exactly what a hung worker never
+    finishes — so the workers are SIGKILLed directly before the
+    bookkeeping threads are shut down.
+    """
+    # _processes is None before the first submit and after shutdown.
+    for proc in list((getattr(pool, "_processes", None) or {}).values()):
+        try:
+            proc.kill()
+        except (OSError, AttributeError):  # already gone
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # the pool may already be broken — that's fine
+        pass
+
+
+def _run_supervised(pending: Sequence[_TrialPayload], workers: int,
+                    guarded: bool, retry_budget: int,
+                    timeout_s: Optional[float],
+                    record: Callable[[int, Union[TrialResult,
+                                                 TrialFailure]], None],
+                    state: _InterruptState) -> None:
+    """Run payloads on a supervised process pool.
+
+    Unlike the old blind ``pool.map``, the supervisor:
+
+    * keeps at most ``workers`` trials in flight, so every submitted
+      trial starts promptly and its deadline is meaningful;
+    * reaps any trial that outlives ``timeout_s`` — the pool is killed
+      (hung workers cannot be joined), the trial is recorded as a
+      :class:`TrialFailure` with :data:`TIMEOUT_ERROR_TYPE`, and the
+      innocent in-flight trials are resubmitted on a fresh pool (their
+      SeedSequence children make the rerun bit-identical);
+    * converts a :class:`BrokenProcessPool` (a worker SIGKILLed / OOMed
+      / segfaulted) into a pool recycle with *serial quarantine*: a
+      broken pool takes down every in-flight future, so blame cannot be
+      attributed while several trials share it.  The casualties are
+      therefore resubmitted one at a time on the fresh pool — an
+      innocent probe completes and walks free; the true killer dies
+      alone, is now blamed with certainty, and is retried up to
+      ``max(retry_budget, 1)`` times before being recorded as an
+      explicit :class:`TrialFailure`.  One repeatedly-dying trial can
+      never take a neighbour down with it;
+    * drains promptly on interruption: completed results are kept,
+      queued trials are abandoned.
+
+    ``record`` is called exactly once per finished trial, in completion
+    order, and is expected to journal durably.
+    """
+    run_fn = _run_trial_guarded if guarded else _run_single_trial
+    queue = deque(pending)
+    pool_attempts: Dict[int, int] = {}
+    quarantine: set = set()
+    pool = ProcessPoolExecutor(max_workers=workers)
+    inflight: Dict[Any, Tuple[_TrialPayload, Optional[float]]] = {}
+
+    def settle(payload: _TrialPayload,
+               result: Union[TrialResult, TrialFailure]) -> None:
+        quarantine.discard(payload.trial_index)
+        record(payload.trial_index, result)
+
+    def recycle(casualties: List[_TrialPayload]) -> None:
+        """Replace a broken pool; quarantine, retry or fail casualties.
+
+        Blame is only assigned when a single trial was in flight (it is
+        then certainly the one whose worker died); a multi-casualty
+        break quarantines everyone unblamed and lets the serial probes
+        sort killer from bystander.
+        """
+        nonlocal pool
+        _kill_pool(pool)
+        budget = max(retry_budget, 1)
+        certain = len(casualties) == 1
+        for payload in reversed(casualties):
+            count = pool_attempts.get(payload.trial_index, 0)
+            if certain:
+                count += 1
+                pool_attempts[payload.trial_index] = count
+            if count > budget:
+                settle(payload, TrialFailure(
+                    trial_index=payload.trial_index, attempts=count,
+                    error_type=POOL_ERROR_TYPE,
+                    error=f"worker process died {count} times while "
+                          f"running this trial"))
+            else:
+                quarantine.add(payload.trial_index)
+                queue.appendleft(payload)
+        pool = ProcessPoolExecutor(max_workers=workers)
+
+    try:
+        while (queue or inflight) and not state.interrupted:
+            # Top up the pool, one in-flight trial per worker — except
+            # while quarantined casualties await their serial probes.
+            while queue and len(inflight) < (1 if quarantine
+                                             else workers):
+                payload = queue.popleft()
+                deadline = (None if timeout_s is None
+                            else time.monotonic() + timeout_s)
+                try:
+                    future = pool.submit(run_fn, payload)
+                except (BrokenProcessPool, RuntimeError):
+                    # The pool died between polls; recycle and retry.
+                    casualties = [p for p, _ in inflight.values()]
+                    casualties.append(payload)
+                    inflight.clear()
+                    recycle(casualties)
+                    break
+                inflight[future] = (payload, deadline)
+            if not inflight:
+                continue
+            wait_s = _POLL_S
+            deadlines = [d for _, d in inflight.values()
+                         if d is not None]
+            if deadlines:
+                wait_s = min(wait_s,
+                             max(0.0, min(deadlines) - time.monotonic()))
+            done, _ = wait(set(inflight), timeout=wait_s,
+                           return_when=FIRST_COMPLETED)
+            broken = False
+            for future in done:
+                payload, _ = inflight.pop(future)
+                try:
+                    settle(payload, future.result())
+                except BrokenProcessPool:
+                    broken = True
+                    inflight[future] = (payload, None)
+                except Exception:
+                    if guarded:
+                        raise  # _run_trial_guarded never raises these
+                    _kill_pool(pool)
+                    raise
+            if broken:
+                casualties = [p for p, _ in inflight.values()]
+                inflight.clear()
+                recycle(casualties)
+                continue
+            # Deadline pass: harvest any just-finished stragglers, then
+            # reap whatever is genuinely past its deadline.
+            now = time.monotonic()
+            expired = [future for future, (p, d) in inflight.items()
+                       if d is not None and now >= d]
+            if not expired:
+                continue
+            for future in list(expired):
+                if future.done():  # finished in the polling gap
+                    expired.remove(future)
+                    payload, _ = inflight.pop(future)
+                    try:
+                        settle(payload, future.result())
+                    except BrokenProcessPool:
+                        inflight[future] = (payload, None)
+            hung = [inflight.pop(future)[0] for future in expired
+                    if future in inflight]
+            if not hung:
+                continue
+            for payload in hung:
+                settle(payload, TrialFailure(
+                    trial_index=payload.trial_index, attempts=1,
+                    error_type=TIMEOUT_ERROR_TYPE,
+                    error=f"trial exceeded its {timeout_s}s deadline "
+                          "and was reaped"))
+            # The hung workers must die; innocents rerun unpunished
+            # (deadline reaping is not their failure).
+            survivors = [p for p, _ in inflight.values()]
+            inflight.clear()
+            _kill_pool(pool)
+            pool = ProcessPoolExecutor(max_workers=workers)
+            queue.extendleft(reversed(survivors))
+    finally:
+        if inflight or queue:
+            # Interrupted (or propagating an error): abandon cleanly.
+            _kill_pool(pool)
+        else:
+            pool.shutdown(wait=True)
+
+
 def run_trials(n_trials: int,
                n_extenders: int,
                n_users: int,
@@ -233,8 +601,10 @@ def run_trials(n_trials: int,
                plc_mode: str = "redistribute",
                workers: Optional[int] = None,
                max_retries: Optional[int] = None,
-               fault_hook: Optional[FaultHook] = None
-               ) -> List[Union[TrialResult, TrialFailure]]:
+               fault_hook: Optional[FaultHook] = None,
+               checkpoint: Optional[Union[str, Path]] = None,
+               resume: bool = False,
+               timeout_s: Optional[float] = None) -> TrialRunResult:
     """Monte-Carlo policy comparison over random floors (Fig. 6a).
 
     Each trial samples a fresh enterprise floor (wiring plant, extender
@@ -245,41 +615,97 @@ def run_trials(n_trials: int,
     spawn); each trial additionally pre-spawns one grandchild per
     *policy name*, so every policy owns a stream independent of which
     other policies run alongside it.  Results are therefore
-    bit-identical across worker counts, across retry attempts, and —
-    for any single policy — across ``policies`` subsets.
+    bit-identical across worker counts, across retry attempts, across
+    checkpoint/resume boundaries, and — for any single policy — across
+    ``policies`` subsets.
+
+    Durable mode (any of ``checkpoint``/``timeout_s`` set, or
+    ``max_retries`` not None) never loses completed work: trial errors
+    become :class:`TrialFailure` records, completed trials are
+    journaled before the next one starts, and SIGINT/SIGTERM drain
+    gracefully instead of destroying the run.
 
     Args:
         n_trials: number of independent scenarios (paper: 100).
         n_extenders: extenders per floor (paper: 15).
         n_users: users per floor (paper: 36).
-        policies: subset of :data:`POLICY_NAMES` to run.
+        policies: subset of :data:`POLICY_NAMES` to run (no duplicates).
         seed: master seed for the :class:`~numpy.random.SeedSequence`.
         width_m / height_m: floor dimensions (paper: 100 m x 100 m).
         phy: optional WiFi PHY override.
         plc_mode: PLC sharing law used for scoring (the paper's
             simulator corresponds to ``"fixed"``).
         workers: number of worker processes; ``None``, 0, or 1 run
-            serially in-process.
+            serially in-process (except that ``timeout_s`` promotes
+            ``workers=1`` to a supervised single-worker pool — a
+            deadline needs a process boundary to reap across).
         max_retries: when ``None`` (default), a trial exception
-            propagates to the caller unchanged.  When an int, a crashed
-            trial is retried up to ``max_retries`` times with the same
-            SeedSequence children and, on exhaustion, returned as an
-            explicit :class:`TrialFailure` record — surviving trials
-            are never lost.
+            propagates to the caller unchanged (unless durable mode is
+            active, which implies a budget of 0).  When an int, a
+            crashed trial is retried up to ``max_retries`` times with
+            the same SeedSequence children and, on exhaustion, returned
+            as an explicit :class:`TrialFailure` record — surviving
+            trials are never lost.
         fault_hook: optional ``hook(trial_index, attempt)`` run at the
             start of every attempt; may raise to inject trial crashes
             (see :class:`repro.sim.faults.CrashSchedule`).  Must be
             picklable when ``workers`` is used.
+        checkpoint: journal path.  Every completed trial is appended to
+            a crash-consistent :class:`~repro.sim.checkpoint.TrialStore`
+            (flushed + fsynced per record) and the journal is compacted
+            to a canonical snapshot when the run finishes.
+        resume: continue an existing checkpoint: completed trial
+            indices are skipped and their stored results merged, making
+            the resumed run bit-identical to a cold run with the same
+            seed.  A checkpoint written under different scientific
+            parameters is rejected with
+            :class:`~repro.sim.checkpoint.FingerprintMismatch`.
+        timeout_s: per-trial wall-clock deadline.  A trial that
+            outlives it is reaped (its worker killed, the pool
+            recycled) and recorded as a :class:`TrialFailure` with
+            ``error_type=TIMEOUT_ERROR_TYPE``; remaining trials
+            continue.  Requires ``workers >= 1``.
 
     Returns:
-        One :class:`TrialResult` (or, with ``max_retries`` set, possibly
-        a :class:`TrialFailure`) per trial, in trial order.
+        A :class:`TrialRunResult` (a plain ``list`` plus the
+        ``interrupted``/``resumed``/``checkpoint`` markers) holding one
+        :class:`TrialResult` — or, in guarded/durable mode, possibly a
+        :class:`TrialFailure` — per completed trial, in trial order.
+        After an interruption the list covers only the completed
+        prefix-set of trials.
     """
+    if n_trials < 0:
+        raise ValueError("n_trials must be non-negative")
     unknown = set(policies) - set(POLICY_NAMES)
     if unknown:
         raise ValueError(f"unknown policies: {sorted(unknown)}")
+    dupes = sorted(name for name, count in Counter(policies).items()
+                   if count > 1)
+    if dupes:
+        raise ValueError(
+            f"duplicate policies: {dupes} — outcomes are keyed by "
+            "policy name, so a duplicate entry would silently collapse")
     if max_retries is not None and max_retries < 0:
         raise ValueError("max_retries must be non-negative")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ValueError("timeout_s must be positive")
+    if timeout_s is not None and (workers is None or workers < 1):
+        raise ValueError(
+            "timeout_s requires workers >= 1: reaping a hung trial "
+            "needs a worker process boundary to kill across")
+    if resume and checkpoint is None:
+        raise ValueError("resume=True requires a checkpoint path")
+
+    store: Optional[TrialStore] = None
+    if checkpoint is not None:
+        digest, params = _run_fingerprint(
+            n_trials, n_extenders, n_users, policies, seed, width_m,
+            height_m, phy, plc_mode)
+        store = TrialStore(checkpoint, digest, params=params,
+                           resume=resume)
+
+    durable = store is not None or timeout_s is not None
+    guarded = max_retries is not None or durable
     children = np.random.SeedSequence(seed).spawn(n_trials)
     payloads = []
     for index, child in enumerate(children):
@@ -293,17 +719,69 @@ def run_trials(n_trials: int,
             height_m=height_m, phy=phy, plc_mode=plc_mode,
             fault_hook=fault_hook,
             max_retries=0 if max_retries is None else max_retries))
-    guarded = max_retries is not None
-    if workers is None or workers <= 1:
-        if guarded:
-            return [_run_trial_guarded(payload) for payload in payloads]
-        return [_run_single_trial(payload) for payload in payloads]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        # pool.map preserves submission order and (in the unguarded
-        # mode) re-raises the first worker exception at iteration time
-        # instead of hanging.
-        runner = _run_trial_guarded if guarded else _run_single_trial
-        return list(pool.map(runner, payloads))
+
+    results: Dict[int, Union[TrialResult, TrialFailure]] = {}
+    resumed = 0
+    if store is not None:
+        for index, payload in store.records.items():
+            results[index] = _decode_record(payload)
+        resumed = len(results)
+    pending = [p for p in payloads if p.trial_index not in results]
+
+    def record(index: int,
+               result: Union[TrialResult, TrialFailure]) -> None:
+        results[index] = result
+        if store is not None:
+            store.append(index, _encode_record(result))
+
+    state = _InterruptState()
+    # timeout_s promotes workers=1 to a one-worker pool: a deadline is
+    # only enforceable across a process boundary.
+    use_pool = (workers is not None
+                and (workers > 1 or timeout_s is not None))
+    try:
+        with _SignalGuard(state) if store is not None else \
+                _NullContext():
+            if use_pool:
+                _run_supervised(pending, max(int(workers or 1), 1),
+                                guarded, max_retries or 0, timeout_s,
+                                record, state)
+            else:
+                for payload in pending:
+                    if state.interrupted:
+                        break
+                    if guarded:
+                        record(payload.trial_index,
+                               _run_trial_guarded(payload))
+                    else:
+                        record(payload.trial_index,
+                               _run_single_trial(payload))
+        if store is not None:
+            if state.interrupted:
+                # Leave the raw journal in place (marker included) for
+                # forensics; the next resume completes and compacts it.
+                store.append_event("interrupted",
+                                   signal=state.signal_name,
+                                   completed=len(results))
+            else:
+                store.snapshot()
+    finally:
+        if store is not None:
+            store.close()
+    return TrialRunResult(
+        [results[i] for i in sorted(results)],
+        interrupted=state.signal_name, resumed=resumed,
+        checkpoint=None if checkpoint is None else str(checkpoint))
+
+
+class _NullContext:
+    """``contextlib.nullcontext`` (named for the signal-guard branch)."""
+
+    def __enter__(self) -> "_NullContext":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
 
 
 def run_online_comparison(n_epochs: int,
@@ -324,7 +802,14 @@ def run_online_comparison(n_epochs: int,
     The floor-plan and arrival-process streams are independent children
     of ``SeedSequence(seed)`` (spawned afresh per policy, so each policy
     replays identical randomness).
+
+    Policy names are validated up front — before any floor plan is
+    sampled or epoch run — so a typo fails fast instead of deep inside
+    the first policy's simulation.
     """
+    unknown = set(policies) - set(POLICY_NAMES)
+    if unknown:
+        raise ValueError(f"unknown policies: {sorted(unknown)}")
     histories: Dict[str, List[EpochStats]] = {}
     for policy in policies:
         plan_seq, arrival_seq = np.random.SeedSequence(seed).spawn(2)

@@ -19,6 +19,7 @@ from typing import Dict, List, Sequence, Union
 import numpy as np
 
 from ..core.problem import Scenario
+from .checkpoint import atomic_write_text
 from .dynamics import EpochStats
 
 __all__ = ["save_history", "load_history", "save_scenario",
@@ -44,7 +45,7 @@ def save_history(path: Union[str, Path],
             for policy, history in histories.items()
         },
     }
-    Path(path).write_text(json.dumps(payload, indent=2))
+    atomic_write_text(path, json.dumps(payload, indent=2))
 
 
 def load_history(path: Union[str, Path]) -> Dict[str, List[EpochStats]]:
@@ -73,7 +74,7 @@ def save_scenario(path: Union[str, Path], scenario: Scenario) -> None:
         "user_ids": (None if scenario.user_ids is None
                      else np.asarray(scenario.user_ids).tolist()),
     }
-    Path(path).write_text(json.dumps(payload, indent=2))
+    atomic_write_text(path, json.dumps(payload, indent=2))
 
 
 def load_scenario(path: Union[str, Path]) -> Scenario:

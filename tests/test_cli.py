@@ -40,6 +40,40 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["solve", "--plc-mode", "bogus"])
 
+    def test_sim_flags(self):
+        args = build_parser().parse_args(
+            ["sim", "--trials", "7", "--extenders", "4", "--users", "9",
+             "--policies", "wolt,rssi", "--checkpoint", "run.jsonl",
+             "--resume", "--timeout-s", "2.5", "--workers", "3",
+             "--max-retries", "1"])
+        assert args.command == "sim"
+        assert args.trials == 7
+        assert args.policies == "wolt,rssi"
+        assert args.checkpoint == "run.jsonl"
+        assert args.resume is True
+        assert args.timeout_s == 2.5
+        assert args.workers == 3
+        assert args.max_retries == 1
+
+    def test_sim_defaults(self):
+        args = build_parser().parse_args(["sim"])
+        assert args.checkpoint is None
+        assert args.resume is False
+        assert args.timeout_s is None
+        assert args.plc_mode == "fixed"
+
+    def test_faults_checkpoint_flags(self):
+        args = build_parser().parse_args(
+            ["faults", "--checkpoint", "f.jsonl", "--resume"])
+        assert args.checkpoint == "f.jsonl"
+        assert args.resume is True
+
+    def test_sweeps_checkpoint_flags(self):
+        args = build_parser().parse_args(
+            ["sweeps", "--checkpoint-dir", "ckpt", "--resume"])
+        assert args.checkpoint_dir == "ckpt"
+        assert args.resume is True
+
 
 class TestExecution:
     def test_fig3(self, capsys):
@@ -65,3 +99,53 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "Control-plane fault injection" in out
         assert "WOLT" in out and "RSSI" in out
+
+
+class TestSimCommand:
+    SMALL = ["sim", "--trials", "3", "--extenders", "3", "--users", "6",
+             "--seed", "5", "--policies", "wolt,rssi"]
+
+    def test_sim_runs_and_reports(self, capsys):
+        assert main(self.SMALL) == 0
+        out = capsys.readouterr().out
+        assert "3/3 finished" in out
+        assert "wolt mean aggregate" in out
+        assert "rssi mean aggregate" in out
+
+    def test_sim_checkpoint_and_resume(self, tmp_path, capsys):
+        checkpoint = str(tmp_path / "run.jsonl")
+        assert main(self.SMALL + ["--checkpoint", checkpoint]) == 0
+        first = capsys.readouterr().out
+        assert f"checkpoint: {checkpoint}" in first
+        assert main(self.SMALL + ["--checkpoint", checkpoint,
+                                  "--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "(3 resumed from checkpoint, 0 failed)" in second
+
+    def test_sim_existing_checkpoint_without_resume_exits_1(
+            self, tmp_path, capsys):
+        checkpoint = str(tmp_path / "run.jsonl")
+        assert main(self.SMALL + ["--checkpoint", checkpoint]) == 0
+        capsys.readouterr()
+        assert main(self.SMALL + ["--checkpoint", checkpoint]) == 1
+        err = capsys.readouterr().err
+        assert "checkpoint error" in err
+
+    def test_sim_fingerprint_mismatch_exits_1(self, tmp_path, capsys):
+        checkpoint = str(tmp_path / "run.jsonl")
+        assert main(self.SMALL + ["--checkpoint", checkpoint]) == 0
+        capsys.readouterr()
+        assert main(self.SMALL + ["--checkpoint", checkpoint,
+                                  "--resume", "--seed", "6"]) == 1
+        err = capsys.readouterr().err
+        assert "checkpoint error" in err
+
+    def test_faults_checkpoint_resume_round_trip(self, tmp_path,
+                                                 capsys):
+        checkpoint = str(tmp_path / "faults.jsonl")
+        argv = ["faults", "--trials", "2", "--checkpoint", checkpoint]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert first == second  # resumed sweep reproduces the report

@@ -4,10 +4,14 @@ from __future__ import annotations
 
 import pytest
 
+from repro.experiments.faults import run_fault_sweep
 from repro.experiments.robustness import run_robustness
-from repro.experiments.sweeps import (sweep_extenders, sweep_plc_quality,
+from repro.experiments.sweeps import (load_sweep_result,
+                                      save_sweep_result,
+                                      sweep_extenders, sweep_plc_quality,
                                       sweep_users)
 from repro.experiments import robustness, sweeps
+from repro.sim.checkpoint import FingerprintMismatch
 
 
 class TestRobustness:
@@ -60,3 +64,62 @@ class TestSweeps:
         text = sweeps.main(seed=0, n_trials=1)
         assert "Sweep over extender count" in text
         assert "WOLT/Greedy" in text
+
+
+class TestSweepCheckpointing:
+    def test_save_load_round_trip(self, tmp_path):
+        result = sweep_extenders(extender_counts=(3, 5), n_users=10,
+                                 n_trials=1, seed=4)
+        path = tmp_path / "sweep.json"
+        save_sweep_result(path, result, seed=4, n_trials=1)
+        loaded = load_sweep_result(path, "n_extenders", seed=4,
+                                   n_trials=1)
+        assert loaded == result
+
+    def test_mismatched_parameters_rejected(self, tmp_path):
+        result = sweep_extenders(extender_counts=(3,), n_users=10,
+                                 n_trials=1, seed=4)
+        path = tmp_path / "sweep.json"
+        save_sweep_result(path, result, seed=4, n_trials=1)
+        with pytest.raises(FingerprintMismatch):
+            load_sweep_result(path, "n_extenders", seed=5, n_trials=1)
+
+    def test_main_resume_reuses_persisted_sweeps(self, tmp_path):
+        cold = sweeps.main(seed=0, n_trials=1)
+        first = sweeps.main(seed=0, n_trials=1,
+                            checkpoint_dir=tmp_path)
+        assert first == cold
+        persisted = sorted(p.name for p in tmp_path.iterdir())
+        assert persisted == ["sweep_n_extenders.json",
+                             "sweep_n_users.json",
+                             "sweep_plc_capacity_scale.json"]
+        resumed = sweeps.main(seed=0, n_trials=1,
+                              checkpoint_dir=tmp_path, resume=True)
+        assert resumed == cold
+
+
+class TestFaultSweepCheckpointing:
+    PARAMS = dict(fault_levels=(0.0, 0.3), n_trials=3, n_extenders=3,
+                  n_users=6, seed=9)
+
+    def test_resumed_sweep_bit_identical_to_cold(self, tmp_path):
+        checkpoint = tmp_path / "faults.jsonl"
+        cold = run_fault_sweep(**self.PARAMS)
+        checkpointed = run_fault_sweep(checkpoint=checkpoint,
+                                       **self.PARAMS)
+        assert checkpointed == cold
+        # Drop the last journaled trial, simulating a crash after two
+        # of three trials, then resume: bit-identical again.
+        lines = checkpoint.read_text().splitlines()
+        # woltlint: disable=W008 — deliberately tearing the journal
+        checkpoint.write_text("\n".join(lines[:-1]) + "\n")
+        resumed = run_fault_sweep(checkpoint=checkpoint, resume=True,
+                                  **self.PARAMS)
+        assert resumed == cold
+
+    def test_mismatched_parameters_rejected(self, tmp_path):
+        checkpoint = tmp_path / "faults.jsonl"
+        run_fault_sweep(checkpoint=checkpoint, **self.PARAMS)
+        other = dict(self.PARAMS, seed=10)
+        with pytest.raises(FingerprintMismatch):
+            run_fault_sweep(checkpoint=checkpoint, resume=True, **other)

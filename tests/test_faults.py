@@ -251,6 +251,20 @@ class TestCrashSchedule:
         with pytest.raises(ValueError):
             CrashSchedule({0: -1})
 
+    def test_scheduled_hang_sleeps_for_budgeted_attempts(self,
+                                                        monkeypatch):
+        naps = []
+        monkeypatch.setattr("repro.sim.faults.time.sleep", naps.append)
+        schedule = CrashSchedule({}, hangs={1: 1}, hang_s=7.5)
+        schedule(0, 0)  # unscheduled trial: no-op
+        schedule(1, 0)  # first attempt hangs
+        schedule(1, 1)  # budget spent: succeeds
+        assert naps == [7.5]
+
+    def test_negative_hang_counts_rejected(self):
+        with pytest.raises(ValueError):
+            CrashSchedule({}, hangs={0: -1})
+
 
 SCALE = dict(n_extenders=4, n_users=8, seed=424242)
 

@@ -28,7 +28,7 @@ VIOLATION_PLUS_ONE = VIOLATION + textwrap.dedent("""
 """)
 
 
-def write_tree(tmp_path: Path, source: str) -> Path:
+def make_tree(tmp_path: Path, source: str) -> Path:
     pkg = tmp_path / "pkg"
     pkg.mkdir(exist_ok=True)
     (pkg / "module.py").write_text(source)
@@ -119,7 +119,7 @@ class TestCli:
 
     def test_violation_fails_without_baseline_file(self, tmp_path,
                                                    capsys):
-        write_tree(tmp_path, VIOLATION)
+        make_tree(tmp_path, VIOLATION)
         bl = tmp_path / "baseline.json"
         assert self.run(tmp_path, "--baseline", str(bl)) == 1
         out = capsys.readouterr().out
@@ -127,7 +127,7 @@ class TestCli:
 
     def test_update_then_grandfathered_run_is_green(self, tmp_path,
                                                     capsys):
-        write_tree(tmp_path, VIOLATION)
+        make_tree(tmp_path, VIOLATION)
         bl = tmp_path / "baseline.json"
         assert self.run(tmp_path, "--baseline", str(bl),
                         "--update-baseline") == 0
@@ -137,17 +137,17 @@ class TestCli:
 
     def test_new_violation_still_fails_same_file(self, tmp_path,
                                                  capsys):
-        write_tree(tmp_path, VIOLATION)
+        make_tree(tmp_path, VIOLATION)
         bl = tmp_path / "baseline.json"
         assert self.run(tmp_path, "--baseline", str(bl),
                         "--update-baseline") == 0
-        write_tree(tmp_path, VIOLATION_PLUS_ONE)
+        make_tree(tmp_path, VIOLATION_PLUS_ONE)
         assert self.run(tmp_path, "--baseline", str(bl)) == 1
         out = capsys.readouterr().out
         assert out.count("W001") >= 2  # whole group resurfaces
 
     def test_no_baseline_reports_everything(self, tmp_path, capsys):
-        write_tree(tmp_path, VIOLATION)
+        make_tree(tmp_path, VIOLATION)
         bl = tmp_path / "baseline.json"
         assert self.run(tmp_path, "--baseline", str(bl),
                         "--update-baseline") == 0
@@ -156,7 +156,7 @@ class TestCli:
         assert "W001" in capsys.readouterr().out
 
     def test_json_output_shape(self, tmp_path, capsys):
-        write_tree(tmp_path, VIOLATION)
+        make_tree(tmp_path, VIOLATION)
         bl = tmp_path / "baseline.json"
         assert self.run(tmp_path, "--baseline", str(bl),
                         "--format", "json") == 1
@@ -176,7 +176,7 @@ class TestCli:
             assert code in out
 
     def test_select_and_ignore(self, tmp_path, capsys):
-        write_tree(tmp_path, VIOLATION)
+        make_tree(tmp_path, VIOLATION)
         bl = tmp_path / "baseline.json"
         assert self.run(tmp_path, "--baseline", str(bl),
                         "--ignore", "W001") == 0

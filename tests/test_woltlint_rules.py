@@ -23,9 +23,9 @@ def codes(source: str, path: str = "core/module.py", select=None):
 
 
 class TestRegistry:
-    def test_all_seven_rules_registered(self):
+    def test_all_eight_rules_registered(self):
         assert set(RULES) == {"W001", "W002", "W003", "W004", "W005",
-                              "W006", "W007"}
+                              "W006", "W007", "W008"}
 
     def test_rules_carry_metadata(self):
         for code, rule in RULES.items():
@@ -299,6 +299,74 @@ class TestW007SwallowedTransportException:
             ok = self.transport.handoff_succeeds(directive)
         except ValueError:
             ok = False
+        """
+        assert codes(src) == []
+
+
+class TestW008NonAtomicPersistence:
+    def test_truncating_open_on_results_path_flagged(self):
+        src = """
+        def record(results_path, payload):
+            with open(results_path, "w") as handle:
+                handle.write(payload)
+        """
+        assert codes(src) == ["W008"]
+
+    def test_open_inside_save_function_flagged(self):
+        src = """
+        def save_report(path, text):
+            with open(path, "w") as handle:
+                handle.write(text)
+        """
+        assert codes(src) == ["W008"]
+
+    def test_write_text_on_checkpoint_path_flagged(self):
+        src = """
+        def finish(checkpoint_path, text):
+            checkpoint_path.write_text(text)
+        """
+        assert codes(src) == ["W008"]
+
+    def test_path_call_write_text_in_save_fn_flagged(self):
+        # Path(path).write_text — the receiver is a call expression,
+        # not a dotted name; the rule must still see the method.
+        src = """
+        from pathlib import Path
+
+        def save_history(path, text):
+            Path(path).write_text(text)
+        """
+        assert codes(src) == ["W008"]
+
+    def test_json_dump_onto_results_handle_flagged(self):
+        src = """
+        import json
+
+        def emit(payload, results_handle):
+            json.dump(payload, results_handle)
+        """
+        assert codes(src) == ["W008"]
+
+    def test_atomic_helper_itself_clean(self):
+        # The helper is where the non-atomic write legitimately lives.
+        src = """
+        import os
+
+        def atomic_write_text(path, text):
+            with open(path + ".tmp", "w") as handle:
+                handle.write(text)
+            os.replace(path + ".tmp", path)
+        """
+        assert codes(src) == []
+
+    def test_read_mode_and_unrelated_writes_clean(self):
+        src = """
+        def load(results_path):
+            with open(results_path, "r") as handle:
+                return handle.read()
+
+        def scratch(tmp_path, text):
+            tmp_path.write_text(text)
         """
         assert codes(src) == []
 

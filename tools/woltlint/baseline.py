@@ -15,6 +15,8 @@ grandfathered findings) is always welcome and never breaks the gate.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
@@ -60,11 +62,29 @@ class Baseline:
         return cls(counts=dict(counts))
 
     def save(self, filename: str) -> None:
+        # Written atomically (temp file + os.replace) so an interrupted
+        # --update-baseline never leaves a torn baseline that would
+        # break every subsequent gate run.  Inlined rather than imported
+        # from repro.sim.checkpoint: the lint gate runs without the
+        # package on sys.path.
         payload = {"version": _VERSION,
                    "entries": dict(sorted(self.counts.items()))}
-        with open(filename, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=False)
-            handle.write("\n")
+        directory = os.path.dirname(os.path.abspath(filename))
+        fd, tmp = tempfile.mkstemp(dir=directory,
+                                   prefix=".baseline-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=False)
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, filename)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def is_empty(self) -> bool:
         return not self.counts

@@ -18,7 +18,7 @@ from .findings import Finding
 __all__ = ["Rule", "RULES", "register", "all_rule_codes",
            "UnseededRng", "SeedArithmetic", "ScalarEvalInLoop",
            "ReportMutation", "UnitSuffix", "SwallowedEngineException",
-           "SwallowedTransportException"]
+           "SwallowedTransportException", "NonAtomicPersistence"]
 
 
 def dotted_parts(node: ast.AST) -> Optional[List[str]]:
@@ -464,3 +464,144 @@ class SwallowedTransportException(Rule):
                             "broad except swallows a transport error — "
                             "the retry path must re-raise on "
                             "exhaustion")
+
+
+# ---------------------------------------------------------------------------
+# W008 — non-atomic result persistence
+
+
+#: Name fragments that mark an expression as a results/checkpoint path.
+_PERSIST_WORDS = ("result", "checkpoint", "journal", "snapshot",
+                  "output", "history", "trace", "baseline", "bench")
+
+#: Function-name prefixes that mark the enclosing function as a
+#: persistence routine (its writes land on a results path even when the
+#: path variable has a neutral name).
+_PERSIST_FN_PREFIXES = ("save", "write", "dump", "persist", "store")
+
+
+def _mentions_persist_word(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        name = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            name = sub.value
+        if name is not None and any(word in name.lower()
+                                    for word in _PERSIST_WORDS):
+            return True
+    return False
+
+
+def _is_persistence_fn(name: Optional[str]) -> bool:
+    if name is None:
+        return False
+    lowered = name.lower()
+    if "atomic" in lowered:
+        # The atomic-write helpers themselves (and any *_atomic wrapper)
+        # are the sanctioned implementation, not a violation.
+        return False
+    return lowered.startswith(_PERSIST_FN_PREFIXES)
+
+
+def _write_mode(call: ast.Call) -> bool:
+    """Whether an ``open`` call truncates (mode contains ``w``)."""
+    mode: Optional[ast.AST] = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if mode is None:
+        return False
+    return (isinstance(mode, ast.Constant)
+            and isinstance(mode.value, str) and "w" in mode.value)
+
+
+@register
+class NonAtomicPersistence(Rule):
+    """Results/checkpoints written without the atomic-write helper."""
+
+    code = "W008"
+    name = "non-atomic-persistence"
+    description = ("open(path, 'w') / write_text / json.dump onto a "
+                   "results or checkpoint path outside the atomic-write "
+                   "helper")
+    rationale = ("A crash between truncate and flush leaves a torn "
+                 "results file that a resumed sweep would trust; route "
+                 "result persistence through "
+                 "repro.sim.checkpoint.atomic_write_text/_json "
+                 "(temp file + os.replace) or an append-only "
+                 "TrialStore journal.")
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        rule = self
+        findings: List[Finding] = []
+
+        class Visitor(ast.NodeVisitor):
+            def __init__(self) -> None:
+                self.fn_stack: List[str] = []
+
+            def _visit_fn(self, node: ast.AST) -> None:
+                self.fn_stack.append(node.name)
+                self.generic_visit(node)
+                self.fn_stack.pop()
+
+            visit_FunctionDef = _visit_fn
+            visit_AsyncFunctionDef = _visit_fn
+
+            def _in_atomic_helper(self) -> bool:
+                return any("atomic" in name.lower()
+                           for name in self.fn_stack)
+
+            def _in_persistence_fn(self) -> bool:
+                return bool(self.fn_stack) and \
+                    _is_persistence_fn(self.fn_stack[-1])
+
+            def visit_Call(self, node: ast.Call) -> None:
+                self.generic_visit(node)
+                if self._in_atomic_helper():
+                    return
+                parts = dotted_parts(node.func)
+                if parts is not None:
+                    tail = parts[-1]
+                elif isinstance(node.func, ast.Attribute):
+                    # e.g. Path(path).write_text(...) — the receiver is
+                    # a call, so there is no dotted-name chain.
+                    tail = node.func.attr
+                    parts = ["<expr>", tail]
+                else:
+                    return
+                if tail == "open" and node.args and _write_mode(node):
+                    if _mentions_persist_word(node.args[0]) \
+                            or self._in_persistence_fn():
+                        findings.append(rule.finding(
+                            path, node,
+                            "open(..., 'w') truncates a results/"
+                            "checkpoint file in place — a crash here "
+                            "tears it; write through "
+                            "atomic_write_text/atomic_write_json"))
+                elif tail == "write_text" and len(parts) >= 2:
+                    target = node.func.value \
+                        if isinstance(node.func, ast.Attribute) else None
+                    if (target is not None
+                            and _mentions_persist_word(target)) \
+                            or self._in_persistence_fn():
+                        findings.append(rule.finding(
+                            path, node,
+                            "write_text onto a results/checkpoint "
+                            "path is not atomic — a crash mid-write "
+                            "tears the file; use atomic_write_text"))
+                elif tail == "dump" and len(parts) >= 2 \
+                        and parts[-2] == "json" and len(node.args) >= 2 \
+                        and _mentions_persist_word(node.args[1]):
+                    findings.append(rule.finding(
+                        path, node,
+                        "json.dump straight onto a results/checkpoint "
+                        "handle is not atomic — serialize first and "
+                        "write through atomic_write_json"))
+
+        Visitor().visit(tree)
+        return iter(findings)
