@@ -1,0 +1,96 @@
+"""DecisionGuard overhead micro-benchmark.
+
+The guard seam promises that validating every decision is effectively
+free on the hot path (<5% over the unguarded solver).  This benchmark
+times ``solve_wolt`` and ``greedy_assignment`` with and without a
+:class:`~repro.core.guard.DecisionGuard` on the pinned Fig. 6 workload
+and writes ``benchmarks/perf/BENCH_guard.json``:
+
+    PYTHONPATH=src python -m benchmarks.perf.bench_guard
+
+Every section reports best-of-``repeats`` wall time so the JSON is
+stable enough to compare across commits (see docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.baselines import greedy_assignment
+from repro.core.guard import DecisionGuard
+from repro.core.wolt import solve_wolt
+from repro.net.topology import enterprise_floor
+from repro.sim.checkpoint import atomic_write_text
+
+OUTPUT = Path(__file__).resolve().parent / "BENCH_guard.json"
+
+#: Pinned workload: the paper's Fig. 6 enterprise floor.
+N_EXTENDERS = 15
+N_USERS = 124
+SEED = 2020
+
+#: The seam's performance budget: guarded solve within 5% of unguarded.
+OVERHEAD_BUDGET = 0.05
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    """Best wall time of ``repeats`` runs (seconds)."""
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return float(best)
+
+
+def _guarded_vs_unguarded(fn) -> dict:
+    unguarded_s = _best_of(lambda: fn(guard=None))
+    guarded_s = _best_of(lambda: fn(guard=DecisionGuard()))
+    overhead = guarded_s / unguarded_s - 1.0
+    return {
+        "unguarded_s": unguarded_s,
+        "guarded_s": guarded_s,
+        "overhead_fraction": overhead,
+        "within_budget": overhead <= OVERHEAD_BUDGET,
+    }
+
+
+def main() -> dict:
+    rng = np.random.default_rng(SEED)
+    scenario = enterprise_floor(N_EXTENDERS, N_USERS, rng)
+    report = {
+        "meta": {
+            "workload": {"n_extenders": N_EXTENDERS, "n_users": N_USERS,
+                         "seed": SEED},
+            "overhead_budget": OVERHEAD_BUDGET,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpus": len(os.sched_getaffinity(0)),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        },
+        "solve_wolt": _guarded_vs_unguarded(
+            lambda guard: solve_wolt(scenario, guard=guard)),
+        "greedy_assignment": _guarded_vs_unguarded(
+            lambda guard: greedy_assignment(scenario, guard=guard)),
+    }
+    atomic_write_text(OUTPUT, json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    for name in ("solve_wolt", "greedy_assignment"):
+        section = report[name]
+        verdict = "OK" if section["within_budget"] else "OVER BUDGET"
+        print(f"{name}: guard overhead "
+              f"{section['overhead_fraction']:+.1%} "
+              f"(budget {OVERHEAD_BUDGET:.0%}) — {verdict}")
+    print(f"\nwrote {OUTPUT}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,7 @@ Runs any of the paper's experiments from a shell::
     wolt fig5            # per-user fairness drill-down
     wolt fig6            # large-scale simulation suite
     wolt faults          # control-plane fault-injection sweep
+    wolt chaos           # composed-fault chaos sweep (self-healing)
     wolt sim --checkpoint run.jsonl --workers 4   # durable sweep
     wolt sim --checkpoint run.jsonl --resume      # continue after a crash
     wolt solve --extenders 15 --users 36 --seed 1
@@ -29,7 +30,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from .experiments import (faults, fig2, fig3, fig4, fig5, fig6,
+from .experiments import (chaos, faults, fig2, fig3, fig4, fig5, fig6,
                           robustness, sweeps)
 
 __all__ = ["main", "build_parser"]
@@ -59,6 +60,8 @@ def build_parser() -> argparse.ArgumentParser:
             ("robustness", "estimation-noise robustness (extension)"),
             ("faults", "control-plane fault-injection sweep "
                        "(extension)"),
+            ("chaos", "composed-fault chaos sweep for the "
+                      "self-healing control loop (extension)"),
             ("all", "run every figure")]:
         p = sub.add_parser(name, help=help_text)
         p.add_argument("--seed", type=int, default=0,
@@ -70,6 +73,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="worker processes for the Monte-Carlo "
                                 "trials (default: serial; results are "
                                 "bit-identical for any worker count)")
+        elif name == "chaos":
+            p.add_argument("--trials", type=int, default=10,
+                           help="floors per chaos level (default 10)")
         elif name == "faults":
             p.add_argument("--trials", type=int, default=10,
                            help="floors per fault level (default 10)")
@@ -218,6 +224,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                           resume=args.resume))
     elif args.command == "robustness":
         print(robustness.main(args.seed))
+    elif args.command == "chaos":
+        report = chaos.main(args.seed, n_trials=args.trials)
+        print(report)
+        if "ACCEPTANCE: FAIL" in report:
+            return 1
     elif args.command == "faults":
         try:
             print(faults.main(args.seed, n_trials=args.trials,

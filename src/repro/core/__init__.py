@@ -7,6 +7,8 @@ from .bounds import GapCertificate, certify
 from .controller import CentralController, Transport
 from .dynamic import IncrementalWolt, ReconfigureOutcome
 from .fairness import AlphaFairResult, alpha_fair_utility, solve_alpha_fair
+from .guard import DecisionGuard, GuardError, GuardReport, GuardViolation
+from .health import HealthEvent, HealthMonitor
 from .hungarian import InfeasibleAssignmentError, solve_assignment
 from .optimal import brute_force_optimal
 from .partition import (partition_to_scenario,
@@ -30,4 +32,6 @@ __all__ = [
     "certify", "GapCertificate",
     "partition_to_scenario", "solve_partition_by_association",
     "branch_and_bound_optimal", "BnbResult",
+    "DecisionGuard", "GuardError", "GuardReport", "GuardViolation",
+    "HealthMonitor", "HealthEvent",
 ]

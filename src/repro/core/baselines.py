@@ -15,12 +15,15 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..net.engine import evaluate, evaluate_batch
 from .problem import MIN_USABLE_RATE, UNASSIGNED, Scenario
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .guard import DecisionGuard
 
 __all__ = ["rssi_assignment", "greedy_assignment", "greedy_attach_user",
            "selfish_greedy_assignment", "random_assignment"]
@@ -39,13 +42,17 @@ def _candidate_batch(scenario: Scenario, assign: np.ndarray, user: int,
     return candidates, batch
 
 
-def rssi_assignment(scenario: Scenario) -> np.ndarray:
+def rssi_assignment(scenario: Scenario,
+                    guard: "Optional[DecisionGuard]" = None) -> np.ndarray:
     """Strongest-signal association (the commodity default).
 
     RSSI is monotone in the WiFi PHY rate under the paper's distance-based
     channel model, so picking the best-rate extender is the best-RSSI
     choice.  Capacity limits, when present, are honoured by falling back
-    to the next-strongest extender with room.
+    to the next-strongest extender with room.  With a ``guard``,
+    unattachable users are left UNASSIGNED and reported instead of
+    raising, and the result is validated (bit-identical on clean
+    inputs).
     """
     assignment = np.full(scenario.n_users, UNASSIGNED, dtype=int)
     counts = np.zeros(scenario.n_extenders, dtype=int)
@@ -59,8 +66,11 @@ def rssi_assignment(scenario: Scenario) -> np.ndarray:
                 assignment[user] = j
                 counts[j] += 1
                 break
-        if assignment[user] == UNASSIGNED:
+        if assignment[user] == UNASSIGNED and guard is None:
             raise ValueError(f"user {user} cannot be attached anywhere")
+    if guard is not None:
+        assignment, _ = guard.repair_assignment(scenario, assignment,
+                                                source="rssi")
     return assignment
 
 
@@ -120,7 +130,9 @@ def greedy_attach_user(scenario: Scenario,
 def greedy_assignment(scenario: Scenario,
                       arrival_order: Optional[Sequence[int]] = None,
                       plc_mode: str = "redistribute",
-                      batched: bool = True) -> np.ndarray:
+                      batched: bool = True,
+                      guard: "Optional[DecisionGuard]" = None
+                      ) -> np.ndarray:
     """Centralized online greedy association (§V-B baseline).
 
     Args:
@@ -133,6 +145,10 @@ def greedy_assignment(scenario: Scenario,
         batched: score each arrival's candidate extenders with one
             batched engine call (default) instead of one scalar call per
             candidate.
+        guard: optional :class:`repro.core.guard.DecisionGuard` — an
+            unattachable arrival is left UNASSIGNED and reported
+            instead of raising, and the result is validated
+            (bit-identical on clean inputs).
 
     Returns:
         A complete assignment array.
@@ -141,20 +157,31 @@ def greedy_assignment(scenario: Scenario,
         arrival_order = range(scenario.n_users)
     assignment = np.full(scenario.n_users, UNASSIGNED, dtype=int)
     for user in arrival_order:
-        assignment[user] = greedy_attach_user(scenario, assignment,
-                                              int(user),
-                                              plc_mode=plc_mode,
-                                              batched=batched)
+        try:
+            assignment[user] = greedy_attach_user(scenario, assignment,
+                                                  int(user),
+                                                  plc_mode=plc_mode,
+                                                  batched=batched)
+        except ValueError:
+            if guard is None:
+                raise
+    if guard is not None:
+        assignment, _ = guard.repair_assignment(scenario, assignment,
+                                                source="greedy")
     return assignment
 
 
 def random_assignment(scenario: Scenario,
-                      rng: Optional[np.random.Generator] = None
+                      rng: Optional[np.random.Generator] = None,
+                      guard: "Optional[DecisionGuard]" = None
                       ) -> np.ndarray:
     """Uniformly random reachable extender per user (sanity baseline).
 
     ``rng`` defaults to ``np.random.default_rng(0)`` — the baseline is
-    random *across seeds*, never across repeated identical calls.
+    random *across seeds*, never across repeated identical calls.  With
+    a ``guard``, unattachable users are left UNASSIGNED and reported
+    instead of raising; on clean inputs the guarded result is
+    bit-identical.
     """
     rng = rng if rng is not None else np.random.default_rng(0)
     assignment = np.full(scenario.n_users, UNASSIGNED, dtype=int)
@@ -163,17 +190,25 @@ def random_assignment(scenario: Scenario,
         options = [int(j) for j in scenario.reachable(user)
                    if counts[j] < scenario.capacity_of(int(j))]
         if not options:
-            raise ValueError(f"user {user} cannot be attached anywhere")
+            if guard is None:
+                raise ValueError(
+                    f"user {user} cannot be attached anywhere")
+            continue
         j = int(rng.choice(options))
         assignment[user] = j
         counts[j] += 1
+    if guard is not None:
+        assignment, _ = guard.repair_assignment(scenario, assignment,
+                                                source="random")
     return assignment
 
 
 def selfish_greedy_assignment(scenario: Scenario,
                               arrival_order: Optional[Sequence[int]] = None,
                               plc_mode: str = "redistribute",
-                              batched: bool = True) -> np.ndarray:
+                              batched: bool = True,
+                              guard: "Optional[DecisionGuard]" = None
+                              ) -> np.ndarray:
     """Self-interested greedy association (the §III-B case study policy).
 
     Each arriving user picks the extender that maximizes its *own*
@@ -181,6 +216,8 @@ def selfish_greedy_assignment(scenario: Scenario,
     rather than the network aggregate.  Kept as an extra baseline: it is
     what uncoordinated rate-aware clients would do.  ``batched`` scores
     each arrival's candidates with one batched engine call (default).
+    With a ``guard``, unattachable arrivals are left UNASSIGNED and
+    reported instead of raising.
     """
     if arrival_order is None:
         arrival_order = range(scenario.n_users)
@@ -192,7 +229,10 @@ def selfish_greedy_assignment(scenario: Scenario,
             candidates, batch = _candidate_batch(scenario, assignment,
                                                  user, counts)
             if not candidates:
-                raise ValueError(f"user {user} cannot be attached anywhere")
+                if guard is None:
+                    raise ValueError(
+                        f"user {user} cannot be attached anywhere")
+                continue
             report = evaluate_batch(scenario, batch, plc_mode=plc_mode)
             own = report.user_throughputs[:, user]
             best_k = 0
@@ -216,7 +256,14 @@ def selfish_greedy_assignment(scenario: Scenario,
                 if best_key is None or key > best_key:
                     best_key, best_j = key, j
             if best_j == UNASSIGNED:
-                raise ValueError(f"user {user} cannot be attached anywhere")
+                if guard is None:
+                    raise ValueError(
+                        f"user {user} cannot be attached anywhere")
+                assignment[user] = UNASSIGNED
+                continue
         assignment[user] = best_j
         counts[best_j] += 1
+    if guard is not None:
+        assignment, _ = guard.repair_assignment(scenario, assignment,
+                                                source="selfish")
     return assignment

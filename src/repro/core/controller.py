@@ -23,7 +23,7 @@ client that never receives its directive stays on its previous extender
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,6 +31,10 @@ from ..net.engine import ThroughputReport, evaluate
 from .baselines import greedy_attach_user
 from .problem import Scenario, UNASSIGNED
 from .wolt import solve_wolt
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .guard import DecisionGuard
+    from .health import HealthMonitor
 
 __all__ = ["ScanReport", "AssociationDirective", "ControllerStats",
            "Transport", "CentralController"]
@@ -81,6 +85,13 @@ class ControllerStats:
             on (it stays on its previous extender).
         backoff_wait_s: cumulative exponential-backoff wait spent on
             directive retransmissions.
+        stale_reports: reports older than the configured TTL at a
+            reconfiguration; their users kept their last-known-good
+            association instead of being re-solved.
+        sanitized_reports: scan reports containing non-finite or
+            negative rates that the guard repaired at receipt.
+        guard_repairs: users whose solver output the guard had to
+            repair across this controller's solves.
     """
 
     scan_reports: int = 0
@@ -92,6 +103,9 @@ class ControllerStats:
     retries: int = 0
     failed_handoffs: int = 0
     backoff_wait_s: float = 0.0
+    stale_reports: int = 0
+    sanitized_reports: int = 0
+    guard_repairs: int = 0
 
 
 class Transport:
@@ -142,21 +156,54 @@ class CentralController:
             commodity clients).
         transport: control-plane message channel; defaults to the
             lossless :class:`Transport`.
+        guard: optional :class:`repro.core.guard.DecisionGuard`.  When
+            set, non-finite scan-report rates are sanitized at receipt
+            (falling back to the user's last known-good rates) instead
+            of raising, and every solve is validated/repaired.  Without
+            it a non-finite report raises ``ValueError`` — telemetry
+            this controller cannot trust is rejected loudly.
+        health: optional :class:`repro.core.health.HealthMonitor`.
+            Quarantined extenders are masked out of every solve and of
+            admission parking (``fail_extenders`` semantics: zero WiFi
+            column, zero PLC rate); feed it capacity telemetry through
+            :meth:`update_plc_telemetry`.
+        report_ttl_epochs: optional scan-report time-to-live, counted
+            in reconfiguration epochs.  A user whose newest report is
+            older than this many epochs is *stale*: it is excluded
+            from the re-solve and keeps its last-known-good
+            association (counted in
+            :attr:`ControllerStats.stale_reports`).  ``None`` (the
+            default) keeps the legacy behaviour — reports never
+            expire.
     """
 
     def __init__(self, plc_rates: Sequence[float], policy: str = "wolt",
                  handoff_outage_s: float = 1.0,
-                 transport: Optional[Transport] = None) -> None:
+                 transport: Optional[Transport] = None,
+                 guard: "Optional[DecisionGuard]" = None,
+                 health: "Optional[HealthMonitor]" = None,
+                 report_ttl_epochs: Optional[int] = None) -> None:
         if policy not in ("wolt", "greedy", "rssi"):
             raise ValueError(f"unsupported policy {policy!r}")
         self.plc_rates = np.asarray(plc_rates, dtype=float)
         if self.plc_rates.ndim != 1 or self.plc_rates.size == 0:
             raise ValueError("plc_rates must be a non-empty vector")
+        if report_ttl_epochs is not None and report_ttl_epochs < 1:
+            raise ValueError("report_ttl_epochs must be positive")
+        if health is not None and health.n_extenders != self.plc_rates.size:
+            raise ValueError(
+                "health monitor must watch one extender per PLC link")
         self.policy = policy
         self.handoff_outage_s = handoff_outage_s
         self.transport = transport if transport is not None else Transport()
+        self.guard = guard
+        self.health = health
+        self.report_ttl_epochs = report_ttl_epochs
         self.stats = ControllerStats()
+        self._epoch = 0
         self._reports: Dict[int, ScanReport] = {}
+        self._report_epoch: Dict[int, int] = {}
+        self._last_good_rates: Dict[int, np.ndarray] = {}
         self._assignment: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
@@ -199,7 +246,13 @@ class CentralController:
         rates = np.asarray(report.wifi_rates, dtype=float)
         if rates.shape != (self.n_extenders,):
             raise ValueError("scan report must cover every extender")
+        rates = self._checked_rates(report.user_id, rates)
         if not np.any(rates > 0):
+            if self.guard is not None:
+                # Nothing usable survived sanitation and there is no
+                # last-known-good fallback: ignore the report (the
+                # client physically stays wherever it is).
+                return None
             raise ValueError(f"user {report.user_id} hears no extender")
         observed = self.transport.observe_report(
             ScanReport(report.user_id, rates))
@@ -209,6 +262,8 @@ class CentralController:
         seen = np.asarray(observed.wifi_rates, dtype=float)
         self.stats.scan_reports += 1
         self._reports[report.user_id] = ScanReport(report.user_id, seen)
+        self._report_epoch[report.user_id] = self._epoch
+        self._last_good_rates[report.user_id] = seen.copy()
         current = self._assignment.get(report.user_id)
         if current is not None and seen[current] > 0:
             return None
@@ -217,9 +272,14 @@ class CentralController:
             idx = ids.index(report.user_id)
             vec = self._assignment_vector(ids)
             vec[idx] = UNASSIGNED
-            extender = greedy_attach_user(scenario, vec, idx)
+            try:
+                extender = greedy_attach_user(scenario, vec, idx)
+            except ValueError:
+                if self.guard is None:
+                    raise
+                extender = int(np.argmax(self._admission_rates(seen)))
         else:
-            extender = int(np.argmax(seen))
+            extender = int(np.argmax(self._admission_rates(seen)))
         directive = self._issue(report.user_id, extender)
         if directive is None and current is None:
             # The client reached the CC over its strongest-RSSI
@@ -231,23 +291,69 @@ class CentralController:
     def disconnect(self, user_id: int) -> None:
         """Remove a departing client."""
         self._reports.pop(user_id, None)
+        self._report_epoch.pop(user_id, None)
+        self._last_good_rates.pop(user_id, None)
         self._assignment.pop(user_id, None)
+
+    def update_plc_telemetry(self, plc_rates: Sequence[float]) -> None:
+        """Refresh the measured PLC capacities from telemetry.
+
+        With a :class:`~repro.core.health.HealthMonitor` attached, the
+        observation drives the quarantine state machine and non-finite
+        or negative readings fall back to each extender's last
+        known-good capacity.  Without one, untrusted telemetry is
+        rejected loudly.
+        """
+        arr = np.asarray(plc_rates, dtype=float).ravel()
+        if arr.shape[0] != self.n_extenders:
+            raise ValueError(
+                "PLC telemetry must cover every extender")
+        if self.health is not None:
+            carrying = np.zeros(self.n_extenders, dtype=bool)
+            for j in self._assignment.values():
+                if j != UNASSIGNED:
+                    carrying[j] = True
+            self.health.observe(arr, carrying)
+            self.plc_rates = self.health.effective_rates(arr)
+            return
+        if not np.all(np.isfinite(arr)) or np.any(arr < 0):
+            raise ValueError(
+                "PLC telemetry must be finite and non-negative")
+        self.plc_rates = arr
 
     def reconfigure(self) -> List[AssociationDirective]:
         """Epoch-boundary re-optimization (WOLT only; others no-op).
+
+        Every call advances the controller's epoch clock (the unit of
+        the report TTL).  With ``report_ttl_epochs`` set, users whose
+        newest report expired are excluded from the solve and keep
+        their last-known-good association.
 
         Returns the directives *delivered* to clients whose extender
         changed (a directive lost on every attempt is counted in
         :attr:`ControllerStats.dropped_directives` instead; its client
         keeps its previous extender).
         """
+        self._epoch += 1
         if self.policy != "wolt" or not self._reports:
             return []
-        scenario, ids = self._scenario()
-        result = solve_wolt(scenario)
+        fresh = self._fresh_ids()
+        self.stats.stale_reports += len(self._reports) - len(fresh)
+        if not fresh:
+            return []
+        before = self.guard.repairs if self.guard is not None else 0
+        scenario, ids = self._scenario(fresh)
+        result = solve_wolt(scenario, guard=self.guard)
+        if self.guard is not None:
+            self.stats.guard_repairs += self.guard.repairs - before
         directives = []
         for idx, uid in enumerate(ids):
             new_j = int(result.assignment[idx])
+            if new_j == UNASSIGNED:
+                # A guarded solve could not place this user (e.g. its
+                # only extenders are quarantined): it keeps its
+                # last-known-good association.
+                continue
             if self._assignment.get(uid) != new_j:
                 directive = self._issue(uid, new_j)
                 if directive is not None:
@@ -260,9 +366,14 @@ class CentralController:
     def network_report(self) -> "ThroughputReport":
         """Current end-to-end throughput report (see
         :func:`repro.net.engine.evaluate`)."""
-        scenario, ids = self._scenario()
-        return evaluate(scenario, self._assignment_vector(ids),
-                        require_complete=True)
+        # Measurement covers everyone (stale users included) against
+        # the unmasked scenario: quarantine is solver bookkeeping, not
+        # physics, and clients may legitimately still sit on a
+        # quarantined extender.
+        scenario, ids = self._scenario(mask_quarantined=False)
+        vec = self._assignment_vector(ids)
+        complete = self.guard is None or not np.any(vec == UNASSIGNED)
+        return evaluate(scenario, vec, require_complete=complete)
 
     def reassignment_overhead_fraction(self, window_s: float) -> float:
         """Fraction of a window lost to handoff outages (per client).
@@ -314,10 +425,66 @@ class CentralController:
         self._assignment[user_id] = extender
         return directive
 
-    def _scenario(self) -> "Tuple[Scenario, List[int]]":
+    def _checked_rates(self, user_id: int,
+                       rates: np.ndarray) -> np.ndarray:
+        """Finiteness gate on telemetry-derived rates (the W009 seam).
+
+        Unguarded, non-finite telemetry is rejected loudly — better a
+        clear error at receipt than a poisoned solve later.  Guarded,
+        non-finite entries fall back to the user's last known-good
+        rates (or 0 = unreachable) and the repair is counted.
+        """
+        if self.guard is None:
+            if not np.all(np.isfinite(rates)):
+                raise ValueError(
+                    f"user {user_id} reported non-finite rates")
+            return rates
+        clean, report = self.guard.sanitize_rates(
+            rates, fallback=self._last_good_rates.get(user_id),
+            source="scan-report")
+        if not report.clean:
+            self.stats.sanitized_reports += 1
+        return clean
+
+    def _admission_rates(self, seen: np.ndarray) -> np.ndarray:
+        """Rates used to park a new client on its strongest extender.
+
+        Quarantined extenders are masked out so no client is commanded
+        onto one — unless that would leave nothing to park on.
+        """
+        if self.health is None:
+            return seen
+        masked = np.where(self.health.quarantined, 0.0, seen)
+        return masked if np.any(masked > 0) else seen
+
+    def _fresh_ids(self) -> List[int]:
+        """Reported users whose newest report is within the TTL."""
         ids = sorted(self._reports)
+        if self.report_ttl_epochs is None:
+            return ids
+        return [uid for uid in ids
+                if self._epoch - self._report_epoch.get(uid, self._epoch)
+                <= self.report_ttl_epochs]
+
+    def _scenario(self, ids: Optional[List[int]] = None,
+                  mask_quarantined: bool = True
+                  ) -> "Tuple[Scenario, List[int]]":
+        if ids is None:
+            ids = sorted(self._reports)
         wifi = np.vstack([self._reports[uid].wifi_rates for uid in ids])
-        return (Scenario(wifi_rates=wifi, plc_rates=self.plc_rates,
+        plc = self.plc_rates
+        if (mask_quarantined and self.health is not None
+                and np.any(self.health.quarantined)):
+            quarantined = self.health.quarantined
+            wifi = wifi.copy()
+            wifi[:, quarantined] = 0.0
+            plc = plc.copy()
+            plc[quarantined] = 0.0
+        if not np.all(np.isfinite(wifi)):
+            # Reports are checked at receipt (_checked_rates); this is
+            # defense in depth against cache corruption.
+            raise ValueError("non-finite rates in the scan-report cache")
+        return (Scenario(wifi_rates=wifi, plc_rates=plc,
                          user_ids=np.asarray(ids)), ids)
 
     def _assignment_vector(self, ids: List[int]) -> np.ndarray:

@@ -18,13 +18,16 @@ epoch-boundary WOLT; larger thresholds approach "never reassign"
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..net.engine import evaluate, evaluate_batch
-from .problem import Scenario
+from .problem import UNASSIGNED, Scenario
 from .wolt import solve_wolt
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .guard import DecisionGuard
 
 __all__ = ["ReconfigureOutcome", "IncrementalWolt"]
 
@@ -61,12 +64,15 @@ class IncrementalWolt:
             aggregate by at least this much.
         max_moves: optional cap on moves per reconfiguration.
         plc_mode: PLC sharing law for evaluation and move scoring.
+        guard: optional :class:`repro.core.guard.DecisionGuard` threaded
+            into every WOLT re-solve (bit-identical on clean inputs).
     """
 
     def __init__(self, plc_rates: "Union[Sequence[float], np.ndarray]",
                  min_gain_mbps: float = 0.0,
                  max_moves: Optional[int] = None,
-                 plc_mode: str = "redistribute") -> None:
+                 plc_mode: str = "redistribute",
+                 guard: "Optional[DecisionGuard]" = None) -> None:
         if min_gain_mbps < 0:
             raise ValueError("min_gain_mbps must be non-negative")
         if max_moves is not None and max_moves < 0:
@@ -77,6 +83,7 @@ class IncrementalWolt:
         self.min_gain_mbps = min_gain_mbps
         self.max_moves = max_moves
         self.plc_mode = plc_mode
+        self.guard = guard
         #: user id -> WiFi rate row (length n_extenders)
         self._rates: Dict[int, np.ndarray] = {}
         #: user id -> extender index
@@ -144,9 +151,13 @@ class IncrementalWolt:
         current = np.array([self.assignment[uid] for uid in ids])
         before = evaluate(scenario, current, plc_mode=self.plc_mode,
                           require_complete=True).aggregate
-        target = solve_wolt(scenario, plc_mode=self.plc_mode)
+        target = solve_wolt(scenario, plc_mode=self.plc_mode,
+                            guard=self.guard)
+        # A guarded solve may leave a genuinely unattachable user
+        # UNASSIGNED; never "move" anyone to UNASSIGNED.
         pending = {idx for idx in range(len(ids))
-                   if target.assignment[idx] != current[idx]}
+                   if target.assignment[idx] != current[idx]
+                   and target.assignment[idx] != UNASSIGNED}
         applied: List[Tuple[int, int, int]] = []
         working = current.copy()
         best = before

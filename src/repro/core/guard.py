@@ -1,0 +1,515 @@
+"""Decision guards: invariant validation and deterministic repair.
+
+The solvers in this package trust their inputs and each other: WOLT
+assumes Phase I covered every extender (Lemma 2), the engine assumes
+every assigned extender is reachable, and the Central Controller solves
+on whatever scan reports it holds.  Telemetry from real NIC drivers and
+offline PLC measurements violates all of that — rates go NaN, extenders
+report capacities they do not have, and a stale report can command a
+user onto a dead BSS.
+
+:class:`DecisionGuard` closes the loop.  It validates every solver or
+baseline output against the paper's own invariants
+
+* each user is assigned exactly once (constraint (7));
+* an assigned extender is reachable — its WiFi rate is nonzero;
+* per-extender user capacities (constraint (8)) hold;
+* Phase I anchors exactly one user per extender and leaves no
+  coverable extender uncovered (Lemma 2);
+* telemetry-derived rates are finite and non-negative
+
+and *repairs* violations deterministically instead of crashing:
+out-of-range and unreachable directives are dropped, over-capacity
+extenders evict their weakest members, and detached users are
+reattached with :func:`repro.core.baselines.greedy_attach_user` (users
+no extender can host are left :data:`~repro.core.problem.UNASSIGNED`
+and reported).  Every check emits a structured :class:`GuardReport`.
+
+The guard is wired behind a ``guard=`` seam: with ``guard=None`` (the
+default everywhere) behaviour is bit-identical to the unguarded code,
+and on *clean* inputs a guarded solve returns bit-identical decisions
+— repair is a no-op whenever no invariant is violated (property-tested
+by ``tests/test_guard.py``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Deque, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .problem import MIN_USABLE_RATE, UNASSIGNED, Scenario
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .phase1 import Phase1Result
+
+__all__ = ["GuardError", "GuardViolation", "GuardReport", "DecisionGuard"]
+
+
+class GuardError(ValueError):
+    """A violation the guard cannot (or may not) repair.
+
+    Raised for malformed outputs with no deterministic repair (e.g. an
+    assignment vector of the wrong length) and, in ``strict`` mode, for
+    any violation at all.
+    """
+
+
+@dataclass(frozen=True)
+class GuardViolation:
+    """One invariant violation found by the guard.
+
+    Attributes:
+        code: stable machine-readable identifier (see the invariants
+            table in ``docs/ROBUSTNESS.md``).
+        message: human-readable description.
+        users: user indices involved (if any).
+        extenders: extender indices involved (if any).
+    """
+
+    code: str
+    message: str
+    users: Tuple[int, ...] = ()
+    extenders: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class GuardReport:
+    """Structured diagnostics from one guard check or repair.
+
+    Attributes:
+        source: the stage that produced the checked artifact
+            (``"phase1"``, ``"phase2"``, ``"wolt"``, ``"bnb"``,
+            ``"rssi"``, ``"greedy"``, ``"controller"``, ...).
+        violations: every invariant violation found (empty when clean).
+        repaired_users: users whose assignment the repair changed.
+        dropped_users: users left UNASSIGNED because no reachable
+            extender with free capacity exists.
+        sanitized_entries: telemetry entries replaced by
+            :meth:`DecisionGuard.sanitize_rates`.
+    """
+
+    source: str
+    violations: Tuple[GuardViolation, ...] = ()
+    repaired_users: Tuple[int, ...] = ()
+    dropped_users: Tuple[int, ...] = ()
+    sanitized_entries: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when no invariant was violated."""
+        return not self.violations
+
+    def codes(self) -> Tuple[str, ...]:
+        """The violation codes, in detection order."""
+        return tuple(v.code for v in self.violations)
+
+
+class DecisionGuard:
+    """Validates and repairs association decisions.
+
+    Args:
+        strict: raise :class:`GuardError` on any violation instead of
+            repairing (useful in CI, where a violation means a solver
+            bug rather than bad telemetry).
+        history: number of recent :class:`GuardReport` objects to keep
+            on :attr:`reports`.
+
+    Attributes:
+        checks: total check/repair calls.
+        violation_count: total violations detected.
+        repairs: total users whose assignment a repair changed.
+        drops: total users a repair had to leave UNASSIGNED.
+        sanitized_entries: total telemetry entries replaced by
+            :meth:`sanitize_rates`.
+        reports: the most recent reports (bounded deque).
+    """
+
+    def __init__(self, strict: bool = False, history: int = 256) -> None:
+        if history < 1:
+            raise ValueError("history must be positive")
+        self.strict = strict
+        self.checks = 0
+        self.violation_count = 0
+        self.repairs = 0
+        self.drops = 0
+        self.sanitized_entries = 0
+        self.reports: Deque[GuardReport] = deque(maxlen=history)
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+
+    @property
+    def last_report(self) -> Optional[GuardReport]:
+        """The most recent report, or None before the first check."""
+        return self.reports[-1] if self.reports else None
+
+    def _file(self, report: GuardReport) -> GuardReport:
+        """Record a report in the counters and bounded history."""
+        self.checks += 1
+        self.violation_count += len(report.violations)
+        self.repairs += len(report.repaired_users)
+        self.drops += len(report.dropped_users)
+        self.sanitized_entries += report.sanitized_entries
+        self.reports.append(report)
+        if self.strict and report.violations:
+            raise GuardError(
+                f"[{report.source}] invariant violations: "
+                + "; ".join(v.message for v in report.violations))
+        return report
+
+    # ------------------------------------------------------------------
+    # assignment invariants
+
+    def check_assignment(self, scenario: Scenario,
+                         assignment: Sequence[int],
+                         source: str = "solver",
+                         require_complete: bool = True) -> GuardReport:
+        """Detect violations without repairing (never raises on them).
+
+        Args:
+            scenario: the network snapshot the assignment is for.
+            assignment: per-user extender indices.
+            source: label recorded on the report.
+            require_complete: treat UNASSIGNED users as violations
+                (constraint (7)).
+
+        Returns:
+            A :class:`GuardReport` (no mutation; strict mode still
+            raises when violations are found).
+        """
+        assign = self._as_vector(scenario, assignment)
+        violations = self._detect(scenario, assign, require_complete)
+        return self._file(GuardReport(source=source,
+                                      violations=tuple(violations)))
+
+    def repair_assignment(self, scenario: Scenario,
+                          assignment: Sequence[int],
+                          source: str = "solver",
+                          require_complete: bool = True
+                          ) -> Tuple[np.ndarray, GuardReport]:
+        """Detect violations and repair them deterministically.
+
+        The repair sequence is: drop out-of-range directives, drop
+        directives onto unreachable extenders, evict the weakest
+        members of over-capacity extenders (lowest WiFi rate first,
+        ties broken toward the higher user index), then — when
+        ``require_complete`` — reattach every detached user in
+        ascending user order with
+        :func:`repro.core.baselines.greedy_attach_user`.  A user no
+        extender can host stays UNASSIGNED and is reported in
+        :attr:`GuardReport.dropped_users`.
+
+        Repair is idempotent and is a no-op (bit-identical output) on
+        a violation-free assignment.
+
+        Returns:
+            ``(repaired_assignment, report)``.
+        """
+        original = self._as_vector(scenario, assignment)
+        assign = original.copy()
+        violations: List[GuardViolation] = []
+
+        attached = assign != UNASSIGNED
+        bad = attached & ((assign < 0) | (assign >= scenario.n_extenders))
+        if np.any(bad):
+            users = tuple(int(u) for u in np.flatnonzero(bad))
+            violations.append(GuardViolation(
+                code="out-of-range-extender",
+                message=f"users {list(users)} assigned to a nonexistent "
+                        "extender index",
+                users=users))
+            assign[bad] = UNASSIGNED
+
+        idx = np.flatnonzero(assign != UNASSIGNED)
+        if idx.size:
+            rates = scenario.wifi_rates[idx, assign[idx]]
+            unreach = idx[rates <= MIN_USABLE_RATE]
+            if unreach.size:
+                users = tuple(int(u) for u in unreach)
+                violations.append(GuardViolation(
+                    code="unreachable-extender",
+                    message=f"users {list(users)} assigned to an "
+                            "extender they cannot hear",
+                    users=users))
+                assign[unreach] = UNASSIGNED
+
+        if scenario.capacities is not None:
+            for j in range(scenario.n_extenders):
+                members = np.flatnonzero(assign == j)
+                cap = int(scenario.capacities[j])
+                if members.size <= cap:
+                    continue
+                order = sorted(
+                    (int(u) for u in members),
+                    key=lambda u: (-scenario.wifi_rates[u, j], u))
+                evicted = tuple(sorted(order[cap:]))
+                violations.append(GuardViolation(
+                    code="over-capacity",
+                    message=f"extender {j} holds {members.size} users "
+                            f"against capacity {cap}; evicting "
+                            f"{list(evicted)}",
+                    users=evicted, extenders=(j,)))
+                assign[list(evicted)] = UNASSIGNED
+
+        dropped: List[int] = []
+        if require_complete:
+            missing_orig = np.flatnonzero(original == UNASSIGNED)
+            if missing_orig.size:
+                users = tuple(int(u) for u in missing_orig)
+                violations.append(GuardViolation(
+                    code="unassigned-user",
+                    message=f"users {list(users)} arrived unassigned "
+                            "(constraint (7))",
+                    users=users))
+            from .baselines import greedy_attach_user
+            for user in np.flatnonzero(assign == UNASSIGNED):
+                user = int(user)
+                try:
+                    assign[user] = greedy_attach_user(scenario, assign,
+                                                      user)
+                except ValueError:
+                    dropped.append(user)
+            if dropped:
+                violations.append(GuardViolation(
+                    code="unattachable-user",
+                    message=f"users {dropped} have no reachable "
+                            "extender with free capacity; left "
+                            "UNASSIGNED",
+                    users=tuple(dropped)))
+
+        repaired = tuple(int(u)
+                         for u in np.flatnonzero(assign != original))
+        report = self._file(GuardReport(
+            source=source, violations=tuple(violations),
+            repaired_users=repaired, dropped_users=tuple(dropped)))
+        return assign, report
+
+    def _detect(self, scenario: Scenario, assign: np.ndarray,
+                require_complete: bool) -> List[GuardViolation]:
+        """Pure detection pass (mirrors the repair criteria exactly)."""
+        violations: List[GuardViolation] = []
+        attached = assign != UNASSIGNED
+        bad = attached & ((assign < 0) | (assign >= scenario.n_extenders))
+        if np.any(bad):
+            users = tuple(int(u) for u in np.flatnonzero(bad))
+            violations.append(GuardViolation(
+                code="out-of-range-extender",
+                message=f"users {list(users)} assigned to a nonexistent "
+                        "extender index",
+                users=users))
+        ok = attached & ~bad
+        idx = np.flatnonzero(ok)
+        if idx.size:
+            rates = scenario.wifi_rates[idx, assign[idx]]
+            unreach = idx[rates <= MIN_USABLE_RATE]
+            if unreach.size:
+                users = tuple(int(u) for u in unreach)
+                violations.append(GuardViolation(
+                    code="unreachable-extender",
+                    message=f"users {list(users)} assigned to an "
+                            "extender they cannot hear",
+                    users=users))
+        if scenario.capacities is not None:
+            counts = np.bincount(assign[ok],
+                                 minlength=scenario.n_extenders) \
+                if np.any(ok) else np.zeros(scenario.n_extenders, int)
+            over = np.flatnonzero(counts > scenario.capacities)
+            if over.size:
+                extenders = tuple(int(j) for j in over)
+                violations.append(GuardViolation(
+                    code="over-capacity",
+                    message=f"extenders {list(extenders)} exceed their "
+                            "user capacity (constraint (8))",
+                    extenders=extenders))
+        if require_complete and np.any(~attached):
+            users = tuple(int(u) for u in np.flatnonzero(~attached))
+            violations.append(GuardViolation(
+                code="unassigned-user",
+                message=f"users {list(users)} arrived unassigned "
+                        "(constraint (7))",
+                users=users))
+        return violations
+
+    @staticmethod
+    def _as_vector(scenario: Scenario,
+                   assignment: Sequence[int]) -> np.ndarray:
+        assign = np.asarray(assignment, dtype=int).ravel()
+        if assign.shape[0] != scenario.n_users:
+            raise GuardError(
+                f"assignment has {assign.shape[0]} entries for "
+                f"{scenario.n_users} users — no deterministic repair "
+                "exists for a malformed vector")
+        return assign
+
+    # ------------------------------------------------------------------
+    # Phase-I invariants (Lemma 2)
+
+    def repair_phase1(self, scenario: Scenario,
+                      result: "Phase1Result"
+                      ) -> Tuple["Phase1Result", GuardReport]:
+        """Validate and repair a Phase-I artifact against Lemma 2.
+
+        Invariants: every anchor is reachable, no extender holds more
+        than one anchor, and no extender listed as unmatched is in fact
+        coverable by an unanchored user (a length-1 augmenting path —
+        a sound certificate that the matching was not maximum).
+        Repairs: unreachable anchors are released, duplicate anchors
+        keep only the highest-utility user, and coverable unmatched
+        extenders are anchored to their best unanchored user
+        (ties break toward the lower user index).  On a clean artifact
+        the result is returned unchanged (same object).
+        """
+        from .phase1 import Phase1Result
+
+        orig_assign = np.asarray(result.assignment, dtype=int).ravel()
+        if orig_assign.shape[0] != scenario.n_users:
+            raise GuardError("phase1 assignment has the wrong length")
+        assign = orig_assign.copy()
+        utilities = np.asarray(result.utilities, dtype=float)
+        orig_unmatched = set(
+            int(e) for e in np.asarray(result.unmatched_extenders,
+                                       dtype=int).ravel())
+        violations: List[GuardViolation] = []
+
+        anchored = np.flatnonzero(assign != UNASSIGNED)
+        bad_range = [int(u) for u in anchored
+                     if not 0 <= assign[u] < scenario.n_extenders]
+        if bad_range:
+            violations.append(GuardViolation(
+                code="out-of-range-extender",
+                message=f"phase1 anchors {bad_range} out of range",
+                users=tuple(bad_range)))
+            assign[bad_range] = UNASSIGNED
+            anchored = np.flatnonzero(assign != UNASSIGNED)
+        unreach = [int(u) for u in anchored
+                   if scenario.wifi_rates[u, assign[u]]
+                   <= MIN_USABLE_RATE]
+        if unreach:
+            violations.append(GuardViolation(
+                code="unreachable-anchor",
+                message=f"phase1 anchors {unreach} cannot hear their "
+                        "extender; released",
+                users=tuple(unreach)))
+            assign[unreach] = UNASSIGNED
+
+        for j in range(scenario.n_extenders):
+            members = np.flatnonzero(assign == j)
+            if members.size <= 1:
+                continue
+            keep = min((int(u) for u in members),
+                       key=lambda u: (-utilities[u, j], u))
+            released = tuple(int(u) for u in members if int(u) != keep)
+            violations.append(GuardViolation(
+                code="duplicate-anchor",
+                message=f"extender {j} holds {members.size} Phase-I "
+                        f"anchors (Lemma 2 allows one); keeping user "
+                        f"{keep}",
+                users=released, extenders=(j,)))
+            assign[list(released)] = UNASSIGNED
+
+        # Lemma-2 cover: every extender either carries exactly one
+        # anchor or is reported unmatched *and* genuinely uncoverable
+        # (no currently-unanchored user reaches it — a length-1
+        # augmenting path is a sound certificate the matching was not
+        # maximum).  Coverable extenders are (re-)anchored to their
+        # best unanchored user; a violation is recorded only when the
+        # original artifact itself was at fault, so a clean artifact
+        # round-trips unchanged.
+        covered = np.zeros(scenario.n_extenders, dtype=bool)
+        anchored = np.flatnonzero(assign != UNASSIGNED)
+        covered[assign[anchored]] = True
+        for j in np.flatnonzero(~covered):
+            j = int(j)
+            candidates = [int(u) for u in range(scenario.n_users)
+                          if assign[u] == UNASSIGNED
+                          and np.isfinite(utilities[u, j])
+                          and scenario.wifi_rates[u, j]
+                          > MIN_USABLE_RATE]
+            orig_covered = bool(np.any(orig_assign == j))
+            if not orig_covered and j not in orig_unmatched:
+                violations.append(GuardViolation(
+                    code="uncovered-extender",
+                    message=f"extender {j} neither anchored nor "
+                            "reported unmatched",
+                    extenders=(j,)))
+            elif j in orig_unmatched and any(
+                    orig_assign[u] == UNASSIGNED for u in candidates):
+                violations.append(GuardViolation(
+                    code="uncovered-extender",
+                    message=f"extender {j} declared unmatched although "
+                            "an unanchored user reaches it (Lemma-2 "
+                            "cover violation)",
+                    extenders=(j,)))
+            if candidates:
+                best = min(candidates,
+                           key=lambda u: (-utilities[u, j], u))
+                assign[best] = j
+
+        if not violations:
+            report = self._file(GuardReport(source="phase1"))
+            return result, report
+
+        anchored = np.sort(np.flatnonzero(assign != UNASSIGNED))
+        matched = np.zeros(scenario.n_extenders, dtype=bool)
+        matched[assign[anchored]] = True
+        objective = float(utilities[anchored,
+                                    assign[anchored]].sum()) \
+            if anchored.size else 0.0
+        repaired_users = tuple(
+            int(u) for u in np.flatnonzero(
+                assign != np.asarray(result.assignment)))
+        report = self._file(GuardReport(
+            source="phase1", violations=tuple(violations),
+            repaired_users=repaired_users))
+        fixed = Phase1Result(
+            assignment=assign, anchored_users=anchored,
+            utilities=result.utilities, objective=objective,
+            unmatched_extenders=np.flatnonzero(~matched))
+        return fixed, report
+
+    # ------------------------------------------------------------------
+    # telemetry sanitation
+
+    def sanitize_rates(self, rates: Sequence[float],
+                       fallback: Optional[np.ndarray] = None,
+                       source: str = "telemetry"
+                       ) -> Tuple[np.ndarray, GuardReport]:
+        """Replace non-finite / negative telemetry entries.
+
+        Non-finite entries take the corresponding ``fallback``
+        (last-known-good) value when one is provided and finite, else
+        ``0.0`` (unreachable); negative entries are clamped to ``0.0``.
+        The number of replaced entries is recorded on the report and
+        the guard's :attr:`sanitized_entries` counter.
+
+        Returns:
+            ``(clean_rates, report)`` — a new array; the input is not
+            mutated.
+        """
+        arr = np.array(rates, dtype=float)
+        nonfinite = ~np.isfinite(arr)
+        negative = np.isfinite(arr) & (arr < 0)
+        n_fixed = int(nonfinite.sum() + negative.sum())
+        if n_fixed == 0:
+            report = self._file(GuardReport(source=source))
+            return arr, report
+        if fallback is not None:
+            fb = np.asarray(fallback, dtype=float)
+            if fb.shape != arr.shape:
+                raise GuardError("fallback shape must match rates")
+            safe_fb = np.where(np.isfinite(fb) & (fb >= 0), fb, 0.0)
+            arr[nonfinite] = safe_fb[nonfinite]
+        else:
+            arr[nonfinite] = 0.0
+        arr[negative] = 0.0
+        violation = GuardViolation(
+            code="nonfinite-telemetry",
+            message=f"{n_fixed} non-finite or negative telemetry "
+                    "entries replaced")
+        report = self._file(GuardReport(source=source,
+                                        violations=(violation,),
+                                        sanitized_entries=n_fixed))
+        return arr, report

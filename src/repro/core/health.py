@@ -1,0 +1,230 @@
+"""Extender health monitoring: quarantine and probation.
+
+The Central Controller's PLC capacities come from offline iperf
+measurements (§V-A) refreshed by telemetry.  Real power-line links lie:
+capacities go NaN when a probe fails, read zero while the extender is
+visibly carrying traffic, and flap by an order of magnitude between
+probes (see the enterprise-PLC measurement study in PAPERS.md).  An
+extender whose reported capacity cannot be trusted should not receive
+users just because one probe looked great.
+
+:class:`HealthMonitor` watches one capacity observation per extender
+per epoch and drives a small quarantine state machine:
+
+* **healthy -> quarantined** when the reported capacity is non-finite,
+  zero while the extender carries traffic, or has been *flapping* —
+  swinging by more than ``flap_band`` (relative) against the previous
+  finite observation for ``flap_strikes`` consecutive epochs (a single
+  swing is a legitimate capacity change; a sustained oscillation is a
+  sick link).
+* **quarantined -> healthy** after ``probation_epochs`` consecutive
+  clean observations (finite, non-negative, inside the flap band).
+
+Quarantined extenders are masked out of the solve exactly like dead
+ones (:func:`repro.sim.failures.fail_extenders` semantics: zero WiFi
+column, zero PLC rate), so no user is ever *commanded* onto one.  The
+monitor never quarantines the last healthy extender — serving users on
+a suspect link beats serving nobody.
+
+Every transition is logged as a :class:`HealthEvent`, and
+:meth:`HealthMonitor.effective_rates` supplies last-known-good
+capacities for solving while telemetry is garbage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["HealthEvent", "HealthMonitor"]
+
+#: Relative swing below which two finite capacity observations are
+#: considered consistent (no flap strike, clean probation epoch).
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class HealthEvent:
+    """One quarantine state-machine transition.
+
+    Attributes:
+        epoch: observation epoch (0-based) the transition happened in.
+        extender: extender index.
+        event: ``"quarantine"``, ``"readmit"`` or
+            ``"quarantine-skipped"`` (the last healthy extender is
+            never quarantined).
+        reason: diagnostic — ``"nonfinite-capacity"``,
+            ``"zero-capacity-under-traffic"``, ``"capacity-flapping"``
+            or ``"probation-complete"``.
+    """
+
+    epoch: int
+    extender: int
+    event: str
+    reason: str
+
+
+class HealthMonitor:
+    """Per-extender capacity health tracking with quarantine.
+
+    Args:
+        n_extenders: number of extenders watched.
+        flap_band: relative swing between consecutive finite
+            observations above which an epoch counts as a flap strike
+            (``0.5`` = a 50 % move).
+        flap_strikes: consecutive flap strikes that trigger quarantine.
+        probation_epochs: consecutive clean observations a quarantined
+            extender must deliver before re-admission.
+
+    Attributes:
+        epoch: observations processed so far.
+        events: every state-machine transition, in order.
+    """
+
+    def __init__(self, n_extenders: int, flap_band: float = 0.5,
+                 flap_strikes: int = 2,
+                 probation_epochs: int = 3) -> None:
+        if n_extenders < 1:
+            raise ValueError("n_extenders must be positive")
+        if flap_band <= 0:
+            raise ValueError("flap_band must be positive")
+        if flap_strikes < 1 or probation_epochs < 1:
+            raise ValueError(
+                "flap_strikes and probation_epochs must be positive")
+        self.n_extenders = n_extenders
+        self.flap_band = flap_band
+        self.flap_strikes = flap_strikes
+        self.probation_epochs = probation_epochs
+        self.epoch = 0
+        self.events: List[HealthEvent] = []
+        self._quarantined = np.zeros(n_extenders, dtype=bool)
+        self._flap_count = np.zeros(n_extenders, dtype=int)
+        self._clean_streak = np.zeros(n_extenders, dtype=int)
+        self._last_seen = np.full(n_extenders, np.nan)
+        self._last_good = np.full(n_extenders, np.nan)
+
+    # ------------------------------------------------------------------
+    # queries
+
+    @property
+    def quarantined(self) -> np.ndarray:
+        """Boolean quarantine mask (a copy)."""
+        return self._quarantined.copy()
+
+    def quarantined_extenders(self) -> Tuple[int, ...]:
+        """Indices currently quarantined, ascending."""
+        return tuple(int(j)
+                     for j in np.flatnonzero(self._quarantined))
+
+    def is_quarantined(self, extender: int) -> bool:
+        """Whether one extender is currently quarantined."""
+        return bool(self._quarantined[extender])
+
+    def effective_rates(self,
+                        reported: Sequence[float]) -> np.ndarray:
+        """Finite capacities usable by a solver.
+
+        Finite non-negative reports pass through; anything else takes
+        the last finite non-negative observation, or ``0.0`` when there
+        never was one.  (Quarantine is a separate concern — mask with
+        :attr:`quarantined` / ``fail_extenders``.)
+        """
+        arr = np.asarray(reported, dtype=float).ravel()
+        if arr.shape[0] != self.n_extenders:
+            raise ValueError("reported must cover every extender")
+        good = np.isfinite(arr) & (arr >= 0)
+        fallback = np.where(np.isfinite(self._last_good),
+                            self._last_good, 0.0)
+        return np.where(good, arr, fallback)
+
+    # ------------------------------------------------------------------
+    # the state machine
+
+    def observe(self, plc_rates: Sequence[float],
+                carrying_traffic: Optional[Sequence[bool]] = None
+                ) -> np.ndarray:
+        """Fold in one epoch of capacity telemetry.
+
+        Args:
+            plc_rates: reported per-extender PLC capacity (Mbps); may
+                contain NaN/inf (that is the point).
+            carrying_traffic: per-extender flag — does the extender
+                currently serve at least one user?  A zero (or
+                negative) capacity report is only damning while the
+                extender demonstrably carries traffic.
+
+        Returns:
+            The updated quarantine mask (a copy).
+        """
+        rates = np.asarray(plc_rates, dtype=float).ravel()
+        if rates.shape[0] != self.n_extenders:
+            raise ValueError("plc_rates must cover every extender")
+        if carrying_traffic is None:
+            traffic = np.zeros(self.n_extenders, dtype=bool)
+        else:
+            traffic = np.asarray(carrying_traffic, dtype=bool).ravel()
+            if traffic.shape[0] != self.n_extenders:
+                raise ValueError(
+                    "carrying_traffic must cover every extender")
+
+        for j in range(self.n_extenders):
+            reason = self._suspect_reason(j, float(rates[j]),
+                                          bool(traffic[j]))
+            if self._quarantined[j]:
+                if reason is None:
+                    self._clean_streak[j] += 1
+                    if self._clean_streak[j] >= self.probation_epochs:
+                        self._quarantined[j] = False
+                        self._clean_streak[j] = 0
+                        self._flap_count[j] = 0
+                        self.events.append(HealthEvent(
+                            epoch=self.epoch, extender=j,
+                            event="readmit",
+                            reason="probation-complete"))
+                else:
+                    self._clean_streak[j] = 0
+            elif reason is not None:
+                if np.count_nonzero(~self._quarantined) <= 1:
+                    self.events.append(HealthEvent(
+                        epoch=self.epoch, extender=j,
+                        event="quarantine-skipped", reason=reason))
+                else:
+                    self._quarantined[j] = True
+                    self._clean_streak[j] = 0
+                    self.events.append(HealthEvent(
+                        epoch=self.epoch, extender=j,
+                        event="quarantine", reason=reason))
+            if np.isfinite(rates[j]):
+                self._last_seen[j] = float(rates[j])
+                if rates[j] >= 0:
+                    self._last_good[j] = float(rates[j])
+        self.epoch += 1
+        return self.quarantined
+
+    def _suspect_reason(self, j: int, rate: float,
+                        traffic: bool) -> Optional[str]:
+        """Why this epoch's observation is suspect (None = clean).
+
+        Also advances the per-extender flap counter: a finite
+        observation swinging more than ``flap_band`` (relative to the
+        larger of the two values) against the previous finite
+        observation is a strike; a consistent observation resets the
+        counter.
+        """
+        if not np.isfinite(rate):
+            return "nonfinite-capacity"
+        if rate <= 0 and traffic:
+            self._flap_count[j] = 0
+            return "zero-capacity-under-traffic"
+        prev = self._last_seen[j]
+        if np.isfinite(prev):
+            scale = max(abs(prev), abs(rate), _EPS)
+            if abs(rate - prev) > self.flap_band * scale:
+                self._flap_count[j] += 1
+            else:
+                self._flap_count[j] = 0
+        if self._flap_count[j] >= self.flap_strikes:
+            return "capacity-flapping"
+        return None

@@ -25,12 +25,15 @@ Two solvers are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
 from ..net.engine import _record
 from .problem import MIN_USABLE_RATE, UNASSIGNED, Scenario
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .guard import DecisionGuard
 
 __all__ = ["Phase2Result", "solve_phase2", "solve_phase2_continuous",
            "wifi_objective"]
@@ -159,12 +162,16 @@ class _BatchGains:
 
 def _greedy_insertion_batch(scenario: Scenario, state: _CellState,
                             gains: _BatchGains, assignment: np.ndarray,
-                            remaining: "List[int]") -> None:
+                            remaining: "List[int]",
+                            drop_unplaceable: bool = False) -> None:
     """Batched greedy insertion (vectorized candidate scoring).
 
     Each iteration scores every (pending user, extender) candidate in one
     vectorized pass and applies the row-major argmax — the same pair the
-    scalar first-strictly-greater scan selects.
+    scalar first-strictly-greater scan selects.  With
+    ``drop_unplaceable`` (the guarded mode) insertion stops when no
+    feasible pair remains, leaving the leftovers UNASSIGNED for the
+    guard to report, instead of raising.
     """
     while remaining:
         rem = np.asarray(remaining, dtype=int)
@@ -172,6 +179,8 @@ def _greedy_insertion_batch(scenario: Scenario, state: _CellState,
         batch = np.where(gains.room(state)[np.newaxis, :], batch, -np.inf)
         flat = int(np.argmax(batch))
         if np.isneginf(batch.flat[flat]):
+            if drop_unplaceable:
+                break
             raise ValueError(
                 f"users {remaining} cannot be attached to any extender")
         user = int(rem[flat // scenario.n_extenders])
@@ -183,7 +192,8 @@ def _greedy_insertion_batch(scenario: Scenario, state: _CellState,
 
 def _greedy_insertion_scalar(scenario: Scenario, state: _CellState,
                              assignment: np.ndarray,
-                             remaining: "List[int]") -> None:
+                             remaining: "List[int]",
+                             drop_unplaceable: bool = False) -> None:
     """Reference scalar greedy insertion (one engine call per candidate)."""
     while remaining:
         best = None  # (gain, user, extender)
@@ -195,6 +205,8 @@ def _greedy_insertion_scalar(scenario: Scenario, state: _CellState,
                 if best is None or gain > best[0]:
                     best = (gain, user, int(j))
         if best is None:
+            if drop_unplaceable:
+                break
             raise ValueError(
                 f"users {remaining} cannot be attached to any extender")
         _, user, j = best
@@ -247,7 +259,8 @@ def _relocate_scalar(scenario: Scenario, state: _CellState,
 def solve_phase2(scenario: Scenario,
                  phase1_assignment: Sequence[int],
                  max_rounds: int = 100,
-                 vectorized: bool = True) -> Phase2Result:
+                 vectorized: bool = True,
+                 guard: "Optional[DecisionGuard]" = None) -> Phase2Result:
     """Combinatorial Phase-II solver (greedy insertion + local search).
 
     Args:
@@ -260,34 +273,54 @@ def solve_phase2(scenario: Scenario,
             paths make bit-identical decisions (asserted by the
             test-suite) — the scalar path exists only as the differential
             oracle.
+        guard: optional :class:`repro.core.guard.DecisionGuard`.  When
+            set, invalid anchors are repaired instead of poisoning the
+            search, unattachable users are left UNASSIGNED and reported
+            instead of raising, and the final assignment is validated.
+            On clean inputs the guarded result is bit-identical to the
+            unguarded one.
 
     Returns:
-        A :class:`Phase2Result` with a complete, integral assignment.
+        A :class:`Phase2Result` with a complete, integral assignment
+        (guarded mode may leave genuinely unattachable users
+        UNASSIGNED, reported on the guard).
 
     Raises:
         ValueError: if some user cannot be attached anywhere (no reachable
-            extender with free capacity), i.e. constraint (7) cannot hold.
+            extender with free capacity), i.e. constraint (7) cannot hold
+            — only without a guard.
     """
     assignment = np.array(phase1_assignment, dtype=int)
     if assignment.shape[0] != scenario.n_users:
         raise ValueError("phase1_assignment length must equal n_users")
+    if guard is not None:
+        # Repair the incoming anchors before they poison _CellState
+        # (an anchor on an unreachable extender divides by zero rate).
+        assignment, _ = guard.repair_assignment(
+            scenario, assignment, source="phase2-anchors",
+            require_complete=False)
+    anchors = assignment.copy()
     state = _CellState(scenario, assignment)
     remaining = list(np.flatnonzero(assignment == UNASSIGNED))
     gains = _BatchGains(scenario) if vectorized else None
 
     # Greedy insertion: repeatedly place the (user, extender) pair with the
     # largest marginal gain in total WiFi throughput.
+    drop = guard is not None
     if vectorized:
         _greedy_insertion_batch(scenario, state, gains, assignment,
-                                remaining)
+                                remaining, drop_unplaceable=drop)
     else:
-        _greedy_insertion_scalar(scenario, state, assignment, remaining)
+        _greedy_insertion_scalar(scenario, state, assignment, remaining,
+                                 drop_unplaceable=drop)
 
     # Local search over single relocations and pairwise swaps of U2 users
     # (the Phase-I anchors stay put, as the paper fixes U1).  Relocations
     # realize the shift argument of Theorem 3; swaps escape the
     # single-move local optima that pure shifting can get stuck in.
-    movable = np.flatnonzero(np.asarray(phase1_assignment) == UNASSIGNED)
+    # Users the guarded insertion could not place are not movable.
+    movable = np.flatnonzero((anchors == UNASSIGNED)
+                             & (assignment != UNASSIGNED))
     rounds = 0
     improved = True
     while improved and rounds < max_rounds:
@@ -306,7 +339,13 @@ def solve_phase2(scenario: Scenario,
                 improved = True
         if _try_swaps(scenario, state, assignment, movable):
             improved = True
-    return Phase2Result(assignment=assignment, objective=state.total(),
+    objective = state.total()
+    if guard is not None:
+        assignment, report = guard.repair_assignment(
+            scenario, assignment, source="phase2", require_complete=True)
+        if report.repaired_users:
+            objective = wifi_objective(scenario, assignment)
+    return Phase2Result(assignment=assignment, objective=objective,
                         iterations=rounds, was_integral=True)
 
 
@@ -351,7 +390,8 @@ def solve_phase2_continuous(scenario: Scenario,
                             phase1_assignment: Sequence[int],
                             tolerance: float = SOLVER_TOLERANCE,
                             max_iterations: int = 200,
-                            rng: Optional[np.random.Generator] = None
+                            rng: Optional[np.random.Generator] = None,
+                            guard: "Optional[DecisionGuard]" = None
                             ) -> Phase2Result:
     """Numerical Phase-II solver on the fractional relaxation of Problem 2.
 
@@ -363,15 +403,28 @@ def solve_phase2_continuous(scenario: Scenario,
     where ``m_j`` and ``D_j`` account for the fixed Phase-I anchors.  The
     optimum is integral by Theorem 3; the returned assignment snaps each
     user to its largest ``x_ij`` and reports whether snapping was a no-op.
+    With a ``guard``, invalid anchors are repaired up front and users
+    with no reachable extender are left UNASSIGNED and reported instead
+    of raising.
     """
     from scipy import optimize
 
     assignment = np.array(phase1_assignment, dtype=int)
+    if guard is not None:
+        assignment, _ = guard.repair_assignment(
+            scenario, assignment, source="phase2-anchors",
+            require_complete=False)
     pending = np.flatnonzero(assignment == UNASSIGNED)
+    if guard is not None and pending.size:
+        hears = np.array([scenario.reachable(int(u)).size > 0
+                          for u in pending])
+        pending = pending[hears]
     if pending.size == 0:
-        return Phase2Result(assignment=assignment,
-                            objective=wifi_objective(scenario, assignment),
-                            iterations=0, was_integral=True)
+        result = Phase2Result(
+            assignment=assignment,
+            objective=wifi_objective(scenario, assignment),
+            iterations=0, was_integral=True)
+        return _finalize_continuous(scenario, result, guard)
 
     n_ext = scenario.n_extenders
     anchored = np.flatnonzero(assignment != UNASSIGNED)
@@ -428,7 +481,24 @@ def solve_phase2_continuous(scenario: Scenario,
     largest = xm[np.arange(pending.size), choice]
     was_integral = bool(np.all(np.abs(largest - 1.0) < 1e-3))
     assignment[pending] = choice
+    outcome = Phase2Result(assignment=assignment,
+                           objective=wifi_objective(scenario, assignment),
+                           iterations=int(result.nit),
+                           was_integral=was_integral)
+    return _finalize_continuous(scenario, outcome, guard)
+
+
+def _finalize_continuous(scenario: Scenario, result: Phase2Result,
+                         guard: "Optional[DecisionGuard]") -> Phase2Result:
+    """Guarded post-validation of the continuous solver's snap."""
+    if guard is None:
+        return result
+    assignment, report = guard.repair_assignment(
+        scenario, result.assignment, source="phase2",
+        require_complete=True)
+    if not report.repaired_users:
+        return result
     return Phase2Result(assignment=assignment,
                         objective=wifi_objective(scenario, assignment),
-                        iterations=int(result.nit),
-                        was_integral=was_integral)
+                        iterations=result.iterations,
+                        was_integral=result.was_integral)

@@ -10,14 +10,17 @@ artifacts, and can be evaluated against the end-to-end throughput engine.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from ..net.engine import ThroughputReport, evaluate
 from .phase1 import Phase1Result, phase1_utilities, solve_phase1
 from .phase2 import Phase2Result, solve_phase2, solve_phase2_continuous
-from .problem import Scenario
+from .problem import UNASSIGNED, Scenario
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .guard import DecisionGuard
 
 __all__ = ["WoltResult", "solve_wolt"]
 
@@ -53,7 +56,8 @@ def solve_wolt(scenario: Scenario,
                phase2_solver: str = "combinatorial",
                plc_mode: str = "redistribute",
                rng: Optional[np.random.Generator] = None,
-               vectorized: bool = True) -> WoltResult:
+               vectorized: bool = True,
+               guard: "Optional[DecisionGuard]" = None) -> WoltResult:
     """Run the full WOLT association algorithm (Alg. 1 of the paper).
 
     Args:
@@ -69,21 +73,34 @@ def solve_wolt(scenario: Scenario,
         vectorized: score Phase-II candidate moves in batches (default);
             ``False`` selects the scalar reference loops, which make
             bit-identical decisions (see :func:`repro.core.phase2.solve_phase2`).
+        guard: optional :class:`repro.core.guard.DecisionGuard` threaded
+            through both phases.  Guarded, WOLT repairs invariant
+            violations instead of raising (genuinely unattachable users
+            are left :data:`UNASSIGNED` and reported), and the final
+            assignment is re-validated.  On clean inputs the guarded
+            decisions are bit-identical to the unguarded ones.
 
     Returns:
         A :class:`WoltResult`.
     """
     utilities = phase1_utilities(scenario)
-    phase1 = solve_phase1(scenario, utilities)
+    phase1 = solve_phase1(scenario, utilities, guard=guard)
     if phase2_solver == "combinatorial":
         phase2: Phase2Result = solve_phase2(scenario, phase1.assignment,
-                                            vectorized=vectorized)
+                                            vectorized=vectorized,
+                                            guard=guard)
     elif phase2_solver == "continuous":
         phase2 = solve_phase2_continuous(scenario, phase1.assignment,
-                                         rng=rng)
+                                         rng=rng, guard=guard)
     else:
         raise ValueError(f"unknown phase2_solver: {phase2_solver!r}")
-    report = evaluate(scenario, phase2.assignment,
-                      plc_mode=plc_mode, require_complete=True)
+    if guard is not None:
+        # Final validation checkpoint: the phases already repaired, so
+        # this records a clean report unless a phase is buggy.
+        guard.check_assignment(scenario, phase2.assignment,
+                               source="wolt", require_complete=False)
+    complete = not np.any(phase2.assignment == UNASSIGNED)
+    report = evaluate(scenario, phase2.assignment, plc_mode=plc_mode,
+                      require_complete=complete)
     return WoltResult(assignment=phase2.assignment, phase1=phase1,
                       phase2=phase2, report=report)

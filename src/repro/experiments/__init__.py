@@ -1,6 +1,7 @@
 """One module per paper figure; shared by benchmarks, examples, CLI."""
 
-from . import faults, fig2, fig3, fig4, fig5, fig6, robustness, sweeps
+from . import (chaos, faults, fig2, fig3, fig4, fig5, fig6, robustness,
+               sweeps)
 
-__all__ = ["faults", "fig2", "fig3", "fig4", "fig5", "fig6",
+__all__ = ["chaos", "faults", "fig2", "fig3", "fig4", "fig5", "fig6",
            "robustness", "sweeps"]

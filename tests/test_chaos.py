@@ -1,0 +1,98 @@
+"""Tests for the composed-fault chaos harness and its acceptance bar."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import chaos
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """One small sweep shared by the assertions below (it is the
+    expensive part; 3 trials keep the module fast while the acceptance
+    criteria are verified at CI scale by ``wolt chaos --trials 5``)."""
+    return chaos.run_chaos_sweep(chaos_levels=(0.0, 0.3),
+                                 n_trials=3, n_extenders=8,
+                                 n_users=18, seed=0)
+
+
+class TestChaosSweep:
+    def test_deterministic(self, sweep):
+        again = chaos.run_chaos_sweep(chaos_levels=(0.0, 0.3),
+                                      n_trials=3, n_extenders=8,
+                                      n_users=18, seed=0)
+        assert again == sweep
+
+    def test_level_zero_guarded_equals_unguarded(self, sweep):
+        li = sweep.chaos_levels.index(0.0)
+        assert sweep.mean_mbps["wolt"][li] == \
+            sweep.mean_mbps["wolt_unguarded"][li]
+        assert sweep.crashes["wolt_unguarded"][li] == 0
+        assert sweep.quarantine_events[li] == 0
+
+    def test_guarded_loop_never_crashes(self, sweep):
+        assert all(c == 0 for c in sweep.crashes["wolt"])
+        assert all(c == 0 for c in sweep.crashes["rssi"])
+
+    def test_unguarded_loop_crashes_under_chaos(self, sweep):
+        li = sweep.chaos_levels.index(0.3)
+        assert sweep.crashes["wolt_unguarded"][li] > 0
+
+    def test_guard_counters_active_under_chaos(self, sweep):
+        li = sweep.chaos_levels.index(0.3)
+        assert sweep.guard_stats["sanitized_reports"][li] > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chaos.run_chaos_sweep(chaos_levels=(1.5,), n_trials=1)
+        with pytest.raises(ValueError):
+            chaos.run_chaos_sweep(n_trials=0)
+
+    def test_acceptance_failure_reporting(self, sweep):
+        # The real sweep's criteria are judged at CI scale; here the
+        # reporter itself is exercised on a doctored result.
+        broken = chaos.ChaosResult(
+            chaos_levels=(0.3,),
+            mean_mbps={"wolt": (10.0,), "wolt_unguarded": (50.0,),
+                       "rssi": (60.0,)},
+            crashes={"wolt": (2,), "wolt_unguarded": (0,),
+                     "rssi": (0,)},
+            guard_stats={n: (0,) for n in ("guard_repairs",
+                                           "sanitized_reports",
+                                           "stale_reports")},
+            quarantine_events=(0,), readmit_events=(0,))
+        failures = chaos.acceptance_failures(broken)
+        assert len(failures) == 3
+        assert chaos.acceptance_failures(sweep) == []
+
+
+class TestQuarantineRecovery:
+    def test_quarantined_extender_readmitted_within_probation(self):
+        out = chaos.quarantine_recovery_check(seed=0,
+                                              probation_epochs=2)
+        assert out["quarantine_epoch"] is not None
+        assert out["readmitted"]
+        assert out["within_probation"]
+
+    def test_deterministic(self):
+        assert chaos.quarantine_recovery_check(seed=7) == \
+            chaos.quarantine_recovery_check(seed=7)
+
+
+class TestChaosCli:
+    def test_wolt_chaos_smoke(self, capsys):
+        from repro.cli import main
+        rc = main(["chaos", "--trials", "2", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert "Chaos sweep" in out
+        assert "Quarantine drill" in out
+        # The exit code is the acceptance verdict (2 trials is below
+        # the documented minimum, so either outcome is legitimate —
+        # what matters is that the gate is wired to it).
+        if "ACCEPTANCE: PASS" in out:
+            assert rc == 0
+        else:
+            assert "ACCEPTANCE: FAIL" in out
+            assert rc == 1

@@ -58,6 +58,36 @@ class TestEwma:
             est.update(s)
         assert min(samples) - 1e-9 <= est.value <= max(samples) + 1e-9
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    def test_nonfinite_sample_rejected(self, bad):
+        est = EwmaEstimator()
+        est.update(10.0)
+        with pytest.raises(ValueError, match="non-finite"):
+            est.update(bad)
+        # The estimate was not poisoned by the rejected sample.
+        assert est.value == 10.0
+
+    def test_drop_nonfinite_skips_and_counts(self):
+        est = EwmaEstimator(alpha=0.5, drop_nonfinite=True)
+        est.update(10.0)
+        assert est.update(float("nan")) == 10.0  # unchanged
+        assert est.update(20.0) == pytest.approx(15.0)
+        assert est.dropped == 1
+
+    def test_drop_nonfinite_before_first_sample_returns_nan(self):
+        est = EwmaEstimator(drop_nonfinite=True)
+        assert np.isnan(est.update(float("inf")))
+        assert est.dropped == 1
+        with pytest.raises(ValueError):
+            est.value  # still no estimate
+
+    def test_reset_clears_drop_counter(self):
+        est = EwmaEstimator(drop_nonfinite=True)
+        est.update(float("nan"))
+        est.reset()
+        assert est.dropped == 0
+
 
 class TestRateFromRssi:
     def test_strong_signal_gives_top_rate(self):
@@ -80,6 +110,24 @@ class TestRateFromRssi:
     def test_empty_samples_rejected(self):
         with pytest.raises(ValueError):
             estimate_rate_from_rssi_samples([])
+
+    def test_nonfinite_sample_rejected_with_index(self):
+        with pytest.raises(ValueError, match="sample 1"):
+            estimate_rate_from_rssi_samples([-50.0, float("nan"),
+                                             -50.0])
+
+    def test_drop_nonfinite_skips_driver_garbage(self):
+        phy = WifiPhy()
+        clean = estimate_rate_from_rssi_samples([-50.0] * 3, phy=phy)
+        dirty = estimate_rate_from_rssi_samples(
+            [-50.0, float("nan"), -50.0, float("inf"), -50.0],
+            phy=phy, drop_nonfinite=True)
+        assert dirty == clean
+
+    def test_all_samples_dropped_rejected(self):
+        with pytest.raises(ValueError, match="all 3"):
+            estimate_rate_from_rssi_samples(
+                [float("nan")] * 3, drop_nonfinite=True)
 
     def test_matches_phy_ladder(self):
         """A constant RSSI stream maps exactly through the MCS ladder."""

@@ -32,6 +32,21 @@ class TestFailExtenders:
         with pytest.raises(ValueError):
             fail_extenders(sc, [5])
 
+    def test_all_dead_rejected_by_default(self, rng):
+        """Killing every extender is almost always a caller bug."""
+        sc = random_scenario(rng, 4, 3)
+        with pytest.raises(ValueError, match="allow_all_failed"):
+            fail_extenders(sc, [0, 1, 2])
+        # Duplicate indices covering every extender count too.
+        with pytest.raises(ValueError, match="allow_all_failed"):
+            fail_extenders(sc, [0, 1, 2, 2, 0])
+
+    def test_all_dead_opt_in(self, rng):
+        sc = random_scenario(rng, 4, 3)
+        dead = fail_extenders(sc, [0, 1, 2], allow_all_failed=True)
+        assert np.all(dead.wifi_rates == 0.0)
+        assert np.all(dead.plc_rates == 0.0)
+
 
 class TestReassociateOrphans:
     def test_orphans_move_to_strongest_survivor(self, rng):
@@ -55,7 +70,7 @@ class TestReassociateOrphans:
     def test_total_blackout_goes_offline(self):
         sc = Scenario(wifi_rates=np.array([[10.0, 20.0]]),
                       plc_rates=np.array([50.0, 50.0]))
-        dead = fail_extenders(sc, [0, 1])
+        dead = fail_extenders(sc, [0, 1], allow_all_failed=True)
         recovered = reassociate_orphans(dead, [0])
         assert recovered.tolist() == [UNASSIGNED]
 
@@ -85,7 +100,8 @@ class TestFaultLayerInteraction:
     def test_all_extenders_down_guard(self, rng):
         sc = random_scenario(rng, 5, 3)
         model = FaultModel(brownout_schedule={0: (0, 1, 2)})
-        dead = fail_extenders(sc, model.brownouts_at(0))
+        dead = fail_extenders(sc, model.brownouts_at(0),
+                              allow_all_failed=True)
         recovered = reassociate_orphans(dead, np.zeros(5, dtype=int))
         assert recovered.tolist() == [UNASSIGNED] * 5
         # Epochs without a scheduled brown-out leave the scenario whole.
@@ -95,7 +111,8 @@ class TestFaultLayerInteraction:
     def test_recovery_after_blackout_reattaches_users(self, rng):
         sc = random_scenario(rng, 5, 2)
         model = FaultModel(brownout_schedule={0: (0, 1), 1: (1,)})
-        dead = fail_extenders(sc, model.brownouts_at(0))
+        dead = fail_extenders(sc, model.brownouts_at(0),
+                              allow_all_failed=True)
         offline = reassociate_orphans(dead, np.zeros(5, dtype=int))
         assert np.all(offline == UNASSIGNED)
         # Extender 0 comes back in epoch 1: offline users reattach.

@@ -1,0 +1,352 @@
+"""Tests for the decision guard: invariants, repair, bit-identity.
+
+The contracts under test (docs/ROBUSTNESS.md, "Self-healing control
+loop"):
+
+* repair is a **no-op** on violation-free assignments (bit-identical);
+* guarded solvers return **bit-identical** decisions to their
+  unguarded twins on clean seed scenarios;
+* repair is **idempotent** — repairing a repaired assignment changes
+  nothing;
+* repair output is **never invalid** — every surviving directive
+  targets a reachable, within-capacity extender, and only genuinely
+  unattachable users are left UNASSIGNED.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (greedy_assignment, random_assignment,
+                                  rssi_assignment,
+                                  selfish_greedy_assignment)
+from repro.core.bnb import branch_and_bound_optimal
+from repro.core.guard import DecisionGuard, GuardError
+from repro.core.phase1 import phase1_utilities, solve_phase1
+from repro.core.problem import MIN_USABLE_RATE, UNASSIGNED, Scenario
+from repro.core.wolt import solve_wolt
+
+from .conftest import random_scenario
+
+
+def corrupt(assignment: np.ndarray, rng: np.random.Generator,
+            n_extenders: int) -> np.ndarray:
+    """Randomly break an assignment in every repairable way."""
+    bad = assignment.copy()
+    n = bad.size
+    bad[rng.integers(n)] = n_extenders + 3          # out of range
+    bad[rng.integers(n)] = -7                       # negative garbage
+    bad[rng.integers(n)] = UNASSIGNED               # detached user
+    return bad
+
+
+def assert_valid(scenario: Scenario, assignment: np.ndarray) -> None:
+    """The post-repair validity contract."""
+    counts = np.zeros(scenario.n_extenders, dtype=int)
+    for user in range(scenario.n_users):
+        j = assignment[user]
+        if j == UNASSIGNED:
+            # Only genuinely unattachable users may be dropped.
+            assert scenario.reachable(user).size == 0
+            continue
+        assert 0 <= j < scenario.n_extenders
+        assert scenario.wifi_rates[user, j] > MIN_USABLE_RATE
+        counts[j] += 1
+    if scenario.capacities is not None:
+        assert np.all(counts <= scenario.capacities)
+
+
+class TestRepairAssignment:
+    def test_noop_on_clean(self, rng):
+        sc = random_scenario(rng, 12, 4)
+        clean = rssi_assignment(sc)
+        guard = DecisionGuard()
+        repaired, report = guard.repair_assignment(sc, clean)
+        assert np.array_equal(repaired, clean)
+        assert report.clean
+        assert report.repaired_users == ()
+
+    def test_repairs_all_violation_kinds(self, rng):
+        sc = random_scenario(rng, 12, 4)
+        bad = corrupt(rssi_assignment(sc), rng, sc.n_extenders)
+        guard = DecisionGuard()
+        repaired, report = guard.repair_assignment(sc, bad)
+        assert not report.clean
+        assert {"out-of-range-extender",
+                "unassigned-user"} <= set(report.codes())
+        assert_valid(sc, repaired)
+        assert not np.any(repaired == UNASSIGNED)  # all reattachable
+
+    def test_unreachable_directive_dropped_and_reattached(self, rng):
+        sc = random_scenario(rng, 8, 3, reachable_prob=0.6)
+        guard = DecisionGuard()
+        bad = rssi_assignment(sc)
+        # Force a user onto an extender it cannot hear, if one exists.
+        user = next((u for u in range(8)
+                     if np.any(sc.wifi_rates[u] <= MIN_USABLE_RATE)),
+                    None)
+        if user is None:
+            pytest.skip("every user hears every extender")
+        dead_j = int(np.argmin(sc.wifi_rates[user]))
+        bad[user] = dead_j
+        repaired, report = guard.repair_assignment(sc, bad)
+        assert "unreachable-extender" in report.codes()
+        assert repaired[user] != dead_j
+        assert_valid(sc, repaired)
+
+    def test_over_capacity_evicts_weakest(self, rng):
+        sc = random_scenario(rng, 6, 3, capacities=True)
+        caps = np.array([1, 6, 6])
+        sc = Scenario(wifi_rates=sc.wifi_rates, plc_rates=sc.plc_rates,
+                      capacities=caps)
+        bad = np.zeros(6, dtype=int)  # everyone piled on extender 0
+        guard = DecisionGuard()
+        repaired, report = guard.repair_assignment(sc, bad)
+        assert "over-capacity" in report.codes()
+        survivor = np.flatnonzero(repaired == 0)
+        assert survivor.size == 1
+        # The strongest link keeps its place.
+        assert survivor[0] == int(np.argmax(sc.wifi_rates[:, 0]))
+        assert_valid(sc, repaired)
+
+    def test_repair_idempotent(self, rng):
+        for trial in range(20):
+            sc = random_scenario(rng, 10, 4, reachable_prob=0.7,
+                                 capacities=bool(trial % 2))
+            bad = corrupt(rssi_assignment(sc), rng, sc.n_extenders)
+            guard = DecisionGuard()
+            once, _ = guard.repair_assignment(sc, bad)
+            twice, second = guard.repair_assignment(sc, once,
+                                                    require_complete=False)
+            assert np.array_equal(once, twice)
+            assert second.repaired_users == ()
+            assert_valid(sc, once)
+
+    def test_incomplete_tolerated_without_require_complete(self, rng):
+        sc = random_scenario(rng, 5, 2)
+        partial = np.full(5, UNASSIGNED, dtype=int)
+        guard = DecisionGuard()
+        repaired, report = guard.repair_assignment(
+            sc, partial, require_complete=False)
+        assert np.array_equal(repaired, partial)
+        assert report.clean
+
+    def test_wrong_length_raises(self, rng):
+        sc = random_scenario(rng, 5, 2)
+        with pytest.raises(GuardError):
+            DecisionGuard().repair_assignment(sc, [0, 0, 0])
+
+    def test_strict_mode_raises_instead_of_repairing(self, rng):
+        sc = random_scenario(rng, 6, 3)
+        bad = corrupt(rssi_assignment(sc), rng, sc.n_extenders)
+        with pytest.raises(GuardError):
+            DecisionGuard(strict=True).repair_assignment(sc, bad)
+
+    def test_counters_accumulate(self, rng):
+        sc = random_scenario(rng, 8, 3)
+        guard = DecisionGuard()
+        guard.repair_assignment(sc, rssi_assignment(sc))
+        bad = corrupt(rssi_assignment(sc), rng, sc.n_extenders)
+        guard.repair_assignment(sc, bad)
+        assert guard.checks == 2
+        assert guard.violation_count > 0
+        assert guard.repairs > 0
+        assert guard.last_report is guard.reports[-1]
+
+
+class TestCheckAssignment:
+    def test_detect_matches_repair_criteria(self, rng):
+        sc = random_scenario(rng, 10, 4, capacities=True)
+        bad = corrupt(rssi_assignment(sc), rng, sc.n_extenders)
+        guard = DecisionGuard()
+        detected = guard.check_assignment(sc, bad)
+        _, repair_report = guard.repair_assignment(sc, bad)
+        assert set(detected.codes()) <= \
+            set(repair_report.codes()) | {"unassigned-user"}
+        assert not detected.clean
+
+    def test_clean_assignment_reports_clean(self, rng):
+        sc = random_scenario(rng, 10, 4)
+        guard = DecisionGuard()
+        assert guard.check_assignment(sc, rssi_assignment(sc)).clean
+
+
+class TestSanitizeRates:
+    def test_clean_rates_pass_through(self):
+        guard = DecisionGuard()
+        rates = np.array([10.0, 0.0, 33.5])
+        clean, report = guard.sanitize_rates(rates)
+        assert np.array_equal(clean, rates)
+        assert report.clean
+
+    def test_nonfinite_replaced_with_fallback(self):
+        guard = DecisionGuard()
+        rates = np.array([np.nan, 20.0, np.inf, -5.0])
+        fallback = np.array([11.0, 99.0, np.nan, 4.0])
+        clean, report = guard.sanitize_rates(rates, fallback=fallback)
+        # nan -> fallback; inf -> non-finite fallback -> 0; -5 -> 0.
+        assert clean.tolist() == [11.0, 20.0, 0.0, 0.0]
+        assert report.sanitized_entries == 3
+        assert "nonfinite-telemetry" in report.codes()
+        assert guard.sanitized_entries == 3
+
+    def test_nonfinite_without_fallback_zeroed(self):
+        clean, _ = DecisionGuard().sanitize_rates([np.nan, 7.0])
+        assert clean.tolist() == [0.0, 7.0]
+
+    def test_fallback_shape_mismatch(self):
+        with pytest.raises(GuardError):
+            DecisionGuard().sanitize_rates([np.nan],
+                                           fallback=np.ones(3))
+
+
+class TestPhase1Guard:
+    def test_clean_artifact_same_object(self, rng):
+        sc = random_scenario(rng, 10, 4)
+        result = solve_phase1(sc)
+        guard = DecisionGuard()
+        fixed, report = guard.repair_phase1(sc, result)
+        assert fixed is result
+        assert report.clean
+
+    def test_duplicate_anchor_repaired(self, rng):
+        sc = random_scenario(rng, 6, 3)
+        result = solve_phase1(sc)
+        assign = result.assignment.copy()
+        anchors = np.flatnonzero(assign != UNASSIGNED)
+        assert anchors.size >= 2
+        # Pile two anchors on one extender.
+        assign[anchors[1]] = assign[anchors[0]]
+        from repro.core.phase1 import Phase1Result
+        broken = Phase1Result(
+            assignment=assign,
+            anchored_users=np.sort(np.flatnonzero(
+                assign != UNASSIGNED)),
+            utilities=result.utilities, objective=result.objective,
+            unmatched_extenders=result.unmatched_extenders)
+        guard = DecisionGuard()
+        fixed, report = guard.repair_phase1(sc, broken)
+        assert "duplicate-anchor" in report.codes()
+        occupancy = np.bincount(
+            fixed.assignment[fixed.assignment != UNASSIGNED],
+            minlength=sc.n_extenders)
+        assert np.all(occupancy <= 1)
+
+    def test_false_unmatched_claim_detected(self, rng):
+        sc = random_scenario(rng, 6, 3)
+        result = solve_phase1(sc)
+        # Release one anchor and falsely declare its extender unmatched.
+        assign = result.assignment.copy()
+        anchors = np.flatnonzero(assign != UNASSIGNED)
+        victim = int(anchors[0])
+        extender = int(assign[victim])
+        assign[victim] = UNASSIGNED
+        from repro.core.phase1 import Phase1Result
+        broken = Phase1Result(
+            assignment=assign,
+            anchored_users=np.sort(np.flatnonzero(
+                assign != UNASSIGNED)),
+            utilities=result.utilities, objective=0.0,
+            unmatched_extenders=np.array([extender]))
+        guard = DecisionGuard()
+        fixed, report = guard.repair_phase1(sc, broken)
+        assert "uncovered-extender" in report.codes()
+        assert np.any(fixed.assignment == extender)
+        assert extender not in fixed.unmatched_extenders.tolist()
+
+
+class TestCleanInputBitIdentity:
+    """The tentpole contract: guard=None vs DecisionGuard() on clean
+    seed scenarios must be byte-for-byte indistinguishable."""
+
+    @pytest.mark.parametrize("n_users,n_extenders", [(6, 2), (12, 4),
+                                                     (24, 8)])
+    def test_solve_wolt(self, rng, n_users, n_extenders):
+        sc = random_scenario(rng, n_users, n_extenders)
+        guard = DecisionGuard()
+        plain = solve_wolt(sc)
+        guarded = solve_wolt(sc, guard=guard)
+        assert np.array_equal(plain.assignment, guarded.assignment)
+        assert plain.aggregate_throughput == \
+            guarded.aggregate_throughput
+        assert guard.violation_count == 0
+
+    def test_solve_wolt_sparse_reachability(self, rng):
+        sc = random_scenario(rng, 15, 5, reachable_prob=0.5)
+        guard = DecisionGuard()
+        plain = solve_wolt(sc)
+        guarded = solve_wolt(sc, guard=guard)
+        assert np.array_equal(plain.assignment, guarded.assignment)
+
+    def test_phase1(self, rng):
+        sc = random_scenario(rng, 10, 4)
+        utilities = phase1_utilities(sc)
+        plain = solve_phase1(sc, utilities)
+        guarded = solve_phase1(sc, utilities,
+                               guard=DecisionGuard())
+        assert np.array_equal(plain.assignment, guarded.assignment)
+        assert plain.objective == guarded.objective
+
+    def test_baselines(self, rng):
+        sc = random_scenario(rng, 12, 4, capacities=True)
+        for fn in (rssi_assignment, greedy_assignment,
+                   selfish_greedy_assignment):
+            assert np.array_equal(fn(sc), fn(sc,
+                                             guard=DecisionGuard()))
+        plain = random_assignment(sc,
+                                  rng=np.random.default_rng(7))
+        guarded = random_assignment(sc,
+                                    rng=np.random.default_rng(7),
+                                    guard=DecisionGuard())
+        assert np.array_equal(plain, guarded)
+
+    def test_bnb(self, rng):
+        sc = random_scenario(rng, 7, 3)
+        plain = branch_and_bound_optimal(sc)
+        guarded = branch_and_bound_optimal(sc, guard=DecisionGuard())
+        assert np.array_equal(plain.assignment, guarded.assignment)
+        assert plain.aggregate_throughput == \
+            guarded.aggregate_throughput
+
+
+class TestGuardedSolversOnDirtyInputs:
+    """Guarded solvers must degrade gracefully where unguarded raise."""
+
+    def _deaf_user_scenario(self, rng):
+        sc = random_scenario(rng, 8, 3)
+        wifi = sc.wifi_rates.copy()
+        wifi[2, :] = 0.0  # user 2 hears nothing
+        return Scenario(wifi_rates=wifi, plc_rates=sc.plc_rates)
+
+    def test_solve_wolt_drops_deaf_user(self, rng):
+        sc = self._deaf_user_scenario(rng)
+        guard = DecisionGuard()
+        result = solve_wolt(sc, guard=guard)
+        assert result.assignment[2] == UNASSIGNED
+        assert_valid(sc, result.assignment)
+        assert result.aggregate_throughput > 0
+
+    def test_baselines_drop_deaf_user(self, rng):
+        sc = self._deaf_user_scenario(rng)
+        for fn in (rssi_assignment, greedy_assignment,
+                   selfish_greedy_assignment, random_assignment):
+            with pytest.raises(ValueError):
+                fn(sc)
+            out = fn(sc, guard=DecisionGuard())
+            assert out[2] == UNASSIGNED
+            assert_valid(sc, out)
+
+    def test_bnb_certifies_reachable_subset(self, rng):
+        sc = self._deaf_user_scenario(rng)
+        with pytest.raises(ValueError):
+            branch_and_bound_optimal(sc)
+        guard = DecisionGuard()
+        result = branch_and_bound_optimal(sc, guard=guard)
+        assert result.assignment[2] == UNASSIGNED
+        assert_valid(sc, result.assignment)
+        # The subset optimum must dominate any heuristic on the
+        # reachable users.
+        heuristic = solve_wolt(sc, guard=DecisionGuard())
+        assert result.aggregate_throughput >= \
+            heuristic.aggregate_throughput - 1e-9

@@ -1,0 +1,254 @@
+"""Tests for the HealthMonitor quarantine state machine and its
+integration with the CentralController (stale-report TTL, telemetry
+sanitation, quarantine masking)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.controller import CentralController, ScanReport
+from repro.core.guard import DecisionGuard
+from repro.core.health import HealthMonitor
+from repro.core.problem import UNASSIGNED
+
+from .conftest import random_scenario
+
+
+class TestQuarantineTriggers:
+    def test_nonfinite_capacity_quarantines(self):
+        hm = HealthMonitor(3)
+        mask = hm.observe([100.0, np.nan, 100.0])
+        assert mask.tolist() == [False, True, False]
+        assert hm.events[-1].reason == "nonfinite-capacity"
+        assert hm.quarantined_extenders() == (1,)
+
+    def test_zero_capacity_only_suspect_under_traffic(self):
+        hm = HealthMonitor(2)
+        # Zero with no traffic: an idle link, not a sick one.
+        assert not hm.observe([0.0, 50.0],
+                              carrying_traffic=[False, False]).any()
+        assert hm.observe([0.0, 50.0],
+                          carrying_traffic=[True, False])[0]
+        assert hm.events[-1].reason == "zero-capacity-under-traffic"
+
+    def test_flapping_needs_consecutive_strikes(self):
+        hm = HealthMonitor(2, flap_band=0.5, flap_strikes=2)
+        hm.observe([100.0, 100.0])
+        hm.observe([10.0, 100.0])   # strike 1 for extender 0
+        assert not hm.is_quarantined(0)
+        hm.observe([100.0, 100.0])  # strike 2 -> quarantine
+        assert hm.is_quarantined(0)
+        assert hm.events[-1].reason == "capacity-flapping"
+        assert not hm.is_quarantined(1)
+
+    def test_single_swing_is_not_flapping(self):
+        hm = HealthMonitor(1, flap_strikes=2)
+        hm.observe([100.0])
+        hm.observe([10.0])   # one legitimate capacity change
+        hm.observe([10.0])   # settles -> counter resets
+        hm.observe([10.0])
+        assert not hm.is_quarantined(0)
+
+    def test_last_healthy_extender_never_quarantined(self):
+        hm = HealthMonitor(2)
+        hm.observe([np.nan, 100.0])
+        assert hm.quarantined_extenders() == (0,)
+        hm.observe([np.nan, np.nan])
+        assert hm.quarantined_extenders() == (0,)
+        assert hm.events[-1].event == "quarantine-skipped"
+
+
+class TestProbation:
+    def test_readmission_after_clean_streak(self):
+        hm = HealthMonitor(2, probation_epochs=2)
+        hm.observe([np.nan, 100.0])
+        hm.observe([80.0, 100.0])
+        assert hm.is_quarantined(0)  # one clean epoch is not enough
+        hm.observe([80.0, 100.0])
+        assert not hm.is_quarantined(0)
+        assert hm.events[-1].event == "readmit"
+
+    def test_suspect_epoch_resets_probation(self):
+        hm = HealthMonitor(2, probation_epochs=2)
+        hm.observe([np.nan, 100.0])
+        hm.observe([80.0, 100.0])
+        hm.observe([np.nan, 100.0])  # relapse
+        hm.observe([80.0, 100.0])
+        assert hm.is_quarantined(0)  # streak restarted
+        hm.observe([80.0, 100.0])
+        assert not hm.is_quarantined(0)
+
+
+class TestEffectiveRates:
+    def test_last_known_good_fallback(self):
+        hm = HealthMonitor(3)
+        hm.observe([100.0, 60.0, 40.0])
+        rates = hm.effective_rates([np.nan, -5.0, 45.0])
+        assert rates.tolist() == [100.0, 60.0, 45.0]
+
+    def test_no_history_falls_to_zero(self):
+        hm = HealthMonitor(1)
+        assert hm.effective_rates([np.inf]).tolist() == [0.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HealthMonitor(0)
+        with pytest.raises(ValueError):
+            HealthMonitor(2, flap_band=0.0)
+        with pytest.raises(ValueError):
+            HealthMonitor(2, probation_epochs=0)
+        with pytest.raises(ValueError):
+            HealthMonitor(2).observe([1.0])
+        with pytest.raises(ValueError):
+            HealthMonitor(2).effective_rates([1.0, 2.0, 3.0])
+
+
+class TestControllerTelemetry:
+    """update_plc_telemetry with and without a HealthMonitor."""
+
+    def test_unguarded_rejects_nonfinite(self):
+        cc = CentralController([50.0, 60.0])
+        with pytest.raises(ValueError):
+            cc.update_plc_telemetry([np.nan, 60.0])
+        cc.update_plc_telemetry([40.0, 70.0])
+        assert cc.plc_rates.tolist() == [40.0, 70.0]
+
+    def test_health_monitor_absorbs_nonfinite(self):
+        cc = CentralController([50.0, 60.0], health=HealthMonitor(2))
+        cc.update_plc_telemetry([40.0, 70.0])
+        cc.update_plc_telemetry([np.nan, 70.0])
+        # NaN falls back to last known good; extender quarantined.
+        assert cc.plc_rates.tolist() == [40.0, 70.0]
+        assert cc.health.is_quarantined(0)
+
+    def test_health_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CentralController([50.0, 60.0], health=HealthMonitor(3))
+
+
+class TestControllerScanSanitation:
+    def test_unguarded_rejects_nan_report(self):
+        cc = CentralController([50.0, 60.0])
+        with pytest.raises(ValueError):
+            cc.receive_scan_report(
+                ScanReport(0, np.array([np.nan, 30.0])))
+
+    def test_guarded_sanitizes_with_last_known_good(self):
+        cc = CentralController([50.0, 60.0], guard=DecisionGuard())
+        cc.receive_scan_report(ScanReport(0, np.array([20.0, 30.0])))
+        cc.receive_scan_report(
+            ScanReport(0, np.array([np.nan, 35.0])))
+        assert cc.stats.sanitized_reports == 1
+        # The cached report carries the fallback, not the NaN.
+        cached = cc._reports[0].wifi_rates
+        assert cached.tolist() == [20.0, 35.0]
+
+    def test_guarded_ignores_fully_poisoned_first_report(self):
+        cc = CentralController([50.0, 60.0], guard=DecisionGuard())
+        out = cc.receive_scan_report(
+            ScanReport(0, np.array([np.nan, np.nan])))
+        assert out is None
+        assert 0 not in cc.associations
+
+
+class TestReportTTL:
+    def _drive(self, ttl):
+        rng = np.random.default_rng(3)
+        sc = random_scenario(rng, 6, 3)
+        cc = CentralController(sc.plc_rates, guard=DecisionGuard(),
+                               report_ttl_epochs=ttl)
+        for user in range(sc.n_users):
+            cc.receive_scan_report(
+                ScanReport(user, sc.wifi_rates[user]))
+        return sc, cc
+
+    def test_fresh_reports_all_solved(self):
+        _, cc = self._drive(ttl=2)
+        cc.reconfigure()
+        assert cc.stats.stale_reports == 0
+
+    def test_stale_users_keep_last_association(self):
+        sc, cc = self._drive(ttl=1)
+        cc.reconfigure()
+        placed = dict(cc.associations)
+        # Nobody re-reports: after two more epochs every report has
+        # expired — the users keep their associations and are counted.
+        cc.reconfigure()
+        cc.reconfigure()
+        assert cc.stats.stale_reports > 0
+        assert cc.associations == placed
+
+    def test_rereport_refreshes_ttl(self):
+        sc, cc = self._drive(ttl=1)
+        cc.reconfigure()
+        for user in range(sc.n_users):
+            cc.receive_scan_report(
+                ScanReport(user, sc.wifi_rates[user]))
+        cc.reconfigure()
+        assert cc.stats.stale_reports == 0
+
+    def test_ttl_validation(self):
+        with pytest.raises(ValueError):
+            CentralController([50.0], report_ttl_epochs=0)
+
+    def test_no_ttl_keeps_legacy_behaviour(self):
+        sc, cc = self._drive(ttl=None)
+        for _ in range(5):
+            cc.reconfigure()
+        assert cc.stats.stale_reports == 0
+
+
+class TestQuarantineMasking:
+    def test_no_user_commanded_onto_quarantined_extender(self):
+        rng = np.random.default_rng(11)
+        sc = random_scenario(rng, 8, 3)
+        health = HealthMonitor(3, probation_epochs=2)
+        cc = CentralController(sc.plc_rates, guard=DecisionGuard(),
+                               health=health)
+        for user in range(sc.n_users):
+            cc.receive_scan_report(
+                ScanReport(user, sc.wifi_rates[user]))
+        cc.reconfigure()
+        # Extender 0 starts reporting garbage capacity.
+        bad = sc.plc_rates.copy()
+        bad[0] = np.nan
+        cc.update_plc_telemetry(bad)
+        assert health.is_quarantined(0)
+        cc.reconfigure()
+        assert all(j != 0 for j in cc.associations.values())
+
+    def test_admission_avoids_quarantined_extender(self):
+        health = HealthMonitor(2, probation_epochs=2)
+        cc = CentralController([50.0, 60.0], guard=DecisionGuard(),
+                               health=health)
+        cc.update_plc_telemetry([np.nan, 60.0])
+        assert health.is_quarantined(0)
+        # Extender 0 has the stronger link, but it is quarantined.
+        cc.receive_scan_report(ScanReport(0, np.array([90.0, 30.0])))
+        assert cc.associations[0] == 1
+
+    def test_readmitted_extender_usable_again(self):
+        health = HealthMonitor(2, probation_epochs=2)
+        cc = CentralController([50.0, 60.0], guard=DecisionGuard(),
+                               health=health)
+        cc.update_plc_telemetry([np.nan, 60.0])
+        cc.update_plc_telemetry([50.0, 60.0])
+        cc.update_plc_telemetry([50.0, 60.0])
+        assert not health.is_quarantined(0)
+        cc.receive_scan_report(ScanReport(0, np.array([90.0, 30.0])))
+        assert cc.associations[0] == 0
+
+    def test_network_report_ignores_quarantine(self):
+        """Measurement is physics: a client still parked on a
+        quarantined extender must be measurable."""
+        health = HealthMonitor(2, probation_epochs=5)
+        cc = CentralController([50.0, 60.0], guard=DecisionGuard(),
+                               health=health)
+        cc.receive_scan_report(ScanReport(0, np.array([90.0, 30.0])))
+        assert cc.associations[0] == 0
+        cc.update_plc_telemetry([50.0, 60.0])  # seed last-known-good
+        cc.update_plc_telemetry([np.nan, 60.0])
+        assert health.is_quarantined(0)
+        report = cc.network_report()
+        assert report.aggregate > 0

@@ -23,9 +23,9 @@ def codes(source: str, path: str = "core/module.py", select=None):
 
 
 class TestRegistry:
-    def test_all_eight_rules_registered(self):
+    def test_all_nine_rules_registered(self):
         assert set(RULES) == {"W001", "W002", "W003", "W004", "W005",
-                              "W006", "W007", "W008"}
+                              "W006", "W007", "W008", "W009"}
 
     def test_rules_carry_metadata(self):
         for code, rule in RULES.items():
@@ -367,6 +367,76 @@ class TestW008NonAtomicPersistence:
 
         def scratch(tmp_path, text):
             tmp_path.write_text(text)
+        """
+        assert codes(src) == []
+
+
+class TestW009UnsanitizedTelemetryScenario:
+    def test_telemetry_named_function_flagged(self):
+        src = """
+        from repro.core.problem import Scenario
+
+        def scenario_from_report(report_rates, plc):
+            return Scenario(wifi_rates=report_rates, plc_rates=plc)
+        """
+        assert codes(src) == ["W009"]
+
+    def test_telemetry_named_argument_flagged(self):
+        src = """
+        from repro.core.problem import Scenario
+
+        def rebuild(measured_wifi, plc):
+            return Scenario(wifi_rates=measured_wifi, plc_rates=plc)
+        """
+        assert codes(src) == ["W009"]
+
+    def test_telemetry_data_in_call_flagged(self):
+        src = """
+        import numpy as np
+        from repro.core.problem import Scenario
+
+        def assemble(cache, plc):
+            scan_rows = np.vstack(list(cache.values()))
+            return Scenario(wifi_rates=scan_rows, plc_rates=plc)
+        """
+        assert codes(src) == ["W009"]
+
+    def test_isfinite_gate_clean(self):
+        src = """
+        import numpy as np
+        from repro.core.problem import Scenario
+
+        def scenario_from_report(report_rates, plc):
+            if not np.isfinite(report_rates).all():
+                raise ValueError("non-finite scan rates")
+            return Scenario(wifi_rates=report_rates, plc_rates=plc)
+        """
+        assert codes(src) == []
+
+    def test_sanitize_helper_clean(self):
+        src = """
+        from repro.core.problem import Scenario
+
+        def scenario_from_report(guard, report_rates, plc):
+            clean = guard.sanitize_rates(report_rates)
+            return Scenario(wifi_rates=clean, plc_rates=plc)
+        """
+        assert codes(src) == []
+
+    def test_synthetic_scenario_clean(self):
+        # No telemetry in sight: synthesis from a ground-truth model.
+        src = """
+        from repro.core.problem import Scenario
+
+        def make_floor(wifi, plc):
+            return Scenario(wifi_rates=wifi, plc_rates=plc)
+        """
+        assert codes(src) == []
+
+    def test_telemetry_function_without_scenario_clean(self):
+        src = """
+        def receive_scan_report(self, report):
+            self.cache[report.user] = report
         """
         assert codes(src) == []
 

@@ -18,7 +18,8 @@ from .findings import Finding
 __all__ = ["Rule", "RULES", "register", "all_rule_codes",
            "UnseededRng", "SeedArithmetic", "ScalarEvalInLoop",
            "ReportMutation", "UnitSuffix", "SwallowedEngineException",
-           "SwallowedTransportException", "NonAtomicPersistence"]
+           "SwallowedTransportException", "NonAtomicPersistence",
+           "UnsanitizedTelemetryScenario"]
 
 
 def dotted_parts(node: ast.AST) -> Optional[List[str]]:
@@ -605,3 +606,86 @@ class NonAtomicPersistence(Rule):
 
         Visitor().visit(tree)
         return iter(findings)
+
+
+# ---------------------------------------------------------------------------
+# W009 — Scenario built from unsanitized telemetry
+
+
+#: Name fragments that mark data as coming from live telemetry (scan
+#: reports, capacity probes, driver readouts) rather than synthesis.
+_TELEMETRY_WORDS = ("report", "scan", "telemetry", "measured", "readout")
+
+#: Name fragments whose presence in the same function shows the
+#: telemetry is being checked or sanitized before use.
+_SANITIZER_WORDS = ("isfinite", "nan_to_num", "sanitize", "guard",
+                    "check", "validate")
+
+
+def _identifiers(node: ast.AST) -> Iterator[str]:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+        elif isinstance(sub, ast.Attribute):
+            yield sub.attr
+        elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield sub.name
+
+
+def _mentions_any(names: Iterator[str],
+                  words: Sequence[str]) -> bool:
+    return any(any(word in name.lower() for word in words)
+               for name in names)
+
+
+@register
+class UnsanitizedTelemetryScenario(Rule):
+    """``Scenario(...)`` built from telemetry with no finiteness check."""
+
+    code = "W009"
+    name = "unsanitized-telemetry-scenario"
+    description = ("Scenario(...) constructed from telemetry-derived "
+                   "data (report/scan/telemetry/measured names) in a "
+                   "function with no finiteness or sanitation check")
+    rationale = ("Scenario.__post_init__ rejects non-finite rates, so "
+                 "a NaN scan report crashes the control loop at "
+                 "construction time — far from the telemetry that "
+                 "caused it.  A function that turns telemetry into a "
+                 "Scenario must gate it first (np.isfinite / "
+                 "nan_to_num / DecisionGuard.sanitize_rates / an "
+                 "explicit validate step).")
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if _mentions_any(_identifiers(node), _SANITIZER_WORDS):
+                continue
+            fn_telemetry = any(
+                word in node.name.lower() for word in _TELEMETRY_WORDS
+            ) or any(word in arg.arg.lower()
+                     for word in _TELEMETRY_WORDS
+                     for arg in (list(node.args.posonlyargs)
+                                 + list(node.args.args)
+                                 + list(node.args.kwonlyargs)))
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Call):
+                    continue
+                parts = dotted_parts(sub.func)
+                if parts is None or parts[-1] != "Scenario":
+                    continue
+                args = list(sub.args) + [kw.value
+                                         for kw in sub.keywords]
+                arg_telemetry = any(
+                    _mentions_any(_identifiers(arg),
+                                  _TELEMETRY_WORDS) for arg in args)
+                if fn_telemetry or arg_telemetry:
+                    yield self.finding(
+                        path, sub,
+                        "Scenario built from telemetry-derived data "
+                        "with no finiteness gate in sight — check "
+                        "np.isfinite (or route through "
+                        "DecisionGuard.sanitize_rates) before "
+                        "construction, or a NaN report crashes the "
+                        "control loop here")
