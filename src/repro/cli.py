@@ -113,6 +113,10 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--workers", type=int, default=None,
                      help="worker processes (default: serial; results "
                           "are bit-identical for any worker count)")
+    sim.add_argument("--chunk-size", type=int, default=None,
+                     help="trials dispatched per worker task (default: "
+                          "auto, about two waves per worker; results "
+                          "are bit-identical for any chunk size)")
     sim.add_argument("--checkpoint", type=str, default=None,
                      help="journal every completed trial to this "
                           "crash-consistent JSONL file")
@@ -174,6 +178,7 @@ def _sim(args: argparse.Namespace) -> Tuple[str, int]:
     result = run_trials(args.trials, args.extenders, args.users,
                         policies=policies, seed=args.seed,
                         plc_mode=args.plc_mode, workers=args.workers,
+                        chunk_size=args.chunk_size,
                         max_retries=args.max_retries,
                         checkpoint=args.checkpoint, resume=args.resume,
                         timeout_s=args.timeout_s)

@@ -190,6 +190,62 @@ def _greedy_insertion_batch(scenario: Scenario, state: _CellState,
         remaining.remove(user)
 
 
+def _greedy_insertion_delta(scenario: Scenario, state: _CellState,
+                            gains: _BatchGains, assignment: np.ndarray,
+                            remaining: "List[int]",
+                            drop_unplaceable: bool = False) -> None:
+    """Delta-maintained greedy insertion (incremental gains matrix).
+
+    Placing a user on extender ``j`` only changes the membership of
+    cell ``j``, so only *column* ``j`` of the insertion-gains matrix
+    can change — every other candidate's marginal gain is untouched.
+    This variant pays the full ``(pending x extenders)`` sweep once,
+    then refreshes a single column per placement: ``O(U + U·E_argmax)``
+    per iteration instead of rebuilding the whole matrix.
+
+    The refreshed column uses elementwise-identical arithmetic to
+    :meth:`_BatchGains.gains`, and placed rows are masked to ``-inf``
+    (row-major argmax then selects the same pair the batched rebuild
+    would), so the decisions are bit-identical to
+    :func:`_greedy_insertion_batch` — the differential test wall
+    asserts this on random scenarios.
+    """
+    if not remaining:
+        return
+    n_ext = scenario.n_extenders
+    rem = np.asarray(remaining, dtype=int)
+    matrix = np.full((scenario.n_users, n_ext), -np.inf)
+    matrix[rem] = np.where(gains.room(state)[np.newaxis, :],
+                           gains.gains(state, rem), -np.inf)
+    while remaining:
+        flat = int(np.argmax(matrix))
+        if np.isneginf(matrix.flat[flat]):
+            if drop_unplaceable:
+                break
+            raise ValueError(
+                f"users {remaining} cannot be attached to any extender")
+        user, j = divmod(flat, n_ext)
+        state.add(user, j)
+        assignment[user] = j
+        remaining.remove(user)
+        matrix[user, :] = -np.inf
+        pending = np.asarray(remaining, dtype=int)
+        if pending.size == 0:
+            break
+        # Refresh only column j: the touched cell's occupancy changed.
+        _record(delta=int(pending.size))
+        if state.counts[j] < gains.caps[j]:
+            tput_j = state.throughput(j)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                new_col = ((state.counts[j] + 1)
+                           / (state.inv_rate_sums[j]
+                              + gains.inv_rates[pending, j]))
+            matrix[pending, j] = np.where(gains.reach[pending, j],
+                                          new_col - tput_j, -np.inf)
+        else:
+            matrix[pending, j] = -np.inf
+
+
 def _greedy_insertion_scalar(scenario: Scenario, state: _CellState,
                              assignment: np.ndarray,
                              remaining: "List[int]",
@@ -260,6 +316,8 @@ def solve_phase2(scenario: Scenario,
                  phase1_assignment: Sequence[int],
                  max_rounds: int = 100,
                  vectorized: bool = True,
+                 delta: bool = True,
+                 warm_start: Optional[Sequence[int]] = None,
                  guard: "Optional[DecisionGuard]" = None) -> Phase2Result:
     """Combinatorial Phase-II solver (greedy insertion + local search).
 
@@ -273,6 +331,20 @@ def solve_phase2(scenario: Scenario,
             paths make bit-identical decisions (asserted by the
             test-suite) — the scalar path exists only as the differential
             oracle.
+        delta: maintain the insertion-gains matrix incrementally,
+            refreshing only the column a placement touches, instead of
+            rebuilding the whole ``(pending x extenders)`` matrix per
+            placement (default; requires ``vectorized``).  Decisions are
+            bit-identical to the full rebuild — the differential wall in
+            ``tests/test_delta_eval.py`` asserts it.  ``False`` selects
+            the full-rebuild batch path as the differential oracle.
+        warm_start: optional previous-epoch assignment used as the
+            starting basis: each pending (non-anchor) user whose
+            warm-start extender is still reachable and has room is
+            pre-placed there; only the leftovers go through greedy
+            insertion, and the local search then polishes from a
+            near-solution instead of from scratch.  ``None`` (default)
+            preserves today's cold-start behaviour exactly.
         guard: optional :class:`repro.core.guard.DecisionGuard`.  When
             set, invalid anchors are repaired instead of poisoning the
             search, unattachable users are left UNASSIGNED and reported
@@ -302,12 +374,30 @@ def solve_phase2(scenario: Scenario,
     anchors = assignment.copy()
     state = _CellState(scenario, assignment)
     remaining = list(np.flatnonzero(assignment == UNASSIGNED))
+    if warm_start is not None:
+        warm = np.asarray(warm_start, dtype=int)
+        if warm.shape[0] != scenario.n_users:
+            raise ValueError("warm_start length must equal n_users")
+        # Pre-place pending users on their previous-epoch extender when
+        # it is still viable; they stay movable for the local search.
+        for user in list(remaining):
+            j = int(warm[user])
+            if (j == UNASSIGNED or j < 0 or j >= scenario.n_extenders
+                    or scenario.wifi_rates[user, j] <= MIN_USABLE_RATE
+                    or not state.room(j)):
+                continue
+            state.add(int(user), j)
+            assignment[user] = j
+            remaining.remove(user)
     gains = _BatchGains(scenario) if vectorized else None
 
     # Greedy insertion: repeatedly place the (user, extender) pair with the
     # largest marginal gain in total WiFi throughput.
     drop = guard is not None
-    if vectorized:
+    if vectorized and delta:
+        _greedy_insertion_delta(scenario, state, gains, assignment,
+                                remaining, drop_unplaceable=drop)
+    elif vectorized:
         _greedy_insertion_batch(scenario, state, gains, assignment,
                                 remaining, drop_unplaceable=drop)
     else:

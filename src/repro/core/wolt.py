@@ -10,7 +10,7 @@ artifacts, and can be evaluated against the end-to-end throughput engine.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
@@ -57,6 +57,7 @@ def solve_wolt(scenario: Scenario,
                plc_mode: str = "redistribute",
                rng: Optional[np.random.Generator] = None,
                vectorized: bool = True,
+               warm_start: Optional[Sequence[int]] = None,
                guard: "Optional[DecisionGuard]" = None) -> WoltResult:
     """Run the full WOLT association algorithm (Alg. 1 of the paper).
 
@@ -73,6 +74,10 @@ def solve_wolt(scenario: Scenario,
         vectorized: score Phase-II candidate moves in batches (default);
             ``False`` selects the scalar reference loops, which make
             bit-identical decisions (see :func:`repro.core.phase2.solve_phase2`).
+        warm_start: optional previous-epoch assignment handed to the
+            combinatorial Phase-II solver as its starting basis (see
+            :func:`repro.core.phase2.solve_phase2`); ignored by the
+            continuous solver.  ``None`` (default) is the cold start.
         guard: optional :class:`repro.core.guard.DecisionGuard` threaded
             through both phases.  Guarded, WOLT repairs invariant
             violations instead of raising (genuinely unattachable users
@@ -88,6 +93,7 @@ def solve_wolt(scenario: Scenario,
     if phase2_solver == "combinatorial":
         phase2: Phase2Result = solve_phase2(scenario, phase1.assignment,
                                             vectorized=vectorized,
+                                            warm_start=warm_start,
                                             guard=guard)
     elif phase2_solver == "continuous":
         phase2 = solve_phase2_continuous(scenario, phase1.assignment,

@@ -31,13 +31,15 @@ import numpy as np
 
 from ..core.problem import (UNASSIGNED, Scenario, validate_assignment,
                             validate_assignment_batch)
-from ..plc.sharing import (BatchPlcAllocation, PlcAllocation,
-                           allocate_backhaul, allocate_backhaul_batch)
+from ..plc.sharing import (BatchPlcAllocation, PLC_MODES, PlcAllocation,
+                           allocate_backhaul, allocate_backhaul_batch,
+                           backhaul_throughputs)
+from ..wifi.sharing import _EPS as _RATE_EPS
 from ..wifi.sharing import cell_throughputs, cell_throughputs_batch
 
-__all__ = ["ThroughputReport", "BatchThroughputReport", "evaluate",
-           "evaluate_batch", "aggregate_throughput", "EngineCallStats",
-           "count_engine_calls"]
+__all__ = ["ThroughputReport", "BatchThroughputReport", "DeltaEvaluator",
+           "evaluate", "evaluate_batch", "aggregate_throughput",
+           "EngineCallStats", "count_engine_calls"]
 
 
 @dataclass
@@ -52,16 +54,20 @@ class EngineCallStats:
             invocations plus Phase-II batched gain sweeps.
         batch_rows: total candidates scored across all batched
             evaluations.
+        delta_moves: single-move candidates scored incrementally by a
+            :class:`DeltaEvaluator` (only the touched cells were
+            recomputed).
     """
 
     scalar_calls: int = 0
     batch_calls: int = 0
     batch_rows: int = 0
+    delta_moves: int = 0
 
     @property
     def candidates_scored(self) -> int:
-        """Total assignments scored, scalar and batched combined."""
-        return self.scalar_calls + self.batch_rows
+        """Total assignments scored: scalar, batched and delta combined."""
+        return self.scalar_calls + self.batch_rows + self.delta_moves
 
 
 #: Stack of active counter frames (the engine increments every frame, so
@@ -87,11 +93,13 @@ def count_engine_calls() -> Iterator[EngineCallStats]:
         _COUNTER_STACK.remove(stats)
 
 
-def _record(scalar: int = 0, batch: int = 0, rows: int = 0) -> None:
+def _record(scalar: int = 0, batch: int = 0, rows: int = 0,
+            delta: int = 0) -> None:
     for stats in _COUNTER_STACK:
         stats.scalar_calls += scalar
         stats.batch_calls += batch
         stats.batch_rows += rows
+        stats.delta_moves += delta
 
 
 @dataclass(frozen=True)
@@ -314,3 +322,169 @@ def evaluate_batch(scenario: Scenario,
         user_throughputs=user_tput,
         bottleneck_is_plc=bottleneck,
     )
+
+
+class DeltaEvaluator:
+    """Incremental scorer for single-user reassociation moves.
+
+    A move ``user: i -> j`` only changes the membership of cells ``i``
+    and ``j``; every other cell's WiFi aggregate is untouched.  This
+    evaluator caches the per-extender WiFi vector and, per candidate
+    move, recomputes just the touched cells with the *exact* scalar
+    expression :func:`repro.wifi.sharing.cell_throughputs` uses — so
+    the resulting aggregate is **bit-identical** to a full
+    :func:`evaluate` of the moved assignment (the PLC allocation is
+    O(n_extenders) and always recomputed in full; cheap next to the
+    O(n_users · n_extenders) WiFi pass it replaces).
+
+    The cache is seeded by one full scalar pass at construction (or
+    validated against a batch row via :meth:`from_batch`); the
+    :meth:`reconcile` check recomputes everything from scratch and
+    fails loudly on cache drift, which the differential test wall
+    exercises on random move sequences.
+
+    Not thread-safe; one evaluator per search loop.
+    """
+
+    def __init__(self, scenario: Scenario, assignment: Sequence[int],
+                 plc_mode: str = "redistribute") -> None:
+        if plc_mode not in PLC_MODES:
+            raise ValueError(
+                f"plc_mode must be one of {PLC_MODES}, got {plc_mode!r}")
+        self._scenario = scenario
+        self._rates = np.asarray(scenario.wifi_rates, dtype=float)
+        self._plc_rates = np.asarray(scenario.plc_rates, dtype=float)
+        self._plc_mode = plc_mode
+        self._assignment = validate_assignment(scenario, assignment).copy()
+        # cell_throughputs rejects members with non-positive rates, so
+        # from here on per-move validation narrows to the moved user.
+        self._wifi = cell_throughputs(self._rates, self._assignment,
+                                      scenario.n_extenders)
+        self._aggregate = self._full_aggregate(self._wifi)
+
+    @classmethod
+    def from_batch(cls, scenario: Scenario, report: BatchThroughputReport,
+                   index: int = 0, plc_mode: str = "redistribute",
+                   atol: float = 1e-9) -> "DeltaEvaluator":
+        """Seed from row ``index`` of a cached :class:`BatchThroughputReport`.
+
+        The evaluator recomputes the WiFi vector with the scalar law
+        (the batch kernel's scatter-add sums in a different order, so
+        its bits may differ at ulp level) and *reconciles* it against
+        the cached batch row: any deviation beyond ``atol`` raises,
+        catching a stale or mismatched report at the hand-off instead
+        of corrupting the search.
+        """
+        ev = cls(scenario, report.assignments[index], plc_mode=plc_mode)
+        cached = np.asarray(report.wifi_throughputs[index], dtype=float)
+        drift = float(np.max(np.abs(cached - ev._wifi))) \
+            if cached.size else 0.0
+        if drift > atol:
+            raise ValueError(
+                f"cached batch report disagrees with scalar recompute "
+                f"by {drift:.3e} (> atol={atol:.0e}) — stale report?")
+        return ev
+
+    @property
+    def assignment(self) -> np.ndarray:
+        """Copy of the current per-user extender indices."""
+        return self._assignment.copy()
+
+    @property
+    def wifi_throughputs(self) -> np.ndarray:
+        """Copy of the cached per-extender WiFi aggregates (Mbps)."""
+        return self._wifi.copy()
+
+    @property
+    def aggregate(self) -> float:
+        """Aggregate end-to-end throughput of the current assignment."""
+        return self._aggregate
+
+    def _cell_wifi(self, j: int) -> float:
+        """Recompute cell ``j`` exactly as :func:`cell_throughputs` does.
+
+        Members are guaranteed to have positive rates: the seed pass
+        validated the whole assignment and :meth:`_check_dest` vets
+        every move before it lands, so no per-member check is needed on
+        this per-move hot path.
+        """
+        members = np.flatnonzero(self._assignment == j)
+        if members.size == 0:
+            return 0.0
+        return members.size / float(np.sum(1.0 / self._rates[members, j]))
+
+    def _check_dest(self, user: int, dest: int) -> None:
+        if dest != UNASSIGNED and self._rates[user, dest] <= _RATE_EPS:
+            raise ValueError(
+                f"user {user} assigned to extender {dest} "
+                f"with non-positive WiFi rate")
+
+    def _full_aggregate(self, wifi: np.ndarray) -> float:
+        # backhaul_throughputs is the pre-validated fast path of
+        # allocate_backhaul (bit-identical throughputs).
+        plc = backhaul_throughputs(self._plc_rates, wifi,
+                                   mode=self._plc_mode)
+        return float(np.minimum(wifi, plc).sum())
+
+    def score_move(self, user: int, dest: int) -> float:
+        """Aggregate throughput if ``user`` moved to ``dest`` (no commit).
+
+        ``dest`` may be :data:`~repro.core.problem.UNASSIGNED` to score
+        a detach.  Bit-identical to ``evaluate(scenario, moved).aggregate``.
+        """
+        src = int(self._assignment[user])
+        if dest == src:
+            return self._aggregate
+        self._check_dest(user, dest)
+        _record(delta=1)
+        touched = [j for j in (src, dest) if j != UNASSIGNED]
+        trial_wifi = self._wifi.copy()
+        self._assignment[user] = dest
+        try:
+            for j in touched:
+                trial_wifi[j] = self._cell_wifi(j)
+        finally:
+            self._assignment[user] = src
+        return self._full_aggregate(trial_wifi)
+
+    def commit(self, user: int, dest: int) -> float:
+        """Apply the move, update the touched cells, return the aggregate."""
+        src = int(self._assignment[user])
+        if dest == src:
+            return self._aggregate
+        self._check_dest(user, dest)
+        self._assignment[user] = dest
+        for j in (src, dest):
+            if j != UNASSIGNED:
+                self._wifi[j] = self._cell_wifi(j)
+        self._aggregate = self._full_aggregate(self._wifi)
+        return self._aggregate
+
+    def reconcile(self, atol: float = 0.0) -> float:
+        """Recompute the WiFi cache from scratch and verify it.
+
+        Returns the max absolute drift; raises if it exceeds ``atol``
+        (with the scalar per-cell law the drift is exactly zero — any
+        nonzero value means a bookkeeping bug).  The cache is refreshed
+        either way.
+        """
+        fresh = cell_throughputs(self._rates, self._assignment,
+                                 self._scenario.n_extenders)
+        drift = float(np.max(np.abs(fresh - self._wifi))) \
+            if fresh.size else 0.0
+        self._wifi = fresh
+        self._aggregate = self._full_aggregate(self._wifi)
+        if drift > atol:
+            raise RuntimeError(
+                f"DeltaEvaluator cache drifted by {drift:.3e} "
+                f"(> atol={atol:.0e}) — incremental bookkeeping bug")
+        return drift
+
+    def report(self) -> ThroughputReport:
+        """Full :class:`ThroughputReport` of the current assignment.
+
+        Delegates to :func:`evaluate` (one full scalar pass), so the
+        result is exactly what any non-incremental caller would see.
+        """
+        return evaluate(self._scenario, self._assignment,
+                        plc_mode=self._plc_mode)

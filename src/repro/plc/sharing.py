@@ -33,6 +33,7 @@ __all__ = [
     "BatchPlcAllocation",
     "allocate_backhaul",
     "allocate_backhaul_batch",
+    "backhaul_throughputs",
     "PLC_MODES",
 ]
 
@@ -96,6 +97,11 @@ def max_min_time_shares(demand_fractions: Sequence[float]) -> np.ndarray:
     demands = np.asarray(demand_fractions, dtype=float)
     if np.any(demands < 0) or np.any(np.isnan(demands)):
         raise ValueError("demand fractions must be non-negative numbers")
+    return _progressive_fill(demands)
+
+
+def _progressive_fill(demands: np.ndarray) -> np.ndarray:
+    """Water-filling core of :func:`max_min_time_shares` (pre-validated)."""
     granted = np.zeros_like(demands)
     unsatisfied = np.flatnonzero(demands > _EPS)
     remaining = 1.0
@@ -231,6 +237,16 @@ def allocate_backhaul(plc_rates: Sequence[float],
     if np.any(rates < 0) or np.any(load < 0):
         raise ValueError("rates and demands must be non-negative")
 
+    shares = _time_shares(rates, load, mode)
+    throughputs = np.minimum(shares * rates, load)
+    saturated = (load > _EPS) & (throughputs + _EPS < load)
+    return PlcAllocation(time_shares=shares, throughputs=throughputs,
+                         saturated=saturated)
+
+
+def _time_shares(rates: np.ndarray, load: np.ndarray,
+                 mode: str) -> np.ndarray:
+    """Per-extender time shares for pre-validated float arrays."""
     active = load > _EPS
     with np.errstate(divide="ignore", invalid="ignore"):
         needed = np.where(active & (rates > 0), load / np.maximum(rates, _EPS),
@@ -241,20 +257,37 @@ def allocate_backhaul(plc_rates: Sequence[float],
     needed = np.where(active & (rates <= _EPS), np.inf, needed)
 
     if mode == "redistribute":
-        shares = max_min_time_shares(needed)
-    elif mode == "active":
+        return _progressive_fill(needed)
+    if mode == "active":
         shares = np.zeros_like(rates)
         n_active = int(active.sum())
         if n_active > 0:
             shares[active] = 1.0 / n_active
-    else:  # fixed
-        shares = np.zeros_like(rates)
-        if rates.size > 0:
-            shares[active] = 1.0 / rates.size
-    throughputs = np.minimum(shares * rates, load)
-    saturated = active & (throughputs + _EPS < load)
-    return PlcAllocation(time_shares=shares, throughputs=throughputs,
-                         saturated=saturated)
+        return shares
+    # fixed
+    shares = np.zeros_like(rates)
+    if rates.size > 0:
+        shares[active] = 1.0 / rates.size
+    return shares
+
+
+def backhaul_throughputs(plc_rates: np.ndarray, demands: np.ndarray,
+                         mode: str = "redistribute") -> np.ndarray:
+    """Fast path: per-extender backhaul throughputs only, no validation.
+
+    Bit-identical to ``allocate_backhaul(plc_rates, demands, mode)
+    .throughputs`` — it runs the exact same share computation
+    (:func:`_time_shares`) and cap — but skips input validation, the
+    saturation mask, and the :class:`PlcAllocation` construction.  The
+    caller must guarantee what :func:`allocate_backhaul` would have
+    checked: both arguments are float ndarrays of the same shape with
+    non-negative entries, and ``mode`` is one of :data:`PLC_MODES`.
+    This is the per-move hot path of
+    :class:`repro.net.engine.DeltaEvaluator`, where those invariants
+    are established once at construction instead of on every move.
+    """
+    shares = _time_shares(plc_rates, demands, mode)
+    return np.minimum(shares * plc_rates, demands)
 
 
 @dataclass(frozen=True)

@@ -14,6 +14,10 @@ results instead of run loss.
 
 from __future__ import annotations
 
+import atexit
+import itertools
+import multiprocessing
+import os
 import signal
 import time
 from collections import Counter, deque
@@ -22,8 +26,8 @@ from concurrent.futures import (FIRST_COMPLETED, ProcessPoolExecutor,
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import (Any, Callable, Dict, List, Optional, Sequence,
-                    Tuple, Union)
+from typing import (Any, Callable, Deque, Dict, List, Optional,
+                    Sequence, Tuple, Union)
 
 import numpy as np
 
@@ -41,7 +45,8 @@ from .dynamics import EpochStats, OnlineSimulation
 
 __all__ = ["PolicyOutcome", "TrialResult", "TrialFailure",
            "TrialRunResult", "run_policy", "run_trials",
-           "run_online_comparison", "sample_floor_plan"]
+           "run_online_comparison", "sample_floor_plan",
+           "shutdown_warm_pools"]
 
 #: The association policies known to the runner.
 POLICY_NAMES = ("wolt", "greedy", "rssi", "random")
@@ -205,14 +210,62 @@ def sample_floor_plan(n_extenders: int, rng: np.random.Generator,
 
 
 @dataclass(frozen=True)
-class _TrialPayload:
-    """Self-contained description of one trial (picklable).
+class _RunConfig:
+    """The run-level trial parameters every trial of a sweep shares.
+
+    Splitting this static block away from the per-trial seeds is what
+    makes chunked dispatch cheap: the config is pickled once per
+    *chunk* (or not at all, when a fork-started pool inherited it
+    through :data:`_SHARED_CONFIGS`) instead of once per trial, and the
+    per-trial payload shrinks to a trial index plus its SeedSequence
+    children.
+    """
+
+    n_extenders: int
+    n_users: int
+    policies: Tuple[str, ...]
+    width_m: float
+    height_m: float
+    phy: Optional[WifiPhy]
+    plc_mode: str
+    fault_hook: Optional[FaultHook]
+    max_retries: int
+
+
+@dataclass(frozen=True)
+class _TrialSpec:
+    """The per-trial half of a payload: index plus seed material.
 
     ``scenario_seq`` seeds the floor sampling; ``policy_seqs`` holds one
     pre-spawned SeedSequence child *per policy name* (keyed by identity,
     not by position in the ``policies`` tuple), so a policy's stream —
     and therefore its outcome — never depends on which other policies
     run alongside it, on execution order, or on retry attempts.
+    """
+
+    trial_index: int
+    scenario_seq: np.random.SeedSequence
+    policy_seqs: Dict[str, np.random.SeedSequence]
+
+    def payload(self, config: _RunConfig) -> "_TrialPayload":
+        return _TrialPayload(
+            trial_index=self.trial_index,
+            scenario_seq=self.scenario_seq,
+            policy_seqs=self.policy_seqs,
+            n_extenders=config.n_extenders, n_users=config.n_users,
+            policies=config.policies, width_m=config.width_m,
+            height_m=config.height_m, phy=config.phy,
+            plc_mode=config.plc_mode, fault_hook=config.fault_hook,
+            max_retries=config.max_retries)
+
+
+@dataclass(frozen=True)
+class _TrialPayload:
+    """Self-contained description of one trial (config + seeds).
+
+    The in-process unit of work: the serial path and the worker-side
+    chunk loop both execute these; only the (config, spec) split above
+    crosses the process boundary.
     """
 
     trial_index: int
@@ -273,6 +326,165 @@ def _run_trial_guarded(payload: _TrialPayload
                         attempts=payload.max_retries + 1,
                         error_type=type(last_error).__name__,
                         error=repr(last_error))
+
+
+# ---------------------------------------------------------------------------
+# Chunked dispatch: shared run configs, chunk tasks, warm worker pools.
+#
+# One future per *chunk* of trials amortizes the submit/result IPC that
+# made the old one-future-per-trial pool lose to serial execution
+# (BENCH_engine.json once recorded a 0.90x "speedup"), and the shared
+# config registry lets fork-started workers inherit the run parameters
+# instead of re-pickling them per trial.
+
+
+#: Parent-side registry of live run configs.  A pool *created while a
+#: token is registered* forks its workers from this process, so they
+#: inherit the entry and chunks can reference it by token alone; pools
+#: that predate the registration (warm reuse) get the config embedded
+#: in each chunk task instead.
+_SHARED_CONFIGS: Dict[str, _RunConfig] = {}
+
+_config_tokens = itertools.count()
+
+#: True when worker processes inherit parent memory at fork time (the
+#: Linux default).  Spawn-style start methods never inherit, so chunks
+#: always embed their config there.
+_FORK_INHERITS = multiprocessing.get_start_method(allow_none=False) == "fork"
+
+
+def _register_config(config: _RunConfig) -> str:
+    token = f"{os.getpid()}-{next(_config_tokens)}"
+    _SHARED_CONFIGS[token] = config
+    return token
+
+
+@dataclass(frozen=True)
+class _ChunkTask:
+    """A batch of trials shipped to one worker in a single submit.
+
+    ``config`` is ``None`` when the worker is known to have inherited
+    the registry entry for ``token`` at fork time; the worker then
+    resolves the config locally and the chunk's pickle carries only the
+    per-trial seeds.
+    """
+
+    token: str
+    config: Optional[_RunConfig]
+    specs: Tuple[_TrialSpec, ...]
+    guarded: bool
+
+
+def _run_chunk(task: _ChunkTask
+               ) -> List[Union[TrialResult, TrialFailure]]:
+    """Execute one chunk inside a worker, preserving spec order.
+
+    The returned list maps 1:1 onto ``task.specs`` — the supervisor
+    re-associates results by position, so this invariant (checked
+    there) is what keeps chunked results correctly attributed no matter
+    which order chunks complete in.
+    """
+    config = task.config
+    if config is None:
+        config = _SHARED_CONFIGS.get(task.token)
+    if config is None:  # pragma: no cover - defensive: misrouted chunk
+        raise RuntimeError(
+            f"worker has no run config for token {task.token!r}; the "
+            "chunk was dispatched to a pool that never inherited it")
+    run_fn = _run_trial_guarded if task.guarded else _run_single_trial
+    return [run_fn(spec.payload(config)) for spec in task.specs]
+
+
+#: Cap on the automatic chunk size; beyond this the IPC amortization is
+#: negligible and large chunks only hurt load balance and durability
+#: granularity (a completed chunk journals all its trials at once).
+_MAX_AUTO_CHUNK = 16
+
+#: Target number of chunk "waves" per worker: small enough to amortize
+#: IPC, large enough that one slow chunk cannot idle the other workers
+#: for long.
+_CHUNK_WAVES = 2
+
+
+def _auto_chunk_size(n_pending: int, workers: int) -> int:
+    """Default chunk size: ``_CHUNK_WAVES`` chunks per worker, capped."""
+    if n_pending <= 0:
+        return 1
+    per_wave = -(-n_pending // (max(workers, 1) * _CHUNK_WAVES))
+    return max(1, min(per_wave, _MAX_AUTO_CHUNK))
+
+
+#: Idle warm pools keyed by worker count, reused across ``run_trials``
+#: calls so a parameter sweep pays process startup once, not once per
+#: sweep point.  Pools are leased exclusively (popped) while a run is
+#: active and returned only when they finished cleanly.
+_WARM_POOLS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def shutdown_warm_pools() -> None:
+    """Tear down every idle warm worker pool (also runs at exit).
+
+    Safe to call at any time: pools leased by an in-flight
+    ``run_trials`` are not in the cache and are unaffected.
+    """
+    while _WARM_POOLS:
+        _, pool = _WARM_POOLS.popitem()
+        _kill_pool(pool)
+
+
+atexit.register(shutdown_warm_pools)
+
+
+class _PoolLease:
+    """Exclusive use of a (possibly warm) process pool for one run.
+
+    Tracks whether the current executor was created *after* the run's
+    config registration (``inherits`` — its forked workers carry the
+    config and chunks may omit it) and routes the end-of-run decision:
+    a cleanly drained pool goes back to the warm cache, an abandoned or
+    broken one is killed.
+    """
+
+    def __init__(self, workers: int, reuse: bool = True) -> None:
+        self.workers = workers
+        self.reuse = reuse
+        self._dead = False
+        cached = _WARM_POOLS.pop(workers, None) if reuse else None
+        if cached is not None:
+            self.pool = cached
+            self._fresh = False
+        else:
+            self.pool = ProcessPoolExecutor(max_workers=workers)
+            self._fresh = True
+
+    @property
+    def inherits(self) -> bool:
+        """True when this pool's workers inherited the run config."""
+        return self._fresh and _FORK_INHERITS
+
+    def recycle(self) -> None:
+        """Kill the current executor and start a fresh one."""
+        _kill_pool(self.pool)
+        self.pool = ProcessPoolExecutor(max_workers=self.workers)
+        self._fresh = True
+        self._dead = False
+
+    def abandon(self) -> None:
+        """Kill the executor without returning it to the cache."""
+        self._dead = True
+        _kill_pool(self.pool)
+
+    def release(self) -> None:
+        """Return a cleanly drained executor to the warm cache."""
+        if self._dead:
+            return  # already killed by abandon()
+        if not self.reuse:
+            self.pool.shutdown(wait=True)
+            return
+        if self.workers in _WARM_POOLS:  # nested/concurrent runs
+            self.pool.shutdown(wait=True)
+        else:
+            _WARM_POOLS[self.workers] = self.pool
 
 
 # ---------------------------------------------------------------------------
@@ -430,98 +642,131 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
         pass
 
 
-def _run_supervised(pending: Sequence[_TrialPayload], workers: int,
+def _run_supervised(pending: Sequence[_TrialSpec], config: _RunConfig,
+                    token: str, lease: _PoolLease, chunk_size: int,
                     guarded: bool, retry_budget: int,
                     timeout_s: Optional[float],
                     record: Callable[[int, Union[TrialResult,
                                                  TrialFailure]], None],
                     state: _InterruptState) -> None:
-    """Run payloads on a supervised process pool.
+    """Run trial specs on a supervised, chunk-dispatching process pool.
 
     Unlike the old blind ``pool.map``, the supervisor:
 
-    * keeps at most ``workers`` trials in flight, so every submitted
-      trial starts promptly and its deadline is meaningful;
-    * reaps any trial that outlives ``timeout_s`` — the pool is killed
-      (hung workers cannot be joined), the trial is recorded as a
-      :class:`TrialFailure` with :data:`TIMEOUT_ERROR_TYPE`, and the
-      innocent in-flight trials are resubmitted on a fresh pool (their
-      SeedSequence children make the rerun bit-identical);
+    * submits trials in *chunks* of ``chunk_size`` (one future per
+      chunk), amortizing the submit/result IPC and the config pickle
+      over the whole batch; a chunk's results map positionally onto its
+      specs, and that mapping is asserted so chunk completion order can
+      never mis-attribute a result;
+    * keeps at most ``workers`` chunks in flight, so every submitted
+      chunk starts promptly and its deadline is meaningful;
+    * reaps any chunk that outlives its deadline (``timeout_s`` per
+      trial in the chunk; the runner forces single-trial chunks when
+      deadlines are active, keeping the contract per-trial) — the pool
+      is killed (hung workers cannot be joined), the hung trials are
+      recorded as :class:`TrialFailure` with
+      :data:`TIMEOUT_ERROR_TYPE`, and the innocent in-flight trials are
+      resubmitted on a fresh pool (their SeedSequence children make the
+      rerun bit-identical);
     * converts a :class:`BrokenProcessPool` (a worker SIGKILLed / OOMed
       / segfaulted) into a pool recycle with *serial quarantine*: a
       broken pool takes down every in-flight future, so blame cannot be
       attributed while several trials share it.  The casualties are
-      therefore resubmitted one at a time on the fresh pool — an
+      therefore resubmitted one trial at a time on the fresh pool — an
       innocent probe completes and walks free; the true killer dies
       alone, is now blamed with certainty, and is retried up to
       ``max(retry_budget, 1)`` times before being recorded as an
       explicit :class:`TrialFailure`.  One repeatedly-dying trial can
       never take a neighbour down with it;
     * drains promptly on interruption: completed results are kept,
-      queued trials are abandoned.
+      queued chunks are abandoned.
 
-    ``record`` is called exactly once per finished trial, in completion
-    order, and is expected to journal durably.
+    ``record`` is called exactly once per finished trial — in spec
+    order within a chunk, in completion order across chunks — and is
+    expected to journal durably.  The caller re-emits the collected
+    results in submission order regardless of completion order.
     """
-    run_fn = _run_trial_guarded if guarded else _run_single_trial
-    queue = deque(pending)
+    queue: Deque[Tuple[_TrialSpec, ...]] = deque(
+        tuple(pending[i:i + chunk_size])
+        for i in range(0, len(pending), chunk_size))
     pool_attempts: Dict[int, int] = {}
     quarantine: set = set()
-    pool = ProcessPoolExecutor(max_workers=workers)
-    inflight: Dict[Any, Tuple[_TrialPayload, Optional[float]]] = {}
+    inflight: Dict[Any, Tuple[Tuple[_TrialSpec, ...],
+                              Optional[float]]] = {}
 
-    def settle(payload: _TrialPayload,
-               result: Union[TrialResult, TrialFailure]) -> None:
-        quarantine.discard(payload.trial_index)
-        record(payload.trial_index, result)
+    def make_task(specs: Tuple[_TrialSpec, ...]) -> _ChunkTask:
+        # A pool created after the config registration forked workers
+        # that inherited the registry; older (warm-reused) pools need
+        # the config embedded in the chunk.
+        return _ChunkTask(token=token,
+                          config=None if lease.inherits else config,
+                          specs=specs, guarded=guarded)
 
-    def recycle(casualties: List[_TrialPayload]) -> None:
+    def settle_chunk(specs: Tuple[_TrialSpec, ...],
+                     results: List[Union[TrialResult,
+                                         TrialFailure]]) -> None:
+        if len(results) != len(specs):  # pragma: no cover - invariant
+            raise RuntimeError(
+                f"chunk returned {len(results)} results for "
+                f"{len(specs)} trials — per-trial attribution lost")
+        for spec, result in zip(specs, results):
+            quarantine.discard(spec.trial_index)
+            record(spec.trial_index, result)
+
+    def fail_spec(spec: _TrialSpec, failure: TrialFailure) -> None:
+        quarantine.discard(spec.trial_index)
+        record(spec.trial_index, failure)
+
+    def recycle(casualties: List[Tuple[_TrialSpec, ...]]) -> None:
         """Replace a broken pool; quarantine, retry or fail casualties.
 
         Blame is only assigned when a single trial was in flight (it is
         then certainly the one whose worker died); a multi-casualty
         break quarantines everyone unblamed and lets the serial probes
-        sort killer from bystander.
+        sort killer from bystander.  Casualty chunks are always
+        requeued as single-trial probes so the next break is
+        attributable.
         """
-        nonlocal pool
-        _kill_pool(pool)
+        specs = [spec for chunk in casualties for spec in chunk]
+        lease.recycle()
         budget = max(retry_budget, 1)
-        certain = len(casualties) == 1
-        for payload in reversed(casualties):
-            count = pool_attempts.get(payload.trial_index, 0)
+        certain = len(specs) == 1
+        for spec in reversed(specs):
+            count = pool_attempts.get(spec.trial_index, 0)
             if certain:
                 count += 1
-                pool_attempts[payload.trial_index] = count
+                pool_attempts[spec.trial_index] = count
             if count > budget:
-                settle(payload, TrialFailure(
-                    trial_index=payload.trial_index, attempts=count,
+                fail_spec(spec, TrialFailure(
+                    trial_index=spec.trial_index, attempts=count,
                     error_type=POOL_ERROR_TYPE,
                     error=f"worker process died {count} times while "
                           f"running this trial"))
             else:
-                quarantine.add(payload.trial_index)
-                queue.appendleft(payload)
-        pool = ProcessPoolExecutor(max_workers=workers)
+                quarantine.add(spec.trial_index)
+                queue.appendleft((spec,))
 
     try:
         while (queue or inflight) and not state.interrupted:
-            # Top up the pool, one in-flight trial per worker — except
+            # Top up the pool, one in-flight chunk per worker — except
             # while quarantined casualties await their serial probes.
             while queue and len(inflight) < (1 if quarantine
-                                             else workers):
-                payload = queue.popleft()
+                                             else lease.workers):
+                specs = queue.popleft()
                 deadline = (None if timeout_s is None
-                            else time.monotonic() + timeout_s)
+                            else time.monotonic()
+                            + timeout_s * len(specs))
                 try:
-                    future = pool.submit(run_fn, payload)
+                    future = lease.pool.submit(_run_chunk,
+                                               make_task(specs))
                 except (BrokenProcessPool, RuntimeError):
                     # The pool died between polls; recycle and retry.
-                    casualties = [p for p, _ in inflight.values()]
-                    casualties.append(payload)
+                    casualties = [c for c, _ in inflight.values()]
+                    casualties.append(specs)
                     inflight.clear()
                     recycle(casualties)
                     break
-                inflight[future] = (payload, deadline)
+                inflight[future] = (specs, deadline)
             if not inflight:
                 continue
             wait_s = _POLL_S
@@ -534,60 +779,60 @@ def _run_supervised(pending: Sequence[_TrialPayload], workers: int,
                            return_when=FIRST_COMPLETED)
             broken = False
             for future in done:
-                payload, _ = inflight.pop(future)
+                specs, _ = inflight.pop(future)
                 try:
-                    settle(payload, future.result())
+                    settle_chunk(specs, future.result())
                 except BrokenProcessPool:
                     broken = True
-                    inflight[future] = (payload, None)
+                    inflight[future] = (specs, None)
                 except Exception:
                     if guarded:
                         raise  # _run_trial_guarded never raises these
-                    _kill_pool(pool)
+                    lease.abandon()
                     raise
             if broken:
-                casualties = [p for p, _ in inflight.values()]
+                casualties = [c for c, _ in inflight.values()]
                 inflight.clear()
                 recycle(casualties)
                 continue
             # Deadline pass: harvest any just-finished stragglers, then
             # reap whatever is genuinely past its deadline.
             now = time.monotonic()
-            expired = [future for future, (p, d) in inflight.items()
+            expired = [future for future, (c, d) in inflight.items()
                        if d is not None and now >= d]
             if not expired:
                 continue
             for future in list(expired):
                 if future.done():  # finished in the polling gap
                     expired.remove(future)
-                    payload, _ = inflight.pop(future)
+                    specs, _ = inflight.pop(future)
                     try:
-                        settle(payload, future.result())
+                        settle_chunk(specs, future.result())
                     except BrokenProcessPool:
-                        inflight[future] = (payload, None)
+                        inflight[future] = (specs, None)
             hung = [inflight.pop(future)[0] for future in expired
                     if future in inflight]
             if not hung:
                 continue
-            for payload in hung:
-                settle(payload, TrialFailure(
-                    trial_index=payload.trial_index, attempts=1,
-                    error_type=TIMEOUT_ERROR_TYPE,
-                    error=f"trial exceeded its {timeout_s}s deadline "
-                          "and was reaped"))
+            for specs in hung:
+                for spec in specs:
+                    fail_spec(spec, TrialFailure(
+                        trial_index=spec.trial_index, attempts=1,
+                        error_type=TIMEOUT_ERROR_TYPE,
+                        error=f"trial exceeded its {timeout_s}s "
+                              "deadline and was reaped"))
             # The hung workers must die; innocents rerun unpunished
             # (deadline reaping is not their failure).
-            survivors = [p for p, _ in inflight.values()]
+            survivors = [c for c, _ in inflight.values()]
             inflight.clear()
-            _kill_pool(pool)
-            pool = ProcessPoolExecutor(max_workers=workers)
+            lease.recycle()
             queue.extendleft(reversed(survivors))
     finally:
         if inflight or queue:
             # Interrupted (or propagating an error): abandon cleanly.
-            _kill_pool(pool)
+            lease.abandon()
         else:
-            pool.shutdown(wait=True)
+            lease.release()
 
 
 def run_trials(n_trials: int,
@@ -600,6 +845,7 @@ def run_trials(n_trials: int,
                phy: Optional[WifiPhy] = None,
                plc_mode: str = "redistribute",
                workers: Optional[int] = None,
+               chunk_size: Optional[int] = None,
                max_retries: Optional[int] = None,
                fault_hook: Optional[FaultHook] = None,
                checkpoint: Optional[Union[str, Path]] = None,
@@ -638,7 +884,16 @@ def run_trials(n_trials: int,
         workers: number of worker processes; ``None``, 0, or 1 run
             serially in-process (except that ``timeout_s`` promotes
             ``workers=1`` to a supervised single-worker pool — a
-            deadline needs a process boundary to reap across).
+            deadline needs a process boundary to reap across).  Pools
+            are kept warm and reused by later ``run_trials`` calls with
+            the same worker count (see :func:`shutdown_warm_pools`).
+        chunk_size: trials per dispatched chunk.  ``None`` (default)
+            sizes chunks automatically (≈ two waves per worker, capped
+            at 16) so submit/result IPC is amortized; results are
+            always re-emitted in trial order regardless of chunk
+            completion order.  ``timeout_s`` forces single-trial chunks
+            — the deadline contract is per trial.  Ignored on serial
+            runs.
         max_retries: when ``None`` (default), a trial exception
             propagates to the caller unchanged (unless durable mode is
             active, which implies a budget of 0).  When an int, a
@@ -693,6 +948,8 @@ def run_trials(n_trials: int,
         raise ValueError(
             "timeout_s requires workers >= 1: reaping a hung trial "
             "needs a worker process boundary to kill across")
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
     if resume and checkpoint is None:
         raise ValueError("resume=True requires a checkpoint path")
 
@@ -706,19 +963,19 @@ def run_trials(n_trials: int,
 
     durable = store is not None or timeout_s is not None
     guarded = max_retries is not None or durable
+    config = _RunConfig(
+        n_extenders=n_extenders, n_users=n_users,
+        policies=tuple(policies), width_m=width_m, height_m=height_m,
+        phy=phy, plc_mode=plc_mode, fault_hook=fault_hook,
+        max_retries=0 if max_retries is None else max_retries)
     children = np.random.SeedSequence(seed).spawn(n_trials)
-    payloads = []
+    specs = []
     for index, child in enumerate(children):
         policy_children = child.spawn(len(POLICY_NAMES))
         policy_seqs = {name: policy_children[k]
                        for k, name in enumerate(POLICY_NAMES)}
-        payloads.append(_TrialPayload(
-            trial_index=index, scenario_seq=child,
-            policy_seqs=policy_seqs, n_extenders=n_extenders,
-            n_users=n_users, policies=tuple(policies), width_m=width_m,
-            height_m=height_m, phy=phy, plc_mode=plc_mode,
-            fault_hook=fault_hook,
-            max_retries=0 if max_retries is None else max_retries))
+        specs.append(_TrialSpec(trial_index=index, scenario_seq=child,
+                                policy_seqs=policy_seqs))
 
     results: Dict[int, Union[TrialResult, TrialFailure]] = {}
     resumed = 0
@@ -726,7 +983,7 @@ def run_trials(n_trials: int,
         for index, payload in store.records.items():
             results[index] = _decode_record(payload)
         resumed = len(results)
-    pending = [p for p in payloads if p.trial_index not in results]
+    pending = [s for s in specs if s.trial_index not in results]
 
     def record(index: int,
                result: Union[TrialResult, TrialFailure]) -> None:
@@ -743,18 +1000,37 @@ def run_trials(n_trials: int,
         with _SignalGuard(state) if store is not None else \
                 _NullContext():
             if use_pool:
-                _run_supervised(pending, max(int(workers or 1), 1),
-                                guarded, max_retries or 0, timeout_s,
-                                record, state)
+                n_workers = max(int(workers or 1), 1)
+                if timeout_s is not None:
+                    effective_chunk = 1  # the deadline is per trial
+                elif chunk_size is not None:
+                    effective_chunk = chunk_size
+                else:
+                    effective_chunk = _auto_chunk_size(len(pending),
+                                                       n_workers)
+                # Register the config *before* leasing the pool: a
+                # fresh pool forks its workers lazily on first submit,
+                # so they inherit the registry entry and chunks can
+                # travel config-free.
+                token = _register_config(config)
+                try:
+                    lease = _PoolLease(n_workers)
+                    _run_supervised(pending, config, token, lease,
+                                    effective_chunk, guarded,
+                                    max_retries or 0, timeout_s,
+                                    record, state)
+                finally:
+                    _SHARED_CONFIGS.pop(token, None)
             else:
-                for payload in pending:
+                for spec in pending:
                     if state.interrupted:
                         break
+                    payload = spec.payload(config)
                     if guarded:
-                        record(payload.trial_index,
+                        record(spec.trial_index,
                                _run_trial_guarded(payload))
                     else:
-                        record(payload.trial_index,
+                        record(spec.trial_index,
                                _run_single_trial(payload))
         if store is not None:
             if state.interrupted:

@@ -33,7 +33,7 @@ from repro.sim.checkpoint import CheckpointExists, FingerprintMismatch
 from repro.sim.faults import CrashSchedule
 from repro.sim.runner import (POOL_ERROR_TYPE, TIMEOUT_ERROR_TYPE,
                               TrialFailure, run_online_comparison,
-                              run_trials)
+                              run_trials, shutdown_warm_pools)
 
 REPO_SRC = str(Path(__file__).resolve().parents[1] / "src")
 
@@ -182,6 +182,17 @@ class TestCrashResume:
                    workers=2, **SCALE)
         assert serial.read_bytes() == parallel.read_bytes()
 
+    def test_warm_pool_reuse_stays_bit_identical(self, tmp_path):
+        """Back-to-back pool runs (2nd on a warm pool) match byte-wise."""
+        shutdown_warm_pools()
+        first, second = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        run_trials(N_TRIALS, policies=POLICIES, checkpoint=first,
+                   workers=2, **SCALE)
+        # The pool survives run_trials; this run leases it warm.
+        run_trials(N_TRIALS, policies=POLICIES, checkpoint=second,
+                   workers=2, **SCALE)
+        assert first.read_bytes() == second.read_bytes()
+
     def test_fingerprint_mismatch_rejected(self, tmp_path):
         checkpoint = tmp_path / "run.jsonl"
         params = dict(SCALE)
@@ -301,6 +312,75 @@ class TestGracefulSignals:
         _assert_runs_identical(_cold_run(), resumed)
         # The completing run compacted the journal: marker gone.
         assert "interrupted" not in checkpoint.read_text()
+
+
+@pytest.fixture(scope="module")
+def baseline_journal(tmp_path_factory):
+    """Canonical snapshot bytes of a cold, serial, clean reference run."""
+    path = tmp_path_factory.mktemp("baseline") / "cold.jsonl"
+    run_trials(N_TRIALS, policies=POLICIES, checkpoint=path, **SCALE)
+    return path.read_bytes()
+
+
+class TestDispatchBitIdentityMatrix:
+    """Dispatch shape must never leak into the journal bytes.
+
+    The PR-6 matrix: workers x chunk size x {cold, checkpoint+resume}
+    x {clean, fault-injected} all compact to the byte-identical
+    canonical snapshot of the serial reference run.  Chunking, warm
+    pools, retries and resume are *operational* concerns; the journal
+    is science.
+    """
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("chunk_size", [1, 3, None])
+    def test_cold_clean_runs(self, tmp_path, baseline_journal, workers,
+                             chunk_size):
+        path = tmp_path / "run.jsonl"
+        run_trials(N_TRIALS, policies=POLICIES, checkpoint=path,
+                   workers=workers, chunk_size=chunk_size, **SCALE)
+        assert path.read_bytes() == baseline_journal
+
+    @pytest.mark.parametrize("workers,chunk_size",
+                             [(1, 1), (2, 3), (4, None)])
+    def test_resumed_runs(self, tmp_path, baseline_journal, workers,
+                          chunk_size):
+        path = tmp_path / "run.jsonl"
+        _run_killed_sweep(path)  # journals trials 0-2, then SIGKILL
+        run_trials(N_TRIALS, policies=POLICIES, checkpoint=path,
+                   resume=True, workers=workers, chunk_size=chunk_size,
+                   **SCALE)
+        assert path.read_bytes() == baseline_journal
+
+    @pytest.mark.parametrize("workers,chunk_size", [(2, 2), (4, 3)])
+    def test_fault_injected_runs(self, tmp_path, baseline_journal,
+                                 workers, chunk_size):
+        # Trials 1 and 4 crash once each; the retried attempts rerun
+        # with the same SeedSequence children, so the compacted journal
+        # still matches the clean serial baseline byte for byte.
+        hook = CrashSchedule(crashes={1: 1, 4: 1})
+        path = tmp_path / "run.jsonl"
+        run_trials(N_TRIALS, policies=POLICIES, checkpoint=path,
+                   workers=workers, chunk_size=chunk_size,
+                   max_retries=2, fault_hook=hook, **SCALE)
+        assert path.read_bytes() == baseline_journal
+
+    @pytest.mark.parametrize("workers,chunk_size", [(2, 3), (2, None)])
+    def test_resumed_fault_injected_runs(self, tmp_path,
+                                         baseline_journal, workers,
+                                         chunk_size):
+        hook = CrashSchedule(crashes={4: 1})
+        path = tmp_path / "run.jsonl"
+        _run_killed_sweep(path)
+        run_trials(N_TRIALS, policies=POLICIES, checkpoint=path,
+                   resume=True, workers=workers, chunk_size=chunk_size,
+                   max_retries=2, fault_hook=hook, **SCALE)
+        assert path.read_bytes() == baseline_journal
+
+    def test_chunk_size_must_be_positive(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            run_trials(2, policies=POLICIES, workers=2, chunk_size=0,
+                       **SCALE)
 
 
 class TestArgumentValidation:

@@ -11,7 +11,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.sim import checkpoint as checkpoint_mod
 from repro.sim import runner
+from repro.sim.faults import SleepSchedule
 from repro.sim.runner import run_trials
 
 N_TRIALS = 6
@@ -66,6 +68,50 @@ class TestBitIdenticalAcrossWorkerCounts:
                                   trials[1].scenario.wifi_rates)
         assert not np.array_equal(trials[1].scenario.wifi_rates,
                                   trials[2].scenario.wifi_rates)
+
+
+class TestSubmissionOrderIndependence:
+    def test_out_of_order_completion_reemits_in_submission_order(
+            self, tmp_path, monkeypatch):
+        """Chunk completion order must never leak into the results.
+
+        Trial 0 sleeps while trials 1+ finish instantly, so with
+        single-trial chunks on two workers the completions *must*
+        arrive out of submission order (asserted via a journal spy) —
+        yet the returned list and the compacted journal are identical
+        to the serial run.
+        """
+        seen = []
+        original_append = checkpoint_mod.TrialStore.append
+
+        def spy(self, index, payload):
+            seen.append(index)
+            return original_append(self, index, payload)
+
+        monkeypatch.setattr(checkpoint_mod.TrialStore, "append", spy)
+        serial_path = tmp_path / "serial.jsonl"
+        serial = run_trials(N_TRIALS, policies=("rssi",),
+                            checkpoint=serial_path, **SCALE)
+        assert seen == list(range(N_TRIALS))  # serial: submission order
+        seen.clear()
+        skewed_path = tmp_path / "skewed.jsonl"
+        skewed = run_trials(
+            N_TRIALS, policies=("rssi",), workers=2, chunk_size=1,
+            fault_hook=SleepSchedule({0: 1.5}), checkpoint=skewed_path,
+            **SCALE)
+        assert sorted(seen) == list(range(N_TRIALS))
+        assert seen != list(range(N_TRIALS))  # completed out of order
+        assert seen[-1] == 0  # the slept trial finished last
+        _assert_trials_identical(serial, skewed)  # ...results in order
+        assert serial_path.read_bytes() == skewed_path.read_bytes()
+
+    def test_chunked_dispatch_preserves_order_without_checkpoint(self):
+        plain = run_trials(N_TRIALS, policies=("rssi",), **SCALE)
+        skewed = run_trials(N_TRIALS, policies=("rssi",), workers=3,
+                            chunk_size=2,
+                            fault_hook=SleepSchedule({1: 0.6}),
+                            max_retries=0, **SCALE)
+        _assert_trials_identical(plain, skewed)
 
 
 class TestErrorPropagation:
