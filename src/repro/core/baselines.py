@@ -183,6 +183,8 @@ def random_assignment(scenario: Scenario,
     instead of raising; on clean inputs the guarded result is
     bit-identical.
     """
+    # woltlint: disable=W010 — documented API default for ad-hoc direct
+    # calls; run_policy always passes a SeedSequence-derived generator.
     rng = rng if rng is not None else np.random.default_rng(0)
     assignment = np.full(scenario.n_users, UNASSIGNED, dtype=int)
     counts = np.zeros(scenario.n_extenders, dtype=int)

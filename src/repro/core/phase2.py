@@ -554,6 +554,9 @@ def solve_phase2_continuous(scenario: Scenario,
     bounds = [(0.0, 1.0 if reach[k, j] else 0.0)
               for k in range(pending.size) for j in range(n_ext)]
 
+    # woltlint: disable=W010 — API default for ad-hoc direct calls; the
+    # SLSQP warm start only perturbs x0, and callers on the worker path
+    # pass a SeedSequence-derived generator.
     rng = rng or np.random.default_rng(0)
     x0 = np.zeros((pending.size, n_ext))
     for k in range(pending.size):

@@ -36,7 +36,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import (Any, Dict, FrozenSet, List, Mapping, Optional,
+from typing import (IO, Any, Dict, FrozenSet, List, Mapping, Optional,
                     Union)
 
 __all__ = ["CheckpointError", "CheckpointExists", "CorruptCheckpoint",
@@ -155,10 +155,11 @@ class TrialStore:
                  resume: bool = False) -> None:
         self.path = Path(path)
         self.fingerprint = fingerprint
-        self.params = None if params is None else dict(params)
+        self.params: Optional[Dict[str, Any]] = \
+            None if params is None else dict(params)
         self._records: Dict[int, Any] = {}
         self._events: List[Dict[str, Any]] = []
-        self._handle = None
+        self._handle: Optional[IO[str]] = None
         self.path.parent.mkdir(parents=True, exist_ok=True)
         existing = self.path.exists() and self.path.stat().st_size > 0
         if existing and not resume:
@@ -302,7 +303,7 @@ class TrialStore:
 
     def append_event(self, event: str, **fields: Any) -> None:
         """Journal a transient event (dropped by :meth:`snapshot`)."""
-        entry = {"kind": "event", "event": event}
+        entry: Dict[str, Any] = {"kind": "event", "event": event}
         entry.update(fields)
         self._append_line(entry)
         self._events.append(

@@ -1,0 +1,215 @@
+"""Tests for the content-hash lint cache, SARIF export, and autofixer."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+import time
+from pathlib import Path
+from typing import List, Optional
+
+import pytest
+
+from tools.woltlint.analyzer import analyze_sources
+from tools.woltlint.cache import LintCache, tool_salt
+from tools.woltlint.findings import Finding, WrapFix
+from tools.woltlint.fixers import apply_wrap_fixes
+from tools.woltlint.sarif import SARIF_SCHEMA_URI, to_sarif
+
+REPO = Path(__file__).resolve().parent.parent
+
+CLEAN = "def f(x):\n    return x + 1\n"
+# One W001 finding (unseeded default_rng).
+DIRTY = textwrap.dedent("""
+    import numpy as np
+
+    def f():
+        rng = np.random.default_rng()
+        return rng.random()
+""")
+
+
+def run(sources, cache: Optional[LintCache]) -> List[Finding]:
+    return analyze_sources(sources, cache=cache)
+
+
+class TestLintCache:
+    def make(self, tmp_path: Path) -> LintCache:
+        return LintCache(str(tmp_path / "cache.json"), tool_salt())
+
+    def test_warm_run_matches_cold_run(self, tmp_path):
+        sources = [("src/pkg/a.py", DIRTY), ("src/pkg/b.py", CLEAN)]
+        cache = self.make(tmp_path)
+        cold = run(sources, cache)
+        warm = run(sources, self.make(tmp_path))
+        assert cold == warm
+        assert [f.rule for f in cold] == ["W001"]
+
+    def test_edited_file_invalidates_only_that_file(self, tmp_path):
+        cache = self.make(tmp_path)
+        run([("src/pkg/a.py", CLEAN)], cache)
+        # Same path, new content: the stale entry must not be served.
+        findings = run([("src/pkg/a.py", DIRTY)], self.make(tmp_path))
+        assert [f.rule for f in findings] == ["W001"]
+
+    def test_salt_change_invalidates_everything(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = LintCache(path, "salt-one")
+        h = cache.content_hash(CLEAN)
+        cache.set_file("a.py", h, [])
+        cache.save()
+        reloaded = LintCache(path, "salt-two")
+        assert reloaded.get_file("a.py", h) is None
+
+    def test_select_changes_the_salt(self):
+        assert tool_salt() != tool_salt(select=["W001"])
+        assert tool_salt() != tool_salt(ignore=["W013"])
+
+    def test_corrupt_cache_file_degrades_to_cold(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json at all")
+        findings = run([("src/pkg/a.py", DIRTY)],
+                       LintCache(str(path), tool_salt()))
+        assert [f.rule for f in findings] == ["W001"]
+
+    def test_unwritable_cache_is_not_fatal(self, tmp_path):
+        missing_parent = tmp_path / ("deep/" * 40) / "cache.json"
+        cache = LintCache(str(missing_parent), tool_salt())
+        findings = run([("src/pkg/a.py", DIRTY)], cache)
+        assert [f.rule for f in findings] == ["W001"]
+
+    def test_vanished_files_pruned_on_save(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = LintCache(path, tool_salt())
+        h = cache.content_hash(CLEAN)
+        cache.set_file("gone.py", h, [])
+        cache.set_file("kept.py", h, [])
+        cache.save(analyzed_paths=["kept.py"])
+        data = json.loads(Path(path).read_text())
+        assert "kept.py" in data["files"]
+        assert "gone.py" not in data["files"]
+
+    def test_findings_round_trip_through_cache(self, tmp_path):
+        # Including the fix payload, which to_json() deliberately
+        # omits from human/json report output.
+        sources = [("src/pkg/a.py", textwrap.dedent("""
+            def collect(pending):
+                results = []
+                for name in set(pending):
+                    results.append(name)
+                return results
+        """))]
+        cache = self.make(tmp_path)
+        cold = run(sources, cache)
+        warm = run(sources, self.make(tmp_path))
+        assert [f.fix for f in cold] == [f.fix for f in warm]
+        assert warm[0].fix is not None
+
+
+class TestWarmCachePerformance:
+    def test_warm_full_tree_under_five_seconds(self, tmp_path):
+        paths = sorted(str(p) for d in ("src", "tests", "tools",
+                                        "benchmarks")
+                       for p in (REPO / d).rglob("*.py"))
+        sources = [(p, Path(p).read_text()) for p in paths]
+        salt = tool_salt()
+        cache_file = str(tmp_path / "cache.json")
+        run(sources, LintCache(cache_file, salt))  # cold fill
+        t0 = time.monotonic()
+        run(sources, LintCache(cache_file, salt))
+        elapsed = time.monotonic() - t0
+        assert elapsed < 5.0, f"warm full-tree pass took {elapsed:.2f}s"
+
+
+class TestSarif:
+    def findings(self) -> List[Finding]:
+        return analyze_sources([("src/pkg/a.py", DIRTY)])
+
+    def test_structure_and_result_fields(self):
+        doc = to_sarif(self.findings(), tool_version="2.0.0")
+        assert doc["version"] == "2.1.0"
+        assert doc["$schema"] == SARIF_SCHEMA_URI
+        (sarif_run,) = doc["runs"]
+        driver = sarif_run["tool"]["driver"]
+        assert driver["name"] == "woltlint"
+        rule_ids = [r["id"] for r in driver["rules"]]
+        assert "W001" in rule_ids and "E001" in rule_ids
+        (result,) = sarif_run["results"]
+        assert result["ruleId"] == "W001"
+        assert rule_ids[result["ruleIndex"]] == "W001"
+        (loc,) = result["locations"]
+        phys = loc["physicalLocation"]
+        assert phys["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+        assert phys["region"]["startLine"] == self.findings()[0].line
+        # SARIF columns are 1-based; Finding columns are 0-based.
+        assert phys["region"]["startColumn"] == \
+            self.findings()[0].col + 1
+
+    def test_validates_against_bundled_schema_subset(self):
+        # The full OASIS schema cannot be vendored wholesale; the
+        # bundled subset copies its constraints for every construct
+        # woltlint emits (see the schema file's description).
+        jsonschema = pytest.importorskip("jsonschema")
+        schema_path = REPO / "tools" / "woltlint" / "testdata" / \
+            "sarif-schema-2.1.0-subset.json"
+        schema = json.loads(schema_path.read_text())
+        doc = to_sarif(self.findings(), tool_version="2.0.0")
+        jsonschema.validate(doc, schema)
+
+    def test_empty_findings_still_valid_run(self):
+        doc = to_sarif([], tool_version="2.0.0")
+        assert doc["runs"][0]["results"] == []
+
+
+class TestWrapFixer:
+    def test_single_fix_applies(self):
+        src = "for name in set(pending):\n    pass\n"
+        fix = WrapFix(start_line=1, start_col=12, end_line=1,
+                      end_col=24, before="sorted(", after=")")
+        out, applied = apply_wrap_fixes(src, [fix])
+        assert applied == 1
+        assert out.startswith("for name in sorted(set(pending)):")
+
+    def test_multiple_fixes_apply_bottom_up(self):
+        src = ("for a in set(xs):\n    pass\n"
+               "for b in set(ys):\n    pass\n")
+        fixes = [
+            WrapFix(1, 9, 1, 16, "sorted(", ")"),
+            WrapFix(3, 9, 3, 16, "sorted(", ")"),
+        ]
+        out, applied = apply_wrap_fixes(src, fixes)
+        assert applied == 2
+        assert out.count("sorted(set(") == 2
+
+    def test_overlapping_fixes_apply_only_first(self):
+        src = "x = set(ys)\n"
+        fixes = [
+            WrapFix(1, 4, 1, 11, "sorted(", ")"),
+            WrapFix(1, 4, 1, 11, "list(", ")"),
+        ]
+        out, applied = apply_wrap_fixes(src, fixes)
+        assert applied == 1
+        assert out == "x = sorted(set(ys))\n"
+
+    def test_stale_coordinates_are_skipped(self):
+        src = "x = 1\n"
+        fix = WrapFix(9, 0, 9, 5, "sorted(", ")")
+        out, applied = apply_wrap_fixes(src, [fix])
+        assert applied == 0
+        assert out == src
+
+    def test_fixed_w012_source_relints_clean(self):
+        src = textwrap.dedent("""
+            def collect(pending):
+                results = []
+                for name in set(pending):
+                    results.append(name)
+                return results
+        """)
+        findings = analyze_sources([("src/pkg/a.py", src)],
+                                   select=["W012"])
+        (finding,) = findings
+        fixed, applied = apply_wrap_fixes(src, [finding.fix])
+        assert applied == 1
+        assert analyze_sources([("src/pkg/a.py", fixed)],
+                               select=["W012"]) == []

@@ -1,0 +1,412 @@
+"""True/false-positive tests for the flow-sensitive rules W010-W013.
+
+Each rule gets at least one fixture that must fire (a real invariant
+violation) and one that must stay silent (the disciplined version of
+the same code).  The final class deliberately breaks two repo
+invariants inside the *real* tree — an unfingerprinted ``_RunConfig``
+field and a lambda handed to a pool — and asserts woltlint catches
+both, which is the acceptance test for the project pass.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import Dict, List
+
+from tools.woltlint.analyzer import analyze_sources
+from tools.woltlint.findings import Finding
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def lint(files: Dict[str, str], select: List[str]) -> List[Finding]:
+    sources = [(path, textwrap.dedent(source))
+               for path, source in sorted(files.items())]
+    return analyze_sources(sources, select=select)
+
+
+def codes(findings: List[Finding]) -> List[str]:
+    return [f.rule for f in findings]
+
+
+DRIVER = """
+    from pkg.work import work_item
+
+    def drive(pool, seeds):
+        return [pool.submit(work_item, s) for s in seeds]
+"""
+
+
+class TestW010RngFlow:
+    def test_raw_seed_in_worker_fires(self):
+        findings = lint({
+            "src/pkg/driver.py": DRIVER,
+            "src/pkg/work.py": """
+                import numpy as np
+
+                def work_item(seed):
+                    rng = np.random.default_rng(seed)
+                    return rng.random()
+            """,
+        }, select=["W010"])
+        assert codes(findings) == ["W010"]
+        assert "SeedSequence" in findings[0].message
+
+    def test_spawned_seed_in_worker_is_clean(self):
+        findings = lint({
+            "src/pkg/driver.py": """
+                import numpy as np
+                from pkg.work import work_item
+
+                def drive(pool, seed, n):
+                    children = np.random.SeedSequence(seed).spawn(n)
+                    return [pool.submit(work_item, c)
+                            for c in children]
+            """,
+            "src/pkg/work.py": """
+                import numpy as np
+
+                def work_item(child_seq):
+                    rng = np.random.default_rng(child_seq)
+                    return rng.random()
+            """,
+        }, select=["W010"])
+        assert findings == []
+
+    def test_rng_captured_into_submit_fires(self):
+        # Shipping a Generator across the pool boundary forks its
+        # state into every worker.
+        findings = lint({
+            "src/pkg/m.py": """
+                import numpy as np
+
+                def work_item(rng):
+                    return rng.random()
+
+                def drive(pool, seed):
+                    rng = np.random.default_rng(seed)
+                    return pool.submit(work_item, rng)
+            """,
+        }, select=["W010"])
+        assert "W010" in codes(findings)
+
+    def test_raw_seed_outside_worker_is_not_w010(self):
+        # A raw default_rng in single-process code is W001's business,
+        # not the cross-module flow rule's.
+        findings = lint({
+            "src/pkg/m.py": """
+                import numpy as np
+
+                def local_only(seed):
+                    rng = np.random.default_rng(seed)
+                    return rng.random()
+            """,
+        }, select=["W010"])
+        assert findings == []
+
+
+class TestW011ParallelSafety:
+    def test_lambda_to_pool_fires(self):
+        findings = lint({
+            "src/pkg/m.py": """
+                def drive(pool, xs):
+                    return [pool.submit(lambda x: x + 1, x)
+                            for x in xs]
+            """,
+        }, select=["W011"])
+        assert codes(findings) == ["W011"]
+        assert "lambda" in findings[0].message.lower()
+
+    def test_nested_function_to_pool_fires(self):
+        findings = lint({
+            "src/pkg/m.py": """
+                def drive(pool, xs):
+                    def work(x):
+                        return x + 1
+                    return [pool.submit(work, x) for x in xs]
+            """,
+        }, select=["W011"])
+        assert codes(findings) == ["W011"]
+
+    def test_module_level_function_to_pool_is_clean(self):
+        findings = lint({
+            "src/pkg/m.py": """
+                def work(x):
+                    return x + 1
+
+                def drive(pool, xs):
+                    return [pool.submit(work, x) for x in xs]
+            """,
+        }, select=["W011"])
+        assert findings == []
+
+    def test_lock_into_submit_fires(self):
+        findings = lint({
+            "src/pkg/m.py": """
+                import threading
+
+                def work(x, lock):
+                    with lock:
+                        return x
+
+                def drive(pool, xs):
+                    lock = threading.Lock()
+                    return [pool.submit(work, x, lock) for x in xs]
+            """,
+        }, select=["W011"])
+        assert "W011" in codes(findings)
+
+    def test_file_handle_into_submit_fires(self):
+        findings = lint({
+            "src/pkg/m.py": """
+                def work(x, sink):
+                    sink.write(str(x))
+
+                def drive(pool, xs, path):
+                    sink = open(path, "w")
+                    return [pool.submit(work, x, sink) for x in xs]
+            """,
+        }, select=["W011"])
+        assert "W011" in codes(findings)
+
+    def test_worker_mutating_shared_config_fires(self):
+        findings = lint({
+            "src/pkg/driver.py": DRIVER,
+            "src/pkg/work.py": """
+                _SHARED_CONFIG = {}
+
+                def work_item(key):
+                    _SHARED_CONFIG[key] = key * 2
+                    return _SHARED_CONFIG[key]
+            """,
+        }, select=["W011"])
+        assert codes(findings) == ["W011"]
+
+    def test_worker_reading_shared_config_is_clean(self):
+        findings = lint({
+            "src/pkg/driver.py": DRIVER,
+            "src/pkg/work.py": """
+                _SHARED_CONFIG = {"scale": 2}
+
+                def work_item(key):
+                    return key * _SHARED_CONFIG["scale"]
+            """,
+        }, select=["W011"])
+        assert findings == []
+
+
+class TestW012OrderDeterminism:
+    def test_set_iteration_into_results_fires_with_fix(self):
+        findings = lint({
+            "src/pkg/m.py": """
+                def collect(pending):
+                    results = []
+                    for name in set(pending):
+                        results.append(name)
+                    return results
+            """,
+        }, select=["W012"])
+        assert codes(findings) == ["W012"]
+        fix = findings[0].fix
+        assert fix is not None
+        assert fix.before == "sorted(" and fix.after == ")"
+
+    def test_sorted_set_iteration_is_clean(self):
+        findings = lint({
+            "src/pkg/m.py": """
+                def collect(pending):
+                    results = []
+                    for name in sorted(set(pending)):
+                        results.append(name)
+                    return results
+            """,
+        }, select=["W012"])
+        assert findings == []
+
+    def test_dict_view_into_journal_write_fires(self):
+        findings = lint({
+            "src/pkg/m.py": """
+                def journal(store, records):
+                    for index in records.keys():
+                        store.append_event("done", index=index)
+            """,
+        }, select=["W012"])
+        assert codes(findings) == ["W012"]
+
+    def test_set_argument_into_serialization_fires(self):
+        findings = lint({
+            "src/pkg/m.py": """
+                import json
+
+                def dump(tags):
+                    return json.dumps(set(tags))
+            """,
+        }, select=["W012"])
+        assert codes(findings) == ["W012"]
+
+    def test_wallclock_into_fingerprint_fires(self):
+        findings = lint({
+            "src/pkg/m.py": """
+                import time
+                from pkg.ck import fingerprint
+
+                def digest():
+                    return fingerprint({"stamp": time.time()})
+            """,
+            "src/pkg/ck.py": """
+                def fingerprint(params):
+                    return str(sorted(params))
+            """,
+        }, select=["W012"])
+        assert codes(findings) == ["W012"]
+
+    def test_wallclock_for_progress_logging_is_clean(self):
+        findings = lint({
+            "src/pkg/m.py": """
+                import time
+
+                def timed(fn):
+                    t0 = time.monotonic()
+                    out = fn()
+                    print(time.monotonic() - t0)
+                    return out
+            """,
+        }, select=["W012"])
+        assert findings == []
+
+
+CONFIG_COVERED = """
+    from dataclasses import dataclass
+    from pkg.ck import fingerprint
+
+    @dataclass(frozen=True)
+    class RunConfig:
+        n_users: int
+        seed: int
+
+    def digest(config):
+        return fingerprint({"n_users": config.n_users,
+                            "seed": config.seed})
+"""
+
+CK_MODULE = """
+    def fingerprint(params):
+        return str(sorted(params))
+"""
+
+
+class TestW013FingerprintCoverage:
+    def test_uncovered_field_fires_at_field_line(self):
+        findings = lint({
+            "src/pkg/m.py": """
+                from dataclasses import dataclass
+                from pkg.ck import fingerprint
+
+                @dataclass(frozen=True)
+                class RunConfig:
+                    n_users: int
+                    plc_mode: str
+
+                def digest(config):
+                    return fingerprint({"n_users": config.n_users})
+            """,
+            "src/pkg/ck.py": CK_MODULE,
+        }, select=["W013"])
+        assert codes(findings) == ["W013"]
+        assert "plc_mode" in findings[0].message
+
+    def test_fully_covered_config_is_clean(self):
+        findings = lint({
+            "src/pkg/m.py": CONFIG_COVERED,
+            "src/pkg/ck.py": CK_MODULE,
+        }, select=["W013"])
+        assert findings == []
+
+    def test_rule_silent_when_tree_has_no_fingerprint(self):
+        # Without any fingerprint site the key set is unknowable, so
+        # the rule must not guess.
+        findings = lint({
+            "src/pkg/m.py": """
+                from dataclasses import dataclass
+
+                @dataclass
+                class RunConfig:
+                    n_users: int
+            """,
+        }, select=["W013"])
+        assert findings == []
+
+    def test_classvar_field_is_exempt(self):
+        findings = lint({
+            "src/pkg/m.py": """
+                from dataclasses import dataclass
+                from typing import ClassVar
+                from pkg.ck import fingerprint
+
+                @dataclass
+                class RunConfig:
+                    SCHEMA: ClassVar[int] = 1
+                    n_users: int
+
+                def digest(config):
+                    return fingerprint({"n_users": config.n_users})
+            """,
+            "src/pkg/ck.py": CK_MODULE,
+        }, select=["W013"])
+        assert findings == []
+
+    def test_field_suppression_with_justification(self):
+        findings = lint({
+            "src/pkg/m.py": """
+                from dataclasses import dataclass
+                from pkg.ck import fingerprint
+
+                @dataclass
+                class RunConfig:
+                    n_users: int
+                    # woltlint: disable=W013 — operational knob only
+                    max_retries: int
+
+                def digest(config):
+                    return fingerprint({"n_users": config.n_users})
+            """,
+            "src/pkg/ck.py": CK_MODULE,
+        }, select=["W013"])
+        assert findings == []
+
+
+class TestRealTreeInvariantBreaks:
+    """Deliberately break repo invariants and prove woltlint objects.
+
+    These are the acceptance tests for the project pass: the checks
+    must hold on the *actual* runner source, not just on toy fixtures.
+    """
+
+    def test_unfingerprinted_runconfig_field_is_caught(self):
+        runner_path = "src/repro/sim/runner.py"
+        source = (REPO / runner_path).read_text()
+        marker = "    max_retries: int\n"
+        assert marker in source, "fixture drifted: _RunConfig changed"
+        broken = source.replace(
+            marker, marker + "    ber_floor: float\n", 1)
+        findings = lint({runner_path: broken}, select=["W013"])
+        assert codes(findings) == ["W013"]
+        assert "ber_floor" in findings[0].message
+
+    def test_unmodified_runner_is_clean(self):
+        runner_path = "src/repro/sim/runner.py"
+        source = (REPO / runner_path).read_text()
+        assert lint({runner_path: source}, select=["W013"]) == []
+
+    def test_lambda_handed_to_real_pool_is_caught(self):
+        runner_path = "src/repro/sim/runner.py"
+        source = (REPO / runner_path).read_text()
+        broken = source + textwrap.dedent("""
+
+            def _sneak_lambda(pool, specs):
+                return [pool.submit(lambda s: s, spec)
+                        for spec in specs]
+        """)
+        findings = lint({runner_path: broken}, select=["W011"])
+        assert codes(findings) == ["W011"]

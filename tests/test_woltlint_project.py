@@ -1,0 +1,411 @@
+"""Unit tests for the woltlint v2 project model and dataflow engine."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from typing import Dict, List, Tuple
+
+from tools.woltlint.dataflow import (TAG_HANDLE, TAG_LOCK, TAG_RNG,
+                                     TAG_RNG_RAW, TAG_SEEDSEQ,
+                                     TAG_UNORDERED, TAG_WALLCLOCK,
+                                     FunctionFlow)
+from tools.woltlint.projectmodel import (ProjectModel,
+                                         module_name_for_path)
+
+
+def build_model(files: Dict[str, str]) -> ProjectModel:
+    parsed: List[Tuple[str, ast.Module]] = []
+    for path, source in sorted(files.items()):
+        parsed.append((path, ast.parse(textwrap.dedent(source))))
+    return ProjectModel.build(parsed)
+
+
+def flow_of(source: str, name: str = "f") -> FunctionFlow:
+    tree = ast.parse(textwrap.dedent(source))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return FunctionFlow(node)
+    raise AssertionError(f"no function {name!r} in fixture")
+
+
+class TestModuleNames:
+    def test_src_prefix_stripped(self):
+        assert module_name_for_path("src/repro/sim/runner.py") == \
+            "repro.sim.runner"
+
+    def test_plain_path(self):
+        assert module_name_for_path("tools/woltlint/cli.py") == \
+            "tools.woltlint.cli"
+
+    def test_package_init(self):
+        assert module_name_for_path("src/repro/__init__.py") == "repro"
+
+
+class TestImportsAndCallGraph:
+    def test_absolute_import_resolves_cross_module(self):
+        model = build_model({
+            "src/pkg/util.py": """
+                def helper():
+                    return 1
+            """,
+            "src/pkg/user.py": """
+                from pkg.util import helper
+
+                def caller():
+                    return helper()
+            """,
+        })
+        caller = model.functions["pkg.user:caller"]
+        assert "pkg.util:helper" in caller.calls
+
+    def test_relative_import_resolves(self):
+        model = build_model({
+            "src/pkg/util.py": """
+                def helper():
+                    return 1
+            """,
+            "src/pkg/user.py": """
+                from .util import helper
+
+                def caller():
+                    return helper()
+            """,
+        })
+        caller = model.functions["pkg.user:caller"]
+        assert "pkg.util:helper" in caller.calls
+
+    def test_aliased_import_resolves(self):
+        model = build_model({
+            "src/pkg/util.py": """
+                def helper():
+                    return 1
+            """,
+            "src/pkg/user.py": """
+                from pkg.util import helper as h
+
+                def caller():
+                    return h()
+            """,
+        })
+        assert "pkg.util:helper" in \
+            model.functions["pkg.user:caller"].calls
+
+    def test_self_method_call_resolves(self):
+        model = build_model({
+            "src/pkg/m.py": """
+                class Thing:
+                    def a(self):
+                        return self.b()
+
+                    def b(self):
+                        return 1
+            """,
+        })
+        assert "pkg.m:Thing.b" in \
+            model.functions["pkg.m:Thing.a"].calls
+
+    def test_nested_def_call_resolves(self):
+        model = build_model({
+            "src/pkg/m.py": """
+                def outer():
+                    def inner():
+                        return 1
+                    return inner()
+            """,
+        })
+        assert "pkg.m:outer.inner" in \
+            model.functions["pkg.m:outer"].calls
+
+    def test_dispatch_via_variable_reference_is_an_edge(self):
+        # run_fn = a if cond else b; run_fn(...) must not hide a/b.
+        model = build_model({
+            "src/pkg/m.py": """
+                def fast():
+                    return 1
+
+                def slow():
+                    return 2
+
+                def dispatch(cond):
+                    run_fn = fast if cond else slow
+                    return run_fn()
+            """,
+        })
+        calls = model.functions["pkg.m:dispatch"].calls
+        assert "pkg.m:fast" in calls and "pkg.m:slow" in calls
+
+
+class TestWorkerReachability:
+    FILES = {
+        "src/pkg/work.py": """
+            def leaf():
+                return 1
+
+            def work_item(x):
+                return leaf()
+
+            def parent_only():
+                return 3
+        """,
+        "src/pkg/driver.py": """
+            from concurrent.futures import ProcessPoolExecutor
+            from pkg.work import work_item
+
+            def drive(items):
+                with ProcessPoolExecutor() as pool:
+                    futures = [pool.submit(work_item, it)
+                               for it in items]
+                return [f.result() for f in futures]
+        """,
+    }
+
+    def test_entry_point_found(self):
+        model = build_model(self.FILES)
+        assert "pkg.work:work_item" in model.entry_points
+
+    def test_reachability_closes_over_calls(self):
+        model = build_model(self.FILES)
+        assert "pkg.work:leaf" in model.worker_reachable
+        assert "pkg.work:parent_only" not in model.worker_reachable
+
+
+class TestPayloadClasses:
+    def test_direct_construction_into_submit(self):
+        model = build_model({
+            "src/pkg/m.py": """
+                from dataclasses import dataclass
+
+                @dataclass
+                class Task:
+                    n: int
+
+                def work(task):
+                    return task.n
+
+                def drive(pool):
+                    return pool.submit(work, Task(1))
+            """,
+        })
+        assert "pkg.m:Task" in model.payload_classes
+
+    def test_maker_function_and_transitive_fields(self):
+        model = build_model({
+            "src/pkg/m.py": """
+                from dataclasses import dataclass
+                from typing import Tuple
+
+                @dataclass
+                class Spec:
+                    index: int
+
+                @dataclass
+                class Chunk:
+                    specs: Tuple[Spec, ...]
+
+                def make_chunk(specs):
+                    return Chunk(specs=tuple(specs))
+
+                def work(chunk):
+                    return len(chunk.specs)
+
+                def drive(pool, specs):
+                    payload = make_chunk(specs)
+                    return pool.submit(work, payload)
+            """,
+        })
+        assert "pkg.m:Chunk" in model.payload_classes
+        # Closed transitively through the Tuple[Spec, ...] annotation.
+        assert "pkg.m:Spec" in model.payload_classes
+
+
+class TestFingerprintKeys:
+    def test_none_without_any_fingerprint_site(self):
+        model = build_model({"src/pkg/m.py": "x = 1\n"})
+        assert model.fingerprint_keys is None
+
+    def test_literal_and_augmented_keys_unioned(self):
+        model = build_model({
+            "src/pkg/m.py": """
+                from pkg.ck import fingerprint
+
+                def run(seed):
+                    params = {"kind": "sweep", "seed": seed}
+                    params["n_trials"] = 10
+                    params.update({"plc_mode": "fixed"})
+                    return fingerprint(dict(params))
+            """,
+            "src/pkg/ck.py": """
+                def fingerprint(params):
+                    return str(sorted(params))
+            """,
+        })
+        assert model.fingerprint_keys == {"kind", "seed", "n_trials",
+                                          "plc_mode"}
+
+    def test_config_class_detection(self):
+        model = build_model({
+            "src/pkg/m.py": """
+                from dataclasses import dataclass
+
+                @dataclass
+                class _RunConfig:
+                    n_users: int
+
+                @dataclass
+                class TrialSpec:
+                    index: int
+
+                @dataclass
+                class Other:
+                    x: int
+            """,
+        })
+        names = [k.name for k in model.config_classes()]
+        assert names == ["_RunConfig", "TrialSpec"]
+
+
+class TestDataflowTags:
+    def test_raw_seeded_rng_tagged(self):
+        flow = flow_of("""
+            import numpy as np
+
+            def f(seed):
+                rng = np.random.default_rng(seed)
+                use(rng)
+        """)
+        (site,) = [s for s in flow.call_sites
+                   if getattr(s.node.func, "id", "") == "use"]
+        assert site.arg_tags[0] >= {TAG_RNG, TAG_RNG_RAW}
+
+    def test_seedseq_seeded_rng_not_raw(self):
+        flow = flow_of("""
+            import numpy as np
+
+            def f(seed):
+                seq = np.random.SeedSequence(seed)
+                rng = np.random.default_rng(seq)
+                use(rng)
+        """)
+        (site,) = [s for s in flow.call_sites
+                   if getattr(s.node.func, "id", "") == "use"]
+        assert TAG_RNG in site.arg_tags[0]
+        assert TAG_RNG_RAW not in site.arg_tags[0]
+
+    def test_spawn_children_and_subscript(self):
+        flow = flow_of("""
+            import numpy as np
+
+            def f(seed):
+                children = np.random.SeedSequence(seed).spawn(4)
+                use(children[0])
+        """)
+        (site,) = [s for s in flow.call_sites
+                   if getattr(s.node.func, "id", "") == "use"]
+        assert TAG_SEEDSEQ in site.arg_tags[0]
+
+    def test_param_name_seeding(self):
+        flow = flow_of("""
+            def f(rng, scenario_seq):
+                use(rng, scenario_seq)
+        """)
+        (site,) = flow.call_sites
+        assert TAG_RNG in site.arg_tags[0]
+        assert TAG_SEEDSEQ in site.arg_tags[1]
+
+    def test_set_is_unordered_and_sorted_launders(self):
+        flow = flow_of("""
+            def f(xs):
+                s = set(xs)
+                use(s)
+                use(sorted(s))
+        """)
+        sites = [s for s in flow.call_sites
+                 if getattr(s.node.func, "id", "") == "use"]
+        assert TAG_UNORDERED in sites[0].arg_tags[0]
+        assert TAG_UNORDERED not in sites[1].arg_tags[0]
+
+    def test_dict_views_unordered_list_transparent(self):
+        flow = flow_of("""
+            def f(d):
+                ks = d.keys()
+                use(list(ks))
+        """)
+        (site,) = [s for s in flow.call_sites
+                   if getattr(s.node.func, "id", "") == "use"]
+        assert TAG_UNORDERED in site.arg_tags[0]
+
+    def test_reassignment_clears_tags(self):
+        flow = flow_of("""
+            def f(xs):
+                s = set(xs)
+                s = sorted(xs)
+                use(s)
+        """)
+        (site,) = [s for s in flow.call_sites
+                   if getattr(s.node.func, "id", "") == "use"]
+        assert TAG_UNORDERED not in site.arg_tags[0]
+
+    def test_branches_join_by_union(self):
+        flow = flow_of("""
+            def f(xs, cond):
+                if cond:
+                    s = set(xs)
+                else:
+                    s = list(xs)
+                use(s)
+        """)
+        (site,) = [s for s in flow.call_sites
+                   if getattr(s.node.func, "id", "") == "use"]
+        assert TAG_UNORDERED in site.arg_tags[0]
+
+    def test_loop_carried_tag_reaches_earlier_sink(self):
+        # The body is visited twice, so a tag acquired at the bottom
+        # of the loop reaches a sink at the top.
+        flow = flow_of("""
+            def f(xs):
+                x = []
+                for _ in range(3):
+                    use(x)
+                    x = set(xs)
+        """)
+        (site,) = [s for s in flow.call_sites
+                   if getattr(s.node.func, "id", "") == "use"]
+        assert TAG_UNORDERED in site.arg_tags[0]
+
+    def test_wallclock_propagates_through_arithmetic(self):
+        flow = flow_of("""
+            import time
+
+            def f():
+                t0 = time.time()
+                elapsed = time.time() - t0
+                use(elapsed)
+        """)
+        (site,) = [s for s in flow.call_sites
+                   if getattr(s.node.func, "id", "") == "use"]
+        assert TAG_WALLCLOCK in site.arg_tags[0]
+
+    def test_lock_and_handle_tags(self):
+        flow = flow_of("""
+            import threading
+
+            def f(path):
+                lock = threading.Lock()
+                handle = open(path)
+                use(lock, handle)
+        """)
+        (site,) = [s for s in flow.call_sites
+                   if getattr(s.node.func, "id", "") == "use"]
+        assert TAG_LOCK in site.arg_tags[0]
+        assert TAG_HANDLE in site.arg_tags[1]
+
+    def test_comprehension_over_set_keeps_unordered(self):
+        flow = flow_of("""
+            def f(xs):
+                out = [x + 1 for x in set(xs)]
+                use(out)
+        """)
+        (site,) = [s for s in flow.call_sites
+                   if getattr(s.node.func, "id", "") == "use"]
+        assert TAG_UNORDERED in site.arg_tags[0]

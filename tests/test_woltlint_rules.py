@@ -23,9 +23,10 @@ def codes(source: str, path: str = "core/module.py", select=None):
 
 
 class TestRegistry:
-    def test_all_nine_rules_registered(self):
+    def test_all_thirteen_rules_registered(self):
         assert set(RULES) == {"W001", "W002", "W003", "W004", "W005",
-                              "W006", "W007", "W008", "W009"}
+                              "W006", "W007", "W008", "W009", "W010",
+                              "W011", "W012", "W013"}
 
     def test_rules_carry_metadata(self):
         for code, rule in RULES.items():

@@ -103,7 +103,7 @@ def apply_baseline(findings: Sequence[Finding], baseline: Baseline
         groups.setdefault(finding.key, []).append(finding)
     reported: List[Finding] = []
     grandfathered = 0
-    for (path, rule), group in groups.items():
+    for (path, rule), group in sorted(groups.items()):
         if len(group) <= baseline.allowance(path, rule):
             grandfathered += len(group)
         else:

@@ -1,0 +1,200 @@
+"""Content-hash result caching for warm woltlint runs.
+
+The cache maps each analyzed file's content hash to its (already
+suppression-filtered) findings, plus one combined hash for the whole
+project pass.  A warm run over an unchanged tree therefore skips
+parsing and rule execution entirely — it hashes file contents, finds
+every hash unchanged, and replays the stored findings.
+
+Correctness over speed:
+
+* The cache is **salted** with a digest of the woltlint package's own
+  source files and the active select/ignore sets.  Editing any rule,
+  the dataflow engine, or the CLI selection invalidates every entry at
+  once — a stale cache can never hide a finding a newer rule would
+  produce.
+* Entries are keyed by content hash, not mtime, so ``git checkout`` /
+  ``touch`` churn does not cause spurious misses (or worse, hits).
+* The project-pass entry hashes the *set* of analyzed files and each
+  file's content, so adding, removing, or renaming a file invalidates
+  the cross-module findings even when every surviving file is
+  unchanged.
+
+Failure handling is deliberately lax: an unreadable or corrupt cache
+file behaves like an empty cache, and save errors are swallowed — the
+cache must never turn a lint run into a failure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .findings import Finding, WrapFix
+
+__all__ = ["LintCache", "DEFAULT_CACHE_FILE", "tool_salt"]
+
+DEFAULT_CACHE_FILE = ".woltlint_cache.json"
+
+_CACHE_VERSION = 2
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def tool_salt(select: Optional[Sequence[str]] = None,
+              ignore: Optional[Sequence[str]] = None) -> str:
+    """Digest of the woltlint sources plus the rule selection."""
+    digest = hashlib.sha256()
+    package_dir = os.path.dirname(os.path.abspath(__file__))
+    for name in sorted(os.listdir(package_dir)):
+        if not name.endswith(".py"):
+            continue
+        digest.update(name.encode("utf-8"))
+        try:
+            with open(os.path.join(package_dir, name), "rb") as handle:
+                digest.update(_sha256(handle.read()).encode("ascii"))
+        except OSError:  # pragma: no cover - unreadable own source
+            digest.update(b"?")
+    digest.update(repr(sorted(select or ())).encode("utf-8"))
+    digest.update(repr(sorted(ignore or ())).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _finding_to_dict(finding: Finding) -> dict:
+    entry = finding.to_json()
+    if finding.fix is not None:
+        fix = finding.fix
+        entry["fix"] = [fix.start_line, fix.start_col, fix.end_line,
+                        fix.end_col, fix.before, fix.after]
+    return entry
+
+
+def _finding_from_dict(entry: dict) -> Finding:
+    fix = None
+    raw = entry.get("fix")
+    if isinstance(raw, list) and len(raw) == 6:
+        fix = WrapFix(start_line=int(raw[0]), start_col=int(raw[1]),
+                      end_line=int(raw[2]), end_col=int(raw[3]),
+                      before=str(raw[4]), after=str(raw[5]))
+    return Finding(path=str(entry["path"]), line=int(entry["line"]),
+                   col=int(entry["col"]), rule=str(entry["rule"]),
+                   message=str(entry["message"]), fix=fix)
+
+
+class LintCache:
+    """One on-disk cache file, bound to a salt at load time."""
+
+    def __init__(self, path: str, salt: str) -> None:
+        self.path = path
+        self.salt = salt
+        self._files: Dict[str, dict] = {}
+        self._project: Optional[dict] = None
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict) \
+                or data.get("version") != _CACHE_VERSION \
+                or data.get("salt") != self.salt:
+            return  # stale tool version / selection: start empty
+        files = data.get("files")
+        if isinstance(files, dict):
+            self._files = files
+        project = data.get("project")
+        if isinstance(project, dict):
+            self._project = project
+
+    # -- hashing -------------------------------------------------------
+
+    @staticmethod
+    def content_hash(source: str) -> str:
+        return _sha256(source.encode("utf-8"))
+
+    @staticmethod
+    def project_hash(file_hashes: Sequence[Tuple[str, str]]) -> str:
+        digest = hashlib.sha256()
+        for path, content_hash in sorted(file_hashes):
+            digest.update(path.encode("utf-8"))
+            digest.update(content_hash.encode("ascii"))
+        return digest.hexdigest()
+
+    # -- per-file entries ----------------------------------------------
+
+    def get_file(self, path: str,
+                 content_hash: str) -> Optional[List[Finding]]:
+        entry = self._files.get(path)
+        if entry is None or entry.get("hash") != content_hash:
+            self.misses += 1
+            return None
+        try:
+            findings = [_finding_from_dict(e)
+                        for e in entry.get("findings", [])]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings
+
+    def set_file(self, path: str, content_hash: str,
+                 findings: Sequence[Finding]) -> None:
+        self._files[path] = {
+            "hash": content_hash,
+            "findings": [_finding_to_dict(f) for f in findings]}
+
+    # -- project entry -------------------------------------------------
+
+    def get_project(self,
+                    project_hash: str) -> Optional[List[Finding]]:
+        entry = self._project
+        if entry is None or entry.get("hash") != project_hash:
+            return None
+        try:
+            return [_finding_from_dict(e)
+                    for e in entry.get("findings", [])]
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def set_project(self, project_hash: str,
+                    findings: Sequence[Finding]) -> None:
+        self._project = {
+            "hash": project_hash,
+            "findings": [_finding_to_dict(f) for f in findings]}
+
+    # -- persistence ---------------------------------------------------
+
+    def save(self, analyzed_paths: Optional[Sequence[str]] = None
+             ) -> None:
+        """Atomically persist, dropping entries for vanished files."""
+        if analyzed_paths is not None:
+            keep = set(analyzed_paths)
+            self._files = {p: e for p, e in self._files.items()
+                           if p in keep}
+        payload = {"version": _CACHE_VERSION, "salt": self.salt,
+                   "files": self._files, "project": self._project}
+        directory = os.path.dirname(os.path.abspath(self.path))
+        try:
+            fd, tmp = tempfile.mkstemp(dir=directory,
+                                       prefix=".woltlint_cache.")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, sort_keys=True)
+                os.replace(tmp, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass  # a cache that cannot be written is just a cold cache

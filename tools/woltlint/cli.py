@@ -1,7 +1,8 @@
 """Command-line front end: ``python -m tools.woltlint src tests``.
 
 Exit status: 0 — clean (after inline suppressions and the baseline);
-1 — findings reported; 2 — usage or I/O error.
+1 — findings reported; 2 — usage or I/O error, or a refused
+``--update-baseline`` that would have masked new findings.
 """
 
 from __future__ import annotations
@@ -10,12 +11,17 @@ import argparse
 import json
 import os
 import sys
-from typing import List, Optional, Sequence
+from collections import Counter
+from typing import Dict, List, Optional, Sequence
 
+from . import __version__
 from .analyzer import analyze_paths
 from .baseline import Baseline, apply_baseline
+from .cache import DEFAULT_CACHE_FILE, LintCache, tool_salt
 from .findings import Finding
+from .fixers import fix_files, fixable
 from .rules import RULES
+from .sarif import to_sarif
 
 __all__ = ["main", "build_parser", "DEFAULT_BASELINE"]
 
@@ -36,8 +42,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="directory finding paths are reported "
                              "relative to (default: cwd; run from the "
                              "repo root so baseline paths match)")
-    parser.add_argument("--format", choices=("human", "json"),
+    parser.add_argument("--format", choices=("human", "json", "sarif"),
                         default="human", help="output format")
+    parser.add_argument("--output", metavar="FILE",
+                        help="write the report to FILE instead of "
+                             "stdout")
     parser.add_argument("--baseline", default=DEFAULT_BASELINE,
                         help="baseline file (default: the checked-in "
                              "tools/woltlint/baseline.json)")
@@ -46,7 +55,24 @@ def build_parser() -> argparse.ArgumentParser:
                              "finding")
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite the baseline from the current "
-                             "findings and exit 0")
+                             "findings and exit 0; refuses to GROW any "
+                             "(path, rule) count unless "
+                             "--allow-baseline-growth is also given")
+    parser.add_argument("--allow-baseline-growth", action="store_true",
+                        help="let --update-baseline record more "
+                             "findings than the previous baseline "
+                             "allowed (normally refused: growing the "
+                             "baseline masks new violations)")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply mechanical fixes (sorted() wraps) "
+                             "for reported findings, then re-analyze")
+    parser.add_argument("--cache", action="store_true",
+                        help="reuse per-file results across runs via "
+                             f"{DEFAULT_CACHE_FILE} (content-hash "
+                             "keyed; any woltlint source change "
+                             "invalidates it)")
+    parser.add_argument("--cache-file", metavar="FILE",
+                        help="cache file location (implies --cache)")
     parser.add_argument("--select", metavar="RULES",
                         help="comma-separated rule codes to run "
                              "(default: all)")
@@ -89,6 +115,25 @@ def _emit_json(reported: List[Finding], grandfathered: int,
     stream.write("\n")
 
 
+def _emit_sarif(reported: List[Finding], stream) -> None:
+    json.dump(to_sarif(reported, tool_version=__version__), stream,
+              indent=2)
+    stream.write("\n")
+
+
+def _baseline_growth(old: Baseline,
+                     findings: Sequence[Finding]) -> Dict[str, int]:
+    """``path::rule`` keys whose count would grow, with the increase."""
+    new_counts = Counter(f"{path}::{rule}"
+                         for path, rule in (f.key for f in findings))
+    growth: Dict[str, int] = {}
+    for key, count in sorted(new_counts.items()):
+        allowed = old.counts.get(key, 0)
+        if count > allowed:
+            growth[key] = count - allowed
+    return growth
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -102,13 +147,61 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"woltlint: path not found: {', '.join(missing)}",
               file=sys.stderr)
         return 2
+
+    cache = None
+    if args.cache or args.cache_file:
+        cache_file = args.cache_file or DEFAULT_CACHE_FILE
+        cache = LintCache(cache_file, tool_salt(select, ignore))
+
     findings = analyze_paths(args.paths, root=args.root,
-                             select=select, ignore=ignore)
+                             select=select, ignore=ignore, cache=cache)
+
+    if args.fix:
+        applied = fix_files(findings, root=args.root)
+        if applied:
+            total = sum(applied.values())
+            for path, count in sorted(applied.items()):
+                print(f"woltlint: fixed {count} finding(s) in {path}",
+                      file=sys.stderr)
+            print(f"woltlint: applied {total} fix(es); re-analyzing",
+                  file=sys.stderr)
+            findings = analyze_paths(args.paths, root=args.root,
+                                     select=select, ignore=ignore,
+                                     cache=cache)
+        elif fixable(findings):
+            print("woltlint: no fixes applied (stale coordinates?)",
+                  file=sys.stderr)
+
     if args.update_baseline:
+        # The growth ratchet only guards an *existing* baseline:
+        # bootstrapping one from scratch is the documented first step
+        # of adopting the gate, so it needs no override flag.
+        previous = None
+        if os.path.exists(args.baseline):
+            try:
+                previous = Baseline.load(args.baseline)
+            except (ValueError, OSError, json.JSONDecodeError) as exc:
+                print(f"woltlint: cannot read baseline: {exc}",
+                      file=sys.stderr)
+                return 2
+        growth = {} if previous is None \
+            else _baseline_growth(previous, findings)
+        if growth and not args.allow_baseline_growth:
+            print("woltlint: refusing to grow the baseline — the "
+                  "following (path, rule) counts would increase, "
+                  "masking new findings:", file=sys.stderr)
+            for key, increase in sorted(growth.items()):
+                print(f"  {key}: +{increase}", file=sys.stderr)
+            print("woltlint: fix the findings, suppress them inline "
+                  "with a justification, or pass "
+                  "--allow-baseline-growth to grandfather them "
+                  "deliberately.", file=sys.stderr)
+            return 2
         Baseline.from_findings(findings).save(args.baseline)
         print(f"woltlint: baseline updated with {len(findings)} "
               f"finding(s) -> {args.baseline}")
         return 0
+
     grandfathered = 0
     reported = findings
     if not args.no_baseline and os.path.exists(args.baseline):
@@ -119,8 +212,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   file=sys.stderr)
             return 2
         reported, grandfathered = apply_baseline(findings, baseline)
-    if args.format == "json":
-        _emit_json(reported, grandfathered, sys.stdout)
-    else:
-        _emit_human(reported, grandfathered, sys.stdout)
+
+    stream = sys.stdout
+    close_stream = False
+    if args.output:
+        try:
+            # woltlint: disable=W008 — a lint report is not a resumable
+            # artifact: nothing trusts a torn one, and the next run
+            # rewrites it from scratch.
+            stream = open(args.output, "w", encoding="utf-8")
+        except OSError as exc:
+            print(f"woltlint: cannot write {args.output}: {exc}",
+                  file=sys.stderr)
+            return 2
+        close_stream = True
+    try:
+        if args.format == "json":
+            _emit_json(reported, grandfathered, stream)
+        elif args.format == "sarif":
+            _emit_sarif(reported, stream)
+        else:
+            _emit_human(reported, grandfathered, stream)
+    finally:
+        if close_stream:
+            stream.close()
     return 1 if reported else 0

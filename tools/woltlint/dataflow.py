@@ -1,0 +1,460 @@
+"""Flow-sensitive tag propagation for the W010+ rules.
+
+The cross-module rules all reduce to the same question: *does a value
+with property P reach a sink of kind S?*  This module answers the
+intra-function half.  A :class:`FunctionFlow` walks one function body
+in statement order, propagating a small set of origin **tags** through
+assignments, and records, for every call site, the tags each argument
+carried when the call was evaluated.  Rules then pattern-match the
+call sites against their own sinks (``submit``, payload constructors,
+``fingerprint``, journal appends) without re-implementing the
+propagation.
+
+Tags:
+
+* ``rng`` — a ``numpy`` ``Generator`` (``default_rng(...)`` result, or
+  a parameter named/annotated as one);
+* ``seedseq`` — a ``SeedSequence`` or a ``.spawn()`` child;
+* ``rng-raw-seed`` — an RNG whose seed did *not* come from a
+  SeedSequence chain (constant or arithmetic seed);
+* ``unordered`` — a value with no deterministic iteration order
+  (``set`` literals/calls/comprehensions, ``frozenset``, set algebra,
+  ``dict.keys()/.values()/.items()`` views);
+* ``wallclock`` — a wall-clock reading (``time.time()``,
+  ``datetime.now()``, ...), including values derived from one by
+  arithmetic;
+* ``lock`` / ``handle`` — ``threading`` synchronization primitives and
+  open file handles (unpicklable across a pool boundary).
+
+The pass is flow-sensitive: reassigning a name replaces its tags, and
+``sorted(...)`` launders ``unordered``.  Loop bodies are visited
+twice, so a tag acquired late in the body still reaches sinks at the
+top on the second visit (a cheap fixpoint that is exact for the
+two-phase patterns this repo uses).  Branches join by union — a value
+that *may* be tainted stays tainted.  Nested function and lambda
+bodies are separate scopes and are skipped (they get their own
+:class:`FunctionFlow` when a rule cares).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+__all__ = ["TAG_RNG", "TAG_SEEDSEQ", "TAG_RNG_RAW", "TAG_UNORDERED",
+           "TAG_WALLCLOCK", "TAG_LOCK", "TAG_HANDLE", "CallSite",
+           "LoopSite", "FunctionFlow", "dotted_name"]
+
+TAG_RNG = "rng"
+TAG_SEEDSEQ = "seedseq"
+TAG_RNG_RAW = "rng-raw-seed"
+TAG_UNORDERED = "unordered"
+TAG_WALLCLOCK = "wallclock"
+TAG_LOCK = "lock"
+TAG_HANDLE = "handle"
+
+#: Wall-clock reading functions, matched on their trailing attribute.
+_WALLCLOCK_TAILS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "now", "utcnow", "today",
+})
+
+#: ``threading``/``multiprocessing`` primitives that cannot cross a
+#: pickle boundary.
+_LOCK_NAMES = frozenset({
+    "Lock", "RLock", "Semaphore", "BoundedSemaphore", "Event",
+    "Condition", "Barrier",
+})
+
+#: Open-handle producers.
+_HANDLE_TAILS = frozenset({"open", "fdopen", "popen", "socket",
+                           "TemporaryFile", "NamedTemporaryFile"})
+
+#: dict/set view accessors with no stable cross-run order guarantee in
+#: the presence of nondeterministic insertion (completion-order fills).
+_VIEW_TAILS = frozenset({"keys", "values", "items"})
+
+#: Calls that launder the ``unordered`` tag.
+_ORDERING_CALLS = frozenset({"sorted", "min", "max", "sum", "len",
+                             "frozenset_sorted"})
+
+#: Calls that preserve their first argument's tags.
+_TRANSPARENT_CALLS = frozenset({"list", "tuple", "iter", "reversed",
+                                "enumerate", "deepcopy", "copy"})
+
+
+def dotted_name(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` as parts; None for anything not a dotted name."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+@dataclass
+class CallSite:
+    """One call in the analyzed function, with argument tags.
+
+    ``arg_tags`` aligns with positional args; ``kwarg_tags`` maps
+    keyword names (``None`` for ``**kwargs``) to tags.  Tags are the
+    union over every visit of the site (loop bodies are visited
+    twice).
+    """
+
+    node: ast.Call
+    arg_tags: List[Set[str]] = field(default_factory=list)
+    kwarg_tags: List[Tuple[Optional[str], Set[str]]] = \
+        field(default_factory=list)
+
+    def any_arg_tagged(self, tag: str) -> bool:
+        return any(tag in tags for tags in self.arg_tags) or \
+            any(tag in tags for _, tags in self.kwarg_tags)
+
+    def tagged_args(self, tag: str) -> Iterable[ast.AST]:
+        for expr, tags in zip(self.node.args, self.arg_tags):
+            if tag in tags:
+                yield expr
+        for kw, (_, tags) in zip(self.node.keywords, self.kwarg_tags):
+            if tag in tags:
+                yield kw.value
+
+
+@dataclass
+class LoopSite:
+    """One ``for`` loop (or comprehension) with its iterable's tags."""
+
+    node: ast.AST  # ast.For or a comprehension owner
+    iter_node: ast.AST
+    iter_tags: Set[str]
+    is_comprehension: bool = False
+
+
+class FunctionFlow:
+    """Forward tag propagation over one function (or module) body.
+
+    Args:
+        node: a function definition or a module; its immediate body is
+            analyzed (nested functions/lambdas are skipped).
+        extra_param_tags: overrides/additions to the default parameter
+            tagging (name -> tags).
+    """
+
+    def __init__(self, node: ast.AST,
+                 extra_param_tags: Optional[Dict[str, Set[str]]] = None
+                 ) -> None:
+        self.node = node
+        self.env: Dict[str, Set[str]] = {}
+        self._sites: Dict[int, CallSite] = {}
+        self.loops: List[LoopSite] = []
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._seed_params(node)
+        if extra_param_tags:
+            for name, tags in extra_param_tags.items():
+                self.env.setdefault(name, set()).update(tags)
+        body = node.body if hasattr(node, "body") else []
+        self._visit_body(body)
+
+    # -- results -------------------------------------------------------
+
+    @property
+    def call_sites(self) -> List[CallSite]:
+        return list(self._sites.values())
+
+    # -- parameter seeding ---------------------------------------------
+
+    def _seed_params(self, node: ast.AST) -> None:
+        args = node.args
+        for arg in (list(args.posonlyargs) + list(args.args)
+                    + list(args.kwonlyargs)
+                    + [a for a in (args.vararg, args.kwarg) if a]):
+            tags = self._param_tags(arg)
+            if tags:
+                self.env[arg.arg] = tags
+
+    @staticmethod
+    def _param_tags(arg: ast.arg) -> Set[str]:
+        annotation = ""
+        if arg.annotation is not None:
+            try:
+                annotation = ast.unparse(arg.annotation)
+            except Exception:  # pragma: no cover - malformed annotation
+                annotation = ""
+        name = arg.arg.lower()
+        if "Generator" in annotation or name == "rng" \
+                or name.endswith("_rng"):
+            return {TAG_RNG}
+        if "SeedSequence" in annotation or "seq" in name.split("_"):
+            return {TAG_SEEDSEQ}
+        if name.endswith("_seq") or name.endswith("_seqs") \
+                or "seedseq" in name:
+            return {TAG_SEEDSEQ}
+        return set()
+
+    # -- statement walk ------------------------------------------------
+
+    def _visit_body(self, body: Iterable[ast.stmt]) -> None:
+        for stmt in body:
+            self._visit_stmt(stmt)
+
+    def _visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # separate scope
+        if isinstance(stmt, ast.Assign):
+            tags = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, tags, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign(stmt.target, self._eval(stmt.value),
+                             stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            tags = self._eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                self.env.setdefault(stmt.target.id, set()).update(tags)
+            self._eval(stmt.target)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_tags = self._eval(stmt.iter)
+            self.loops.append(LoopSite(node=stmt, iter_node=stmt.iter,
+                                       iter_tags=set(iter_tags)))
+            element = set()
+            if TAG_SEEDSEQ in iter_tags:
+                element.add(TAG_SEEDSEQ)
+            self._assign(stmt.target, element, None)
+            # Two visits: a cheap fixpoint for loop-carried tags.
+            self._visit_body(stmt.body)
+            self._visit_body(stmt.body)
+            self._visit_body(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test)
+            self._visit_body(stmt.body)
+            self._visit_body(stmt.body)
+            self._visit_body(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test)
+            before = {k: set(v) for k, v in self.env.items()}
+            self._visit_body(stmt.body)
+            after_body = self.env
+            self.env = before
+            self._visit_body(stmt.orelse)
+            for name, tags in after_body.items():
+                self.env.setdefault(name, set()).update(tags)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                tags = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, tags,
+                                 item.context_expr)
+            self._visit_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._visit_body(stmt.body)
+            for handler in stmt.handlers:
+                self._visit_body(handler.body)
+            self._visit_body(stmt.orelse)
+            self._visit_body(stmt.finalbody)
+        elif isinstance(stmt, (ast.Return, ast.Expr)):
+            if stmt.value is not None:
+                self._eval(stmt.value)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._eval(stmt.exc)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+        elif isinstance(stmt, (ast.Assert,)):
+            self._eval(stmt.test)
+        # Pass/Break/Continue/Import/Global/Nonlocal: nothing to do.
+
+    def _assign(self, target: ast.AST, tags: Set[str],
+                value: Optional[ast.AST]) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = set(tags)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            # spawn(2) unpacked into two names: each child is a
+            # SeedSequence; otherwise propagate the value tags to all.
+            for element in target.elts:
+                self._assign(element, tags, None)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            self._eval(target.value)
+
+    # -- expression evaluation -----------------------------------------
+
+    def _eval(self, expr: Optional[ast.AST]) -> Set[str]:
+        if expr is None:
+            return set()
+        if isinstance(expr, ast.Name):
+            return set(self.env.get(expr.id, ()))
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr)
+        if isinstance(expr, ast.Attribute):
+            base = self._eval(expr.value)
+            attr = expr.attr.lower()
+            tags: Set[str] = set()
+            if attr.endswith("_seq") or attr.endswith("_seqs") \
+                    or "seedseq" in attr or attr == "seq":
+                tags.add(TAG_SEEDSEQ)
+            if attr == "rng" or attr.endswith("_rng"):
+                tags.add(TAG_RNG)
+            if TAG_SEEDSEQ in base and attr in ("spawn_key",):
+                tags.add(TAG_SEEDSEQ)
+            return tags
+        if isinstance(expr, (ast.Set,)):
+            for element in expr.elts:
+                self._eval(element)
+            return {TAG_UNORDERED}
+        if isinstance(expr, ast.SetComp):
+            self._eval_comprehension(expr)
+            return {TAG_UNORDERED}
+        if isinstance(expr, (ast.ListComp, ast.GeneratorExp)):
+            return self._eval_comprehension(expr)
+        if isinstance(expr, ast.DictComp):
+            self._eval_comprehension(expr)
+            return set()
+        if isinstance(expr, ast.BinOp):
+            left = self._eval(expr.left)
+            right = self._eval(expr.right)
+            return left | right
+        if isinstance(expr, ast.BoolOp):
+            tags = set()
+            for value in expr.values:
+                tags |= self._eval(value)
+            return tags
+        if isinstance(expr, ast.UnaryOp):
+            return self._eval(expr.operand)
+        if isinstance(expr, ast.IfExp):
+            self._eval(expr.test)
+            return self._eval(expr.body) | self._eval(expr.orelse)
+        if isinstance(expr, ast.Subscript):
+            self._eval(expr.slice)
+            base = self._eval(expr.value)
+            # Indexing keeps element-producing tags (a spawn list's
+            # element is a SeedSequence) but not container shape tags.
+            return base - {TAG_UNORDERED}
+        if isinstance(expr, ast.Starred):
+            return self._eval(expr.value)
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            tags = set()
+            for element in expr.elts:
+                tags |= self._eval(element)
+            return tags
+        if isinstance(expr, ast.Dict):
+            # A dict literal iterates in insertion order, so it is not
+            # UNORDERED itself — but value tags (a wall-clock stamp, a
+            # lock) travel with it into whatever consumes the dict.
+            tags = set()
+            for key in expr.keys:
+                if key is not None:
+                    tags |= self._eval(key)
+            for value in expr.values:
+                tags |= self._eval(value)
+            return tags - {TAG_UNORDERED}
+        if isinstance(expr, ast.Compare):
+            self._eval(expr.left)
+            for comparator in expr.comparators:
+                self._eval(comparator)
+            return set()
+        if isinstance(expr, ast.Lambda):
+            return set()  # separate scope
+        if isinstance(expr, (ast.JoinedStr, ast.FormattedValue)):
+            for sub in ast.iter_child_nodes(expr):
+                self._eval(sub) if isinstance(sub, ast.expr) else None
+            return set()
+        if isinstance(expr, ast.NamedExpr):
+            tags = self._eval(expr.value)
+            self._assign(expr.target, tags, expr.value)
+            return tags
+        if isinstance(expr, ast.Await):
+            return self._eval(expr.value)
+        return set()
+
+    def _eval_comprehension(self, expr: ast.AST) -> Set[str]:
+        tags_through: Set[str] = set()
+        for comp in expr.generators:
+            iter_tags = self._eval(comp.iter)
+            self.loops.append(LoopSite(node=expr, iter_node=comp.iter,
+                                       iter_tags=set(iter_tags),
+                                       is_comprehension=True))
+            element = set()
+            if TAG_SEEDSEQ in iter_tags:
+                element.add(TAG_SEEDSEQ)
+            if TAG_UNORDERED in iter_tags:
+                tags_through.add(TAG_UNORDERED)
+            self._assign(comp.target, element, None)
+            for cond in comp.ifs:
+                self._eval(cond)
+        if isinstance(expr, ast.DictComp):
+            self._eval(expr.key)
+            self._eval(expr.value)
+        else:
+            self._eval(expr.elt)
+        return tags_through
+
+    # -- calls ---------------------------------------------------------
+
+    def _eval_call(self, node: ast.Call) -> Set[str]:
+        arg_tags = [self._eval(arg) for arg in node.args]
+        kwarg_tags = [(kw.arg, self._eval(kw.value))
+                      for kw in node.keywords]
+        site = self._sites.get(id(node))
+        if site is None:
+            site = CallSite(node=node, arg_tags=arg_tags,
+                            kwarg_tags=kwarg_tags)
+            self._sites[id(node)] = site
+        else:
+            for tags, new in zip(site.arg_tags, arg_tags):
+                tags |= new
+            for (_, tags), (_, new) in zip(site.kwarg_tags, kwarg_tags):
+                tags |= new
+        return self._result_tags(node, arg_tags)
+
+    def _result_tags(self, node: ast.Call,
+                     arg_tags: List[Set[str]]) -> Set[str]:
+        parts = dotted_name(node.func)
+        if parts is None:
+            # e.g. chained call ``Path(p).open()``: classify by attr.
+            if isinstance(node.func, ast.Attribute):
+                parts = ["<expr>", node.func.attr]
+            else:
+                return set()
+        tail = parts[-1]
+        if tail == "default_rng":
+            seed_tags = arg_tags[0] if arg_tags else set()
+            tags = {TAG_RNG}
+            if node.args and TAG_SEEDSEQ not in seed_tags:
+                tags.add(TAG_RNG_RAW)
+            return tags
+        if tail == "SeedSequence":
+            return {TAG_SEEDSEQ}
+        if tail == "spawn":
+            # ``.spawn`` is distinctive enough on its own; the
+            # receiver is often an attribute chain we cannot tag.
+            return {TAG_SEEDSEQ}
+        if tail in ("set", "frozenset"):
+            return {TAG_UNORDERED}
+        if tail in _VIEW_TAILS and isinstance(node.func, ast.Attribute):
+            return {TAG_UNORDERED}
+        if tail in ("union", "intersection", "difference",
+                    "symmetric_difference") \
+                and isinstance(node.func, ast.Attribute):
+            base = self._eval(node.func.value)
+            if TAG_UNORDERED in base:
+                return {TAG_UNORDERED}
+            return set()
+        if tail in _ORDERING_CALLS:
+            return set()
+        if tail in _TRANSPARENT_CALLS:
+            return set(arg_tags[0]) if arg_tags else set()
+        if tail in _WALLCLOCK_TAILS and len(parts) >= 2 \
+                and parts[0] in ("time", "datetime", "dt"):
+            return {TAG_WALLCLOCK}
+        if tail in _LOCK_NAMES:
+            return {TAG_LOCK}
+        if tail in _HANDLE_TAILS:
+            return {TAG_HANDLE}
+        return set()

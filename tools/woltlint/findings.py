@@ -2,8 +2,27 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class WrapFix:
+    """A mechanical source edit: wrap an expression span in text.
+
+    The span is ``(start_line, start_col)``..``(end_line, end_col)``
+    (1-based lines, 0-based cols, end exclusive); applying the fix
+    inserts ``before`` at the start and ``after`` at the end —
+    e.g. ``sorted(`` ... ``)`` around a set-typed iterable.  See
+    :mod:`tools.woltlint.fixers`.
+    """
+
+    start_line: int
+    start_col: int
+    end_line: int
+    end_col: int
+    before: str
+    after: str
 
 
 @dataclass(frozen=True, order=True)
@@ -14,9 +33,11 @@ class Finding:
         path: file path, ``/``-separated, relative to the analysis root.
         line: 1-based source line.
         col: 0-based source column.
-        rule: rule code (``W001`` ... ``W006``, or ``E001`` for files
+        rule: rule code (``W001`` ... , or ``E001`` for files
             that fail to parse).
         message: human-readable description with the suggested fix.
+        fix: optional mechanical edit ``--fix`` can apply (excluded
+            from ordering and serialized output).
     """
 
     path: str
@@ -24,6 +45,7 @@ class Finding:
     col: int
     rule: str
     message: str
+    fix: Optional[WrapFix] = field(default=None, compare=False)
 
     @property
     def key(self) -> Tuple[str, str]:

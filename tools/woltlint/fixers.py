@@ -1,0 +1,101 @@
+"""The ``--fix`` autofixer: apply mechanical :class:`WrapFix` edits.
+
+Only rules whose repair is purely mechanical attach a fix — today that
+is W012's ``sorted(...)`` wrap around an unordered iterable or
+serialized argument.  Everything else stays a human decision: woltlint
+must never rewrite seeding discipline or pool payloads on its own.
+
+Fixes are applied per file, bottom-up (descending start position), so
+earlier edits never shift the coordinates of later ones.  Overlapping
+fixes are skipped after the first — the next lint run re-offers them
+against fresh coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .findings import Finding, WrapFix
+
+__all__ = ["apply_wrap_fixes", "fix_files", "fixable"]
+
+
+def fixable(findings: Sequence[Finding]) -> List[Finding]:
+    """The subset of findings carrying a mechanical fix."""
+    return [f for f in findings if f.fix is not None]
+
+
+def _spans_overlap(a: WrapFix, b: WrapFix) -> bool:
+    a_start, a_end = (a.start_line, a.start_col), (a.end_line, a.end_col)
+    b_start, b_end = (b.start_line, b.start_col), (b.end_line, b.end_col)
+    return a_start < b_end and b_start < a_end
+
+
+def apply_wrap_fixes(source: str,
+                     fixes: Sequence[WrapFix]) -> Tuple[str, int]:
+    """Apply non-overlapping fixes to ``source``.
+
+    Returns:
+        ``(new_source, n_applied)``.  Fixes whose coordinates fall
+        outside the current text (stale cache, concurrent edit) are
+        skipped rather than corrupting the file.
+    """
+    lines = source.splitlines(keepends=True)
+    accepted: List[WrapFix] = []
+    for fix in sorted(fixes, key=lambda f: (f.start_line, f.start_col)):
+        if any(_spans_overlap(fix, other) for other in accepted):
+            continue
+        accepted.append(fix)
+    applied = 0
+    # Bottom-up so earlier edits keep later coordinates valid.
+    for fix in sorted(accepted,
+                      key=lambda f: (f.start_line, f.start_col),
+                      reverse=True):
+        if not (1 <= fix.start_line <= len(lines)
+                and 1 <= fix.end_line <= len(lines)):
+            continue
+        start_text = lines[fix.start_line - 1]
+        end_text = lines[fix.end_line - 1]
+        if fix.start_col > len(start_text) \
+                or fix.end_col > len(end_text):
+            continue
+        # Insert the tail first: on the same line, inserting the head
+        # first would shift the tail column.
+        end_line_text = lines[fix.end_line - 1]
+        lines[fix.end_line - 1] = (end_line_text[:fix.end_col]
+                                   + fix.after
+                                   + end_line_text[fix.end_col:])
+        start_line_text = lines[fix.start_line - 1]
+        lines[fix.start_line - 1] = (start_line_text[:fix.start_col]
+                                     + fix.before
+                                     + start_line_text[fix.start_col:])
+        applied += 1
+    return "".join(lines), applied
+
+
+def fix_files(findings: Sequence[Finding],
+              root: str = ".") -> Dict[str, int]:
+    """Apply every attached fix, grouped per display path.
+
+    Returns:
+        mapping of display path to the number of fixes applied there.
+    """
+    import os
+
+    by_path: Dict[str, List[WrapFix]] = {}
+    for finding in fixable(findings):
+        by_path.setdefault(finding.path, []).append(finding.fix)
+    applied: Dict[str, int] = {}
+    for path in sorted(by_path):
+        filename = os.path.join(root, path.replace("/", os.sep))
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError:
+            continue
+        new_source, count = apply_wrap_fixes(source, by_path[path])
+        if count and new_source != source:
+            with open(filename, "w", encoding="utf-8") as handle:
+                handle.write(new_source)
+            applied[path] = count
+    return applied

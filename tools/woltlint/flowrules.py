@@ -1,0 +1,526 @@
+"""The cross-module, flow-sensitive rules: W010-W013.
+
+These are the rules the single-file pass (W001-W009) cannot express:
+they consume the :class:`~tools.woltlint.projectmodel.ProjectModel`
+(module graph, call graph, payload classes, fingerprint keys) and the
+per-function :class:`~tools.woltlint.dataflow.FunctionFlow` tags.
+
+* **W010 rng-flow** — generators must be constructed *inside* the
+  worker from a payload-carried ``SeedSequence`` child; a ``Generator``
+  captured into a pool-submitted payload, or a raw-seeded
+  ``default_rng`` in worker-reachable code, silently breaks the
+  workers-N == serial bit-identity contract.
+* **W011 parallel-safety** — values crossing the pool boundary must be
+  picklable by construction (no lambdas, closures, locks, or open
+  handles), and worker-side code must not mutate the fork-inherited
+  shared run config.
+* **W012 order-determinism** — iteration order of ``set``s and dict
+  views must never flow into journal writes, result lists, or
+  fingerprints; wall-clock readings must never flow into scientific
+  parameters.
+* **W013 fingerprint-coverage** — every field of the run-config /
+  trial-spec dataclasses must be covered by the SHA-256 run
+  fingerprint (or carry an individually-justified suppression), so a
+  new scientific knob cannot silently resume into old checkpoints.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from .dataflow import (TAG_HANDLE, TAG_LOCK, TAG_RNG, TAG_RNG_RAW,
+                       TAG_SEEDSEQ, TAG_UNORDERED, TAG_WALLCLOCK,
+                       CallSite, FunctionFlow, dotted_name)
+from .findings import Finding, WrapFix
+from .projectmodel import FunctionInfo, ModuleInfo, ProjectModel
+from .rules import ProjectRule, register
+
+__all__ = ["ProjectContext", "RngFlow", "ParallelSafety",
+           "OrderDeterminism", "FingerprintCoverage"]
+
+
+class ProjectContext:
+    """The shared project-pass state handed to every project rule.
+
+    Builds the model's per-function dataflow lazily and caches it, so
+    N project rules pay for one propagation pass, not N.
+    """
+
+    def __init__(self, model: ProjectModel) -> None:
+        self.model = model
+        self._flows: Dict[str, FunctionFlow] = {}
+
+    def flow(self, func: FunctionInfo) -> FunctionFlow:
+        cached = self._flows.get(func.func_id)
+        if cached is None:
+            cached = FunctionFlow(func.node)
+            self._flows[func.func_id] = cached
+        return cached
+
+    # -- shared queries ------------------------------------------------
+
+    def iter_function_flows(self):
+        """Deterministically ordered ``(module, func, flow)`` triples."""
+        for path in sorted(self.model.by_path):
+            module = self.model.by_path[path]
+            for qual in sorted(module.functions):
+                func = module.functions[qual]
+                yield module, func, self.flow(func)
+
+    def scope_of(self, func: FunctionInfo) -> List[str]:
+        return func.func_id.split(":", 1)[1].split(".")
+
+    def resolve_call(self, module: ModuleInfo, site: CallSite,
+                     func: Optional[FunctionInfo]) -> Optional[str]:
+        parts = dotted_name(site.node.func)
+        if parts is None:
+            return None
+        scope = self.scope_of(func) if func is not None else []
+        return self.model.resolve_name(module, parts, scope=scope)
+
+
+# ---------------------------------------------------------------------------
+# shared helpers
+
+
+def _call_tail(node: ast.Call) -> Optional[str]:
+    parts = dotted_name(node.func)
+    if parts is not None:
+        return parts[-1]
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _is_submit(node: ast.Call) -> bool:
+    return ProjectModel._is_submit_call(node) is not None
+
+
+def _span_fix(node: ast.AST, before: str, after: str
+              ) -> Optional[WrapFix]:
+    end_line = getattr(node, "end_lineno", None)
+    end_col = getattr(node, "end_col_offset", None)
+    if end_line is None or end_col is None:
+        return None
+    return WrapFix(start_line=node.lineno, start_col=node.col_offset,
+                   end_line=end_line, end_col=end_col,
+                   before=before, after=after)
+
+
+# ---------------------------------------------------------------------------
+# W010 — rng-flow
+
+
+@register
+class RngFlow(ProjectRule):
+    """RNG streams must flow from SeedSequence children, end to end."""
+
+    code = "W010"
+    name = "rng-flow"
+    description = ("a numpy Generator captured into a pool-submitted "
+                   "payload, or a default_rng() in worker-reachable "
+                   "code whose seed is not a SeedSequence child")
+    rationale = ("A Generator shipped across the pool boundary freezes "
+                 "whatever state the parent happened to have consumed, "
+                 "so results depend on dispatch order and chunking; a "
+                 "raw-seeded RNG inside a worker ties trials together "
+                 "statistically.  Ship SeedSequence children in the "
+                 "payload and construct the Generator in the worker "
+                 "(what run_trials' _TrialSpec does).")
+
+    def check_project(self, context: ProjectContext
+                      ) -> Iterator[Finding]:
+        model = context.model
+        for module, func, flow in context.iter_function_flows():
+            for site in flow.call_sites:
+                yield from self._check_boundary(context, module, func,
+                                                site)
+            if func.func_id in model.worker_reachable:
+                yield from self._check_worker_rng(module, func, flow)
+
+    def _check_boundary(self, context: ProjectContext,
+                        module: ModuleInfo, func: FunctionInfo,
+                        site: CallSite) -> Iterator[Finding]:
+        node = site.node
+        is_boundary = _is_submit(node)
+        target_desc = "pool submit call"
+        if not is_boundary:
+            resolved = context.resolve_call(module, site, func)
+            if resolved in context.model.payload_classes:
+                is_boundary = True
+                target_desc = (f"payload class "
+                               f"{resolved.rsplit(':', 1)[1]}")
+        if not is_boundary:
+            return
+        for expr in site.tagged_args(TAG_RNG):
+            yield self.finding(
+                module.path, expr,
+                f"numpy Generator captured into a {target_desc} — a "
+                "shipped Generator freezes parent-side stream state, "
+                "so results change with dispatch order; put the "
+                "SeedSequence child in the payload and call "
+                "default_rng(child) inside the worker")
+
+    def _check_worker_rng(self, module: ModuleInfo, func: FunctionInfo,
+                          flow: FunctionFlow) -> Iterator[Finding]:
+        for site in flow.call_sites:
+            if _call_tail(site.node) != "default_rng":
+                continue
+            if not site.node.args and not site.node.keywords:
+                continue  # W001's unseeded case; don't double-report
+            seed_tags: Set[str] = set()
+            if site.arg_tags:
+                seed_tags = site.arg_tags[0]
+            elif site.kwarg_tags:
+                seed_tags = site.kwarg_tags[0][1]
+            if TAG_SEEDSEQ in seed_tags:
+                continue
+            fn_name = func.func_id.rsplit(":", 1)[1]
+            yield self.finding(
+                module.path, site.node,
+                f"default_rng in worker-reachable {fn_name}() is not "
+                "seeded from a SeedSequence child — worker code runs "
+                "under chunked dispatch, where any other seed origin "
+                "(constant, arithmetic, raw int) breaks the "
+                "workers=N == serial bit-identity contract; pass the "
+                "payload's pre-spawned SeedSequence child")
+
+
+# ---------------------------------------------------------------------------
+# W011 — parallel-safety
+
+
+#: Base-name fragments that mark a value as the shared run config /
+#: fork-inherited registry for the worker-side mutation check.
+_CONFIG_NAME_WORDS = ("config", "shared", "registry")
+
+
+def _is_config_name(name: str) -> bool:
+    lowered = name.lower()
+    return any(word in lowered for word in _CONFIG_NAME_WORDS) \
+        or lowered == "cfg"
+
+
+@register
+class ParallelSafety(ProjectRule):
+    """Pool-crossing values must be picklable; workers must not mutate
+    the fork-inherited shared config."""
+
+    code = "W011"
+    name = "parallel-safety"
+    description = ("lambda/closure/lock/open-handle crossing a pool "
+                   "submit or payload boundary, or worker-side "
+                   "mutation of the shared run config")
+    rationale = ("submit() pickles its work item in the parent and "
+                 "unpickles it in the worker: lambdas and nested "
+                 "functions fail at dispatch time (or, worse, only on "
+                 "spawn-start platforms), and locks/handles are "
+                 "process-local.  Mutating the fork-inherited config "
+                 "inside a worker silently diverges that worker's view "
+                 "from its siblings'.")
+
+    def check_project(self, context: ProjectContext
+                      ) -> Iterator[Finding]:
+        model = context.model
+        for module, func, flow in context.iter_function_flows():
+            for site in flow.call_sites:
+                yield from self._check_boundary(context, module, func,
+                                                site)
+            if func.func_id in model.worker_reachable:
+                yield from self._check_worker_mutation(module, func)
+        # Module-level submits (rare, but scripts do it).
+        for site in model.submit_sites:
+            if site.func_id == "":
+                module = model.by_path[site.path]
+                yield from self._check_work_exprs(
+                    context, module, None, site.node,
+                    list(site.work_args), site.node.keywords)
+
+    # -- boundary picklability -----------------------------------------
+
+    def _check_boundary(self, context: ProjectContext,
+                        module: ModuleInfo, func: FunctionInfo,
+                        site: CallSite) -> Iterator[Finding]:
+        node = site.node
+        if _is_submit(node):
+            yield from self._check_work_exprs(context, module, func,
+                                              node, list(node.args),
+                                              node.keywords)
+            yield from self._check_tagged(module, site)
+            return
+        resolved = context.resolve_call(module, site, func)
+        if resolved in context.model.payload_classes:
+            yield from self._check_work_exprs(context, module, func,
+                                              node, list(node.args),
+                                              node.keywords)
+            yield from self._check_tagged(module, site)
+
+    def _check_tagged(self, module: ModuleInfo,
+                      site: CallSite) -> Iterator[Finding]:
+        for tag, what in ((TAG_LOCK, "a threading lock"),
+                          (TAG_HANDLE, "an open file handle")):
+            for expr in site.tagged_args(tag):
+                yield self.finding(
+                    module.path, expr,
+                    f"{what} crosses the process-pool boundary here — "
+                    "it is process-local and unpicklable; pass plain "
+                    "data and recreate the resource inside the worker")
+
+    def _check_work_exprs(self, context: ProjectContext,
+                          module: ModuleInfo,
+                          func: Optional[FunctionInfo], call: ast.Call,
+                          args: Sequence[ast.AST],
+                          keywords: Sequence[ast.keyword]
+                          ) -> Iterator[Finding]:
+        exprs = list(args) + [kw.value for kw in keywords]
+        scope = context.scope_of(func) if func is not None else []
+        for expr in exprs:
+            if isinstance(expr, ast.Lambda):
+                yield self.finding(
+                    module.path, expr,
+                    "lambda crosses the process-pool boundary — "
+                    "lambdas cannot be pickled; hoist it to a "
+                    "module-level function")
+                continue
+            parts = dotted_name(expr)
+            if parts is None or len(parts) != 1:
+                continue
+            resolved = context.model.resolve_name(module, parts,
+                                                  scope=scope)
+            if resolved is None:
+                continue
+            resolved_func = context.model.functions.get(resolved)
+            if resolved_func is None:
+                continue
+            qual = resolved.rsplit(":", 1)[1]
+            if "." in qual:
+                parent = qual.rsplit(".", 1)[0]
+                if parent in module.functions:
+                    yield self.finding(
+                        module.path, expr,
+                        f"nested function {parts[0]}() crosses the "
+                        "process-pool boundary — closures cannot be "
+                        "pickled; hoist it to module level")
+
+    # -- worker-side shared-state mutation -----------------------------
+
+    def _check_worker_mutation(self, module: ModuleInfo,
+                               func: FunctionInfo) -> Iterator[Finding]:
+        fn_name = func.func_id.rsplit(":", 1)[1]
+        for node in ast.walk(func.node):
+            targets: Sequence[ast.AST] = ()
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = (node.target,)
+            elif isinstance(node, ast.Call):
+                parts = dotted_name(node.func)
+                if parts is not None and parts[-1] == "__setattr__" \
+                        and node.args \
+                        and isinstance(node.args[0], ast.Name) \
+                        and _is_config_name(node.args[0].id):
+                    yield self.finding(
+                        module.path, node,
+                        f"__setattr__ on the shared run config inside "
+                        f"worker-reachable {fn_name}() — workers must "
+                        "treat the fork-inherited config as immutable")
+                continue
+            for target in targets:
+                base: Optional[str] = None
+                if isinstance(target, ast.Attribute) \
+                        and isinstance(target.value, ast.Name):
+                    base = target.value.id
+                elif isinstance(target, ast.Subscript) \
+                        and isinstance(target.value, ast.Name):
+                    base = target.value.id
+                else:
+                    continue
+                if not _is_config_name(base):
+                    continue
+                if isinstance(target, ast.Subscript) \
+                        and base not in module.module_level_names:
+                    continue  # a local dict that merely sounds shared
+                yield self.finding(
+                    module.path, node,
+                    f"mutation of shared state '{base}' inside "
+                    f"worker-reachable {fn_name}() — the run config "
+                    "and config registries are fork-inherited, so a "
+                    "worker-side write diverges this worker's view "
+                    "from its siblings' (and from re-runs); derive a "
+                    "new value instead")
+
+
+# ---------------------------------------------------------------------------
+# W012 — order-determinism
+
+
+#: Call tails that make a loop body order-sensitive: each call emits /
+#: persists in iteration order.
+_LOOP_SINK_TAILS = frozenset({
+    "append", "extend", "write", "writelines", "writerow", "dump",
+    "fingerprint", "append_event", "atomic_write_text",
+    "atomic_write_json", "add_row",
+})
+
+#: Call tails whose *arguments* are serialized — an unordered value
+#: here materializes its iteration order into bytes.  Plain
+#: ``append``/``extend`` stay out: storing a set object is fine until
+#: something iterates it, which the other checks catch.
+_ARG_SINK_TAILS = frozenset({
+    "fingerprint", "canonical_json", "dump", "dumps",
+    "atomic_write_json", "atomic_write_text", "append_event",
+    "writerow",
+})
+
+#: Call tails that take scientific parameters (wall-clock must not
+#: reach them).
+_SCIENTIFIC_TAILS = frozenset({
+    "fingerprint", "SeedSequence", "default_rng", "canonical_json",
+})
+
+
+@register
+class OrderDeterminism(ProjectRule):
+    """Unordered iteration and wall-clock reads must not reach
+    reproducibility-critical sinks."""
+
+    code = "W012"
+    name = "order-determinism"
+    description = ("set/dict-view iteration order flowing into journal "
+                   "writes, result lists, or fingerprints; wall-clock "
+                   "reads flowing into scientific parameters")
+    rationale = ("Two bit-identical runs must journal bit-identical "
+                 "bytes.  Set iteration order varies across processes "
+                 "(hash randomization), and dict views over "
+                 "completion-order-filled dicts vary across dispatch "
+                 "timing — sorted(...) the iterable.  A wall-clock "
+                 "value in scientific parameters makes every "
+                 "fingerprint unique and every resume impossible.")
+
+    def check_project(self, context: ProjectContext
+                      ) -> Iterator[Finding]:
+        for module, func, flow in context.iter_function_flows():
+            yield from self._check_flow(context, module, func, flow)
+        # Module-level statements get a flow of their own.
+        for path in sorted(context.model.by_path):
+            module = context.model.by_path[path]
+            flow = FunctionFlow(module.tree)
+            yield from self._check_flow(context, module, None, flow)
+
+    def _check_flow(self, context: ProjectContext, module: ModuleInfo,
+                    func: Optional[FunctionInfo],
+                    flow: FunctionFlow) -> Iterator[Finding]:
+        for loop in flow.loops:
+            if TAG_UNORDERED not in loop.iter_tags:
+                continue
+            if loop.is_comprehension:
+                continue  # caught at the sink via tag propagation
+            sink = self._loop_sink(loop.node)
+            if sink is None:
+                continue
+            fix = _span_fix(loop.iter_node, "sorted(", ")")
+            yield self.finding(
+                module.path, loop.iter_node,
+                "iteration over an unordered set/dict view reaches "
+                f"an order-sensitive sink ({sink}) — the emitted "
+                "order varies across runs and dispatch timings; "
+                "iterate sorted(...) instead", fix=fix)
+        for site in flow.call_sites:
+            tail = _call_tail(site.node)
+            if tail in _ARG_SINK_TAILS:
+                for expr in site.tagged_args(TAG_UNORDERED):
+                    fix = _span_fix(expr, "sorted(", ")")
+                    yield self.finding(
+                        module.path, expr,
+                        f"unordered set/dict-view value flows into "
+                        f"{tail}(...) — journal/fingerprint bytes "
+                        "would depend on hash order; wrap it in "
+                        "sorted(...)", fix=fix)
+            if tail in _SCIENTIFIC_TAILS or self._is_config_ctor(
+                    context, module, func, site):
+                for expr in site.tagged_args(TAG_WALLCLOCK):
+                    yield self.finding(
+                        module.path, expr,
+                        f"wall-clock reading flows into {tail}(...) — "
+                        "scientific parameters must be pure functions "
+                        "of the run configuration, or no two runs can "
+                        "ever fingerprint alike; pass the timestamp "
+                        "out-of-band if it is operational metadata")
+
+    def _is_config_ctor(self, context: ProjectContext,
+                        module: ModuleInfo,
+                        func: Optional[FunctionInfo],
+                        site: CallSite) -> bool:
+        resolved = context.resolve_call(module, site, func)
+        if resolved is None:
+            return False
+        klass = context.model.classes.get(resolved)
+        return klass is not None and klass.is_config_class()
+
+    @staticmethod
+    def _loop_sink(loop_node: ast.AST) -> Optional[str]:
+        """The first order-sensitive call in a loop body, if any."""
+        body = getattr(loop_node, "body", [])
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef, ast.Lambda)):
+                    continue
+                if isinstance(node, ast.Call):
+                    tail = _call_tail(node)
+                    if tail in _LOOP_SINK_TAILS:
+                        return f"{tail}()"
+        return None
+
+
+# ---------------------------------------------------------------------------
+# W013 — fingerprint-coverage
+
+
+@register
+class FingerprintCoverage(ProjectRule):
+    """Run-config/trial-spec dataclass fields must reach the run
+    fingerprint."""
+
+    code = "W013"
+    name = "fingerprint-coverage"
+    description = ("a run-config/trial-spec dataclass field missing "
+                   "from the SHA-256 run-fingerprint params")
+    rationale = ("The fingerprint is what stops a resumed sweep from "
+                 "silently merging results computed under different "
+                 "parameters.  A config field the fingerprint ignores "
+                 "is a parameter you can change while resuming into "
+                 "stale results.  Genuinely operational fields "
+                 "(worker counts, retry budgets) carry an "
+                 "individually-justified inline suppression instead.")
+
+    def check_project(self, context: ProjectContext
+                      ) -> Iterator[Finding]:
+        model = context.model
+        keys = model.fingerprint_keys
+        if keys is None:
+            return  # no fingerprint computation in the analyzed set
+        sites = ", ".join(f"{path}:{line}" for path, line
+                          in sorted(model.fingerprint_sites)[:2])
+        for klass in model.config_classes():
+            for field_name, lineno, annotation in klass.fields:
+                if field_name in keys:
+                    continue
+                if annotation is not None and any(
+                        isinstance(sub, ast.Name)
+                        and sub.id == "ClassVar"
+                        or isinstance(sub, ast.Attribute)
+                        and sub.attr == "ClassVar"
+                        for sub in ast.walk(annotation)):
+                    continue
+                yield Finding(
+                    path=klass.path, line=lineno, col=0,
+                    rule=self.code,
+                    message=(f"field '{field_name}' of "
+                             f"{klass.name} never reaches the run "
+                             f"fingerprint (computed at {sites}) — "
+                             "add it to the params dict, or suppress "
+                             "here with a justification if it is "
+                             "operational (it must not change trial "
+                             "results)"))

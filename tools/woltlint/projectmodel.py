@@ -1,0 +1,701 @@
+"""The woltlint project model: modules, imports, calls, dataclasses.
+
+Single-file AST rules (W001-W009) cannot see cross-module contracts:
+an RNG captured in one module and submitted to a pool in another, or a
+run-config dataclass whose new field never reaches the fingerprint
+computation two files away.  This module builds the shared
+whole-project view those rules need, in two passes:
+
+1. **Per-module pass** — every analyzed file is parsed into a
+   :class:`ModuleInfo`: its import table (local name -> dotted
+   target, relative imports resolved against the module's package),
+   its functions (nested ones included) and classes, and the dataclass
+   field lists.
+2. **Linking pass** — names are resolved across modules into a call
+   graph, and the model derives the project-level facts the
+   flow-sensitive rules consume:
+
+   * :attr:`ProjectModel.entry_points` — functions handed to
+     ``Executor.submit`` / ``pool.map`` as work items;
+   * :attr:`ProjectModel.worker_reachable` — everything reachable from
+     an entry point through the call graph (code that runs inside
+     worker processes);
+   * :attr:`ProjectModel.payload_classes` — classes whose instances
+     cross the process boundary: constructed values that flow into a
+     submit call, closed transitively over dataclass field
+     annotations (a ``_ChunkTask`` carrying ``_TrialSpec`` tuples
+     makes ``_TrialSpec`` a payload class too);
+   * :attr:`ProjectModel.fingerprint_keys` — the union of constant
+     string keys of every params dict that flows into a
+     ``fingerprint(...)`` call (the W013 coverage universe).
+
+Resolution is deliberately best-effort: unresolvable names simply drop
+out of the graph.  A lint pass must never guess a finding into
+existence, so every derived fact errs toward "unknown" rather than
+"violation".
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import (Dict, Iterator, List, Optional, Sequence, Set,
+                    Tuple)
+
+__all__ = ["FunctionInfo", "ClassInfo", "ModuleInfo", "ProjectModel",
+           "module_name_for_path"]
+
+#: Path prefixes stripped when turning a display path into a module
+#: name (``src/repro/sim/runner.py`` -> ``repro.sim.runner``).
+_SRC_PREFIXES = ("src/",)
+
+#: Name fragments that mark a dataclass as a run-configuration or
+#: trial-spec container for the W013 coverage check.
+_CONFIG_CLASS_WORDS = ("runconfig", "trialspec")
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for an analysis-root-relative display path."""
+    name = path.replace("\\", "/")
+    for prefix in _SRC_PREFIXES:
+        if name.startswith(prefix):
+            name = name[len(prefix):]
+            break
+    if name.endswith(".py"):
+        name = name[:-3]
+    name = name.replace("/", ".")
+    if name.endswith(".__init__"):
+        name = name[: -len(".__init__")]
+    return name
+
+
+@dataclass
+class FunctionInfo:
+    """One function (or method, or nested function) in the project.
+
+    Attributes:
+        func_id: project-unique id, ``module:qualname`` where the
+            qualname uses ``Class.method`` / ``outer.inner`` dotting.
+        module: dotted module name.
+        node: the AST definition.
+        path: display path of the defining file.
+        calls: resolved callee ids (``module:qualname``) — in-project
+            edges of the call graph.
+        external_calls: dotted names of calls that resolve outside the
+            analyzed files (kept for diagnostics).
+        nested: local names of functions defined inside this one.
+        returns_classes: class ids this function ``return``s instances
+            of (direct ``return ClassName(...)`` only).
+    """
+
+    func_id: str
+    module: str
+    node: ast.AST
+    path: str
+    calls: Set[str] = field(default_factory=set)
+    external_calls: Set[str] = field(default_factory=set)
+    nested: Dict[str, str] = field(default_factory=dict)
+    returns_classes: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class ClassInfo:
+    """One class definition, with dataclass field details when present.
+
+    Attributes:
+        class_id: ``module:qualname``.
+        fields: annotated field assignments in declaration order, as
+            ``(name, lineno, annotation_node)`` triples.
+        field_class_refs: in-project class ids referenced from field
+            annotations (the payload-transitivity edges).
+    """
+
+    class_id: str
+    module: str
+    node: ast.ClassDef
+    path: str
+    is_dataclass: bool = False
+    fields: List[Tuple[str, int, Optional[ast.AST]]] = \
+        field(default_factory=list)
+    field_class_refs: Set[str] = field(default_factory=set)
+
+    @property
+    def name(self) -> str:
+        return self.class_id.rsplit(":", 1)[1].rsplit(".", 1)[-1]
+
+    def is_config_class(self) -> bool:
+        """Whether W013 treats this as a run-config/trial-spec class."""
+        folded = self.name.replace("_", "").lower()
+        return any(word in folded for word in _CONFIG_CLASS_WORDS)
+
+
+@dataclass
+class ModuleInfo:
+    """One analyzed file: imports, definitions, and its AST."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    module_level_names: Set[str] = field(default_factory=set)
+
+
+def _dotted(node: ast.AST) -> Optional[List[str]]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        parts = _dotted(target)
+        if parts and parts[-1] == "dataclass":
+            return True
+    return False
+
+
+def _resolve_relative(package: str, level: int,
+                      module: Optional[str]) -> Optional[str]:
+    """Resolve a ``from ...x import y`` module against ``package``."""
+    parts = package.split(".") if package else []
+    if level - 1 > len(parts):
+        return None
+    base = parts[: len(parts) - (level - 1)]
+    if module:
+        base.extend(module.split("."))
+    return ".".join(base) if base else None
+
+
+class _ModuleScanner(ast.NodeVisitor):
+    """First pass: collect one module's imports and definitions."""
+
+    def __init__(self, info: ModuleInfo) -> None:
+        self.info = info
+        self._scope: List[str] = []
+
+    # -- imports -------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else \
+                alias.name.split(".")[0]
+            self.info.imports[local] = target
+        self._record_names(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level:
+            package = self.info.name.rsplit(".", 1)[0] \
+                if "." in self.info.name else ""
+            base = _resolve_relative(package, node.level, node.module)
+        else:
+            base = node.module
+        if base is not None:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                self.info.imports[local] = f"{base}.{alias.name}"
+        self._record_names(node)
+
+    # -- definitions ---------------------------------------------------
+
+    def _qual(self, name: str) -> str:
+        return ".".join(self._scope + [name]) if self._scope else name
+
+    def _visit_function(self, node: ast.AST) -> None:
+        qual = self._qual(node.name)
+        func_id = f"{self.info.name}:{qual}"
+        self.info.functions[qual] = FunctionInfo(
+            func_id=func_id, module=self.info.name, node=node,
+            path=self.info.path)
+        if self._scope:
+            # Make the nested def discoverable from its parent.
+            parent = ".".join(self._scope)
+            parent_info = self.info.functions.get(parent)
+            if parent_info is not None:
+                parent_info.nested[node.name] = qual
+        self._record_names(node)
+        self._scope.append(node.name)
+        self.generic_visit(node)
+        self._scope.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        qual = self._qual(node.name)
+        info = ClassInfo(class_id=f"{self.info.name}:{qual}",
+                         module=self.info.name, node=node,
+                         path=self.info.path,
+                         is_dataclass=_is_dataclass_decorated(node))
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name):
+                info.fields.append((stmt.target.id, stmt.lineno,
+                                    stmt.annotation))
+        self.info.classes[qual] = info
+        self._record_names(node)
+        self._scope.append(node.name)
+        self.generic_visit(node)
+        self._scope.pop()
+
+    def _record_names(self, node: ast.AST) -> None:
+        if not self._scope:
+            self.info.module_level_names.update(
+                getattr(alias, "asname", None) or alias.name.split(".")[0]
+                for alias in getattr(node, "names", []))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if not self._scope:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.info.module_level_names.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if not self._scope and isinstance(node.target, ast.Name):
+            self.info.module_level_names.add(node.target.id)
+        self.generic_visit(node)
+
+
+@dataclass
+class _SubmitSite:
+    """One ``submit``/``map`` call: where, and what it was given."""
+
+    path: str
+    node: ast.Call
+    func_id: str  # enclosing function id ("" at module level)
+    work_args: Tuple[ast.AST, ...]  # first positional arg onward
+
+
+class ProjectModel:
+    """The linked whole-project view shared by the W010+ rules."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.by_path: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.entry_points: Set[str] = set()
+        self.worker_reachable: Set[str] = set()
+        self.payload_classes: Set[str] = set()
+        self.submit_sites: List[_SubmitSite] = []
+        #: Union of constant keys over every fingerprint params dict;
+        #: None when the analyzed files contain no fingerprint call.
+        self.fingerprint_keys: Optional[Set[str]] = None
+        #: ``(path, line)`` of each fingerprint call site (for W013
+        #: messages).
+        self.fingerprint_sites: List[Tuple[str, int]] = []
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def build(cls, files: Sequence[Tuple[str, ast.Module]]
+              ) -> "ProjectModel":
+        """Link ``(display_path, tree)`` pairs into a project model."""
+        model = cls()
+        for path, tree in files:
+            info = ModuleInfo(name=module_name_for_path(path),
+                              path=path, tree=tree)
+            _ModuleScanner(info).visit(tree)
+            model.modules[info.name] = info
+            model.by_path[path] = info
+            for qual, func in info.functions.items():
+                model.functions[func.func_id] = func
+            for qual, klass in info.classes.items():
+                model.classes[klass.class_id] = klass
+        model._link()
+        return model
+
+    # -- name resolution -----------------------------------------------
+
+    def resolve_name(self, module: ModuleInfo, parts: Sequence[str],
+                     scope: Sequence[str] = ()) -> Optional[str]:
+        """Resolve a dotted name to an in-project function/class id.
+
+        ``scope`` is the qualname path of the enclosing function, used
+        to find nested definitions first (innermost scope wins).
+        """
+        if not parts:
+            return None
+        head, rest = parts[0], list(parts[1:])
+        # Innermost-first: nested defs of enclosing *functions* (a
+        # class prefix must not capture bare names — ``foo()`` inside a
+        # method never means ``Class.foo``).
+        for depth in range(len(scope), 0, -1):
+            prefix = ".".join(scope[:depth])
+            if prefix not in module.functions:
+                continue
+            qual = f"{prefix}.{head}"
+            if qual in module.functions and not rest:
+                return module.functions[qual].func_id
+            if qual in module.classes and not rest:
+                return module.classes[qual].class_id
+        if not rest:
+            if head in module.functions:
+                return module.functions[head].func_id
+            if head in module.classes:
+                return module.classes[head].class_id
+        if head == "self" and scope and rest:
+            # ``self.method()`` inside a class body: the class is the
+            # scope element above the method.
+            owner = ".".join(scope[:-1])
+            if owner in module.classes:
+                qual = f"{owner}.{rest[0]}"
+                if qual in module.functions and len(rest) == 1:
+                    return module.functions[qual].func_id
+            return None
+        target = module.imports.get(head)
+        if target is None:
+            return None
+        dotted = ".".join([target] + rest)
+        return self._lookup_dotted(dotted)
+
+    def _lookup_dotted(self, dotted: str) -> Optional[str]:
+        """Map a fully-dotted name onto an analyzed module's symbol."""
+        if dotted in self.modules:
+            return None  # a module, not a symbol
+        if "." not in dotted:
+            return None
+        head, _, tail = dotted.rpartition(".")
+        module = self.modules.get(head)
+        if module is not None:
+            if tail in module.functions:
+                return module.functions[tail].func_id
+            if tail in module.classes:
+                return module.classes[tail].class_id
+            # Re-exported through a package __init__: chase one hop.
+            target = module.imports.get(tail)
+            if target is not None and target != dotted:
+                return self._lookup_dotted(target)
+        return None
+
+    # -- linking -------------------------------------------------------
+
+    def _link(self) -> None:
+        for module in self.modules.values():
+            for qual, func in module.functions.items():
+                scope = qual.split(".")[:-1]
+                self._link_function(module, func, scope + [qual.split(".")[-1]])
+            self._scan_module_level(module)
+        self._find_entry_points()
+        self._close_worker_reachable()
+        self._find_payload_classes()
+        self._collect_fingerprint_keys()
+
+    def _link_function(self, module: ModuleInfo, func: FunctionInfo,
+                       scope: List[str]) -> None:
+        own_node = func.node
+        for node in ast.walk(own_node):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node is not own_node:
+                continue  # nested bodies are linked as their own funcs
+            if isinstance(node, ast.Call):
+                parts = _dotted(node.func)
+                if parts is None:
+                    continue
+                resolved = self.resolve_name(module, parts, scope=scope)
+                if resolved is not None:
+                    func.calls.add(resolved)
+                else:
+                    func.external_calls.add(".".join(parts))
+            elif isinstance(node, ast.Name) \
+                    and isinstance(node.ctx, ast.Load):
+                # A bare reference to a function (stored, passed along,
+                # dispatched through a variable) is an edge too: the
+                # ``run_fn = a if guarded else b; run_fn(...)`` pattern
+                # must not hide ``a``/``b`` from reachability.
+                resolved = self.resolve_name(module, [node.id],
+                                             scope=scope)
+                if resolved in self.functions:
+                    func.calls.add(resolved)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                value = node.value
+                if isinstance(value, ast.Call):
+                    parts = _dotted(value.func)
+                    if parts:
+                        resolved = self.resolve_name(module, parts,
+                                                     scope=scope)
+                        if resolved in self.classes:
+                            func.returns_classes.add(resolved)
+
+    def _scan_module_level(self, module: ModuleInfo) -> None:
+        """Record submit sites with their innermost enclosing function."""
+        model = self
+
+        class Scanner(ast.NodeVisitor):
+            def __init__(self) -> None:
+                self.scope: List[str] = []
+
+            def _fn(self, node: ast.AST) -> None:
+                self.scope.append(node.name)
+                self.generic_visit(node)
+                self.scope.pop()
+
+            visit_FunctionDef = _fn
+            visit_AsyncFunctionDef = _fn
+
+            def visit_ClassDef(self, node: ast.ClassDef) -> None:
+                self.scope.append(node.name)
+                self.generic_visit(node)
+                self.scope.pop()
+
+            def visit_Call(self, node: ast.Call) -> None:
+                kind = model._is_submit_call(node)
+                if kind is not None and node.args:
+                    qual = ".".join(self.scope)
+                    func = module.functions.get(qual)
+                    model.submit_sites.append(_SubmitSite(
+                        path=module.path, node=node,
+                        func_id=func.func_id if func else "",
+                        work_args=tuple(node.args)))
+                self.generic_visit(node)
+
+        Scanner().visit(module.tree)
+
+    # -- submit sites & entry points -----------------------------------
+
+    @staticmethod
+    def _is_submit_call(node: ast.Call) -> Optional[str]:
+        """``"submit"``/``"map"`` when the call dispatches pool work."""
+        if not isinstance(node.func, ast.Attribute):
+            return None
+        attr = node.func.attr
+        if attr == "submit":
+            return attr
+        if attr in ("map", "apply_async", "starmap"):
+            receiver = _dotted(node.func.value)
+            blob = ".".join(receiver).lower() if receiver else ""
+            if "pool" in blob or "executor" in blob:
+                return attr
+        return None
+
+    def _find_entry_points(self) -> None:
+        for site in self.submit_sites:
+            module = self.by_path[site.path]
+            scope = self._scope_for(site.func_id)
+            target = site.work_args[0]
+            parts = _dotted(target)
+            if parts is None:
+                continue
+            resolved = self.resolve_name(module, parts, scope=scope)
+            if resolved in self.functions:
+                self.entry_points.add(resolved)
+
+    def _scope_for(self, func_id: str) -> List[str]:
+        if not func_id or ":" not in func_id:
+            return []
+        return func_id.split(":", 1)[1].split(".")
+
+    def _close_worker_reachable(self) -> None:
+        frontier = list(self.entry_points)
+        seen: Set[str] = set(frontier)
+        while frontier:
+            current = frontier.pop()
+            func = self.functions.get(current)
+            if func is None:
+                continue
+            for callee in func.calls:
+                if callee in self.functions and callee not in seen:
+                    seen.add(callee)
+                    frontier.append(callee)
+        self.worker_reachable = seen
+
+    # -- payload classes -----------------------------------------------
+
+    def _find_payload_classes(self) -> None:
+        direct: Set[str] = set()
+        for site in self.submit_sites:
+            module = self.by_path[site.path]
+            scope = self._scope_for(site.func_id)
+            # Work args past the callable: the values shipped across
+            # the process boundary.
+            for arg in site.work_args[1:]:
+                direct |= self._classes_of_expr(module, arg, scope,
+                                                site.func_id)
+        # Transitive closure over dataclass field annotations.
+        closed = set(direct)
+        frontier = list(direct)
+        while frontier:
+            current = frontier.pop()
+            klass = self.classes.get(current)
+            if klass is None:
+                continue
+            self._resolve_field_refs(klass)
+            for ref in klass.field_class_refs:
+                if ref not in closed:
+                    closed.add(ref)
+                    frontier.append(ref)
+        self.payload_classes = closed
+
+    def _classes_of_expr(self, module: ModuleInfo, expr: ast.AST,
+                         scope: List[str],
+                         func_id: str) -> Set[str]:
+        """Best-effort class ids an expression may evaluate to."""
+        found: Set[str] = set()
+        if isinstance(expr, ast.Call):
+            parts = _dotted(expr.func)
+            if parts is not None:
+                resolved = self.resolve_name(module, parts, scope=scope)
+                if resolved in self.classes:
+                    found.add(resolved)
+                elif resolved in self.functions:
+                    found |= self.functions[resolved].returns_classes
+        elif isinstance(expr, ast.Name):
+            # Def-use within the enclosing function: v = ClassName(...)
+            func = self.functions.get(func_id)
+            body = func.node if func is not None else module.tree
+            for node in ast.walk(body):
+                if not isinstance(node, ast.Assign):
+                    continue
+                if not any(isinstance(t, ast.Name) and t.id == expr.id
+                           for t in node.targets):
+                    continue
+                found |= self._classes_of_expr(module, node.value,
+                                               scope, func_id)
+        elif isinstance(expr, (ast.Tuple, ast.List)):
+            for element in expr.elts:
+                found |= self._classes_of_expr(module, element, scope,
+                                               func_id)
+        return found
+
+    def _resolve_field_refs(self, klass: ClassInfo) -> None:
+        if klass.field_class_refs:
+            return
+        module = self.modules[klass.module]
+        for _, _, annotation in klass.fields:
+            if annotation is None:
+                continue
+            for node in ast.walk(annotation):
+                parts = None
+                if isinstance(node, (ast.Name, ast.Attribute)):
+                    parts = _dotted(node)
+                elif isinstance(node, ast.Constant) \
+                        and isinstance(node.value, str):
+                    # String annotation: a bare class name is common.
+                    parts = node.value.split(".")
+                if not parts:
+                    continue
+                resolved = self.resolve_name(module, parts)
+                if resolved in self.classes:
+                    klass.field_class_refs.add(resolved)
+
+    # -- fingerprint coverage ------------------------------------------
+
+    def _collect_fingerprint_keys(self) -> None:
+        keys: Set[str] = set()
+        found_site = False
+        for name in sorted(self.modules):
+            module = self.modules[name]
+            for call, enclosing in self._iter_calls_with_scope(module):
+                parts = _dotted(call.func)
+                if parts is None or parts[-1] != "fingerprint":
+                    continue
+                if not call.args:
+                    continue
+                found_site = True
+                self.fingerprint_sites.append((module.path,
+                                               call.lineno))
+                keys |= self._dict_keys_of(module, call.args[0],
+                                           enclosing)
+        self.fingerprint_keys = keys if found_site else None
+
+    def _iter_calls_with_scope(self, module: ModuleInfo
+                               ) -> Iterator[Tuple[ast.Call,
+                                                   Optional[ast.AST]]]:
+        for qual, func in module.functions.items():
+            own = func.node
+            for node in ast.walk(own):
+                if isinstance(node, ast.Call):
+                    yield node, own
+        class _Top(ast.NodeVisitor):
+            def __init__(self) -> None:
+                self.calls: List[ast.Call] = []
+
+            def visit_FunctionDef(self, node: ast.AST) -> None:
+                pass
+
+            visit_AsyncFunctionDef = visit_FunctionDef
+
+            def visit_Call(self, node: ast.Call) -> None:
+                self.calls.append(node)
+                self.generic_visit(node)
+
+        top = _Top()
+        top.visit(module.tree)
+        for call in top.calls:
+            yield call, None
+
+    def _dict_keys_of(self, module: ModuleInfo, expr: ast.AST,
+                      enclosing: Optional[ast.AST]) -> Set[str]:
+        """Constant string keys of the dict an expression denotes."""
+        keys: Set[str] = set()
+
+        def keys_of_literal(node: ast.Dict) -> None:
+            for key in node.keys:
+                if isinstance(key, ast.Constant) \
+                        and isinstance(key.value, str):
+                    keys.add(key.value)
+
+        if isinstance(expr, ast.Dict):
+            keys_of_literal(expr)
+            return keys
+        if isinstance(expr, ast.Call):
+            # dict(params) / dict(**params): chase the argument.
+            parts = _dotted(expr.func)
+            if parts and parts[-1] == "dict" and expr.args:
+                return self._dict_keys_of(module, expr.args[0],
+                                          enclosing)
+            return keys
+        if not isinstance(expr, ast.Name) or enclosing is None:
+            return keys
+        name = expr.id
+        for node in ast.walk(enclosing):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) \
+                            and target.id == name \
+                            and isinstance(node.value, ast.Dict):
+                        keys_of_literal(node.value)
+                    # params["key"] = value augmentations
+                    if isinstance(target, ast.Subscript) \
+                            and isinstance(target.value, ast.Name) \
+                            and target.value.id == name \
+                            and isinstance(target.slice, ast.Constant) \
+                            and isinstance(target.slice.value, str):
+                        keys.add(target.slice.value)
+            elif isinstance(node, ast.Call):
+                # params.update({...})
+                parts = _dotted(node.func)
+                if parts and len(parts) >= 2 and parts[-2] == name \
+                        and parts[-1] == "update" and node.args \
+                        and isinstance(node.args[0], ast.Dict):
+                    keys_of_literal(node.args[0])
+        return keys
+
+    # -- convenience ---------------------------------------------------
+
+    def config_classes(self) -> List[ClassInfo]:
+        """Run-config/trial-spec dataclasses, in deterministic order."""
+        return sorted((k for k in self.classes.values()
+                       if k.is_dataclass and k.is_config_class()),
+                      key=lambda k: (k.path, k.node.lineno))
+
+    def function_for_node(self, path: str,
+                          node: ast.AST) -> Optional[FunctionInfo]:
+        module = self.by_path.get(path)
+        if module is None:
+            return None
+        for func in module.functions.values():
+            if func.node is node:
+                return func
+        return None

@@ -53,10 +53,28 @@ class Rule:
     def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
         raise NotImplementedError
 
-    def finding(self, path: str, node: ast.AST, message: str) -> Finding:
+    def finding(self, path: str, node: ast.AST, message: str,
+                fix: Optional[object] = None) -> Finding:
         return Finding(path=path, line=getattr(node, "lineno", 1),
                        col=getattr(node, "col_offset", 0),
-                       rule=self.code, message=message)
+                       rule=self.code, message=message, fix=fix)
+
+
+class ProjectRule(Rule):
+    """Base for whole-project rules (W010+): one pass over the model.
+
+    Project rules see every analyzed file at once — the module graph,
+    call graph, and per-function dataflow — instead of a single tree.
+    Their findings still land on concrete file/line locations, so the
+    per-line suppression and baseline machinery applies unchanged.
+    """
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, context: "object") -> Iterator[Finding]:
+        """Yield findings over a :class:`~.flowrules.ProjectContext`."""
+        raise NotImplementedError
 
 
 RULES: Dict[str, Type[Rule]] = {}

@@ -1,0 +1,100 @@
+"""SARIF 2.1.0 output for GitHub code scanning.
+
+One ``run`` per invocation, carrying the full rule catalogue in the
+tool driver (GitHub renders rule metadata in the code-scanning UI) and
+one ``result`` per reported finding.  Paths are emitted exactly as
+woltlint displays them — ``/``-separated and relative to the analysis
+root — which is what the upload action expects for annotation
+placement.
+
+Only the stable core of the spec is produced: ``tool.driver`` with
+``rules``, and ``results`` with ``ruleId``/``ruleIndex``/``level``/
+``message``/``locations``.  Parse failures (``E001``) map to level
+``error``; rule findings map to ``warning``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .findings import Finding
+from .rules import RULES
+
+__all__ = ["to_sarif", "SARIF_VERSION", "SARIF_SCHEMA_URI"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+#: The synthetic parse-error rule is not in RULES but must be
+#: declarable in the driver when a result references it.
+_PARSE_ERROR_CODE = "E001"
+
+def _rule_entries() -> List[dict]:
+    entries: List[dict] = []
+    for code in sorted(RULES):
+        rule = RULES[code]
+        entries.append({
+            "id": code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": "warning"},
+        })
+    entries.append({
+        "id": _PARSE_ERROR_CODE,
+        "name": "parse-error",
+        "shortDescription": {"text": "file does not parse"},
+        "fullDescription": {
+            "text": "The Python parser rejected the file; no rules "
+                    "were run on it."},
+        "defaultConfiguration": {"level": "error"},
+    })
+    return entries
+
+
+def to_sarif(findings: Sequence[Finding], tool_version: str) -> dict:
+    """Render findings as a SARIF 2.1.0 log dictionary."""
+    rules = _rule_entries()
+    index_of: Dict[str, int] = {entry["id"]: i
+                                for i, entry in enumerate(rules)}
+    results: List[dict] = []
+    for finding in findings:
+        level = "error" if finding.rule == _PARSE_ERROR_CODE \
+            else "warning"
+        result = {
+            "ruleId": finding.rule,
+            "level": level,
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        # SARIF columns are 1-based.
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+        }
+        if finding.rule in index_of:
+            result["ruleIndex"] = index_of[finding.rule]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "woltlint",
+                    "version": tool_version,
+                    "rules": rules,
+                },
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }],
+    }
