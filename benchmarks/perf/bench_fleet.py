@@ -1,0 +1,102 @@
+"""Campus fleet benchmark: serial vs sharded-parallel epoch dispatch.
+
+Times one FleetService epoch over the committed 1000-building campus
+spec (``benchmarks/perf/fleet_campus.yaml``), serial against 4-worker
+shard dispatch, and writes ``benchmarks/perf/BENCH_fleet.json``:
+
+    PYTHONPATH=src python -m benchmarks.perf.bench_fleet
+
+Every measurement starts from a **fresh** service (epoch 0 every
+time) so the timed work is identical; the worker pool is warmed by a
+throwaway cold epoch first, exactly like ``bench_engine``'s
+run-trials section.  The script also asserts the sharded epoch is
+bit-identical to the serial one before writing the JSON — a benchmark
+of a wrong answer is worthless.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.fleet.service import FleetService, format_epoch
+from repro.fleet.spec import load_fleet_spec
+from repro.sim.checkpoint import atomic_write_text
+from repro.sim.dispatch import shutdown_warm_pools
+
+OUTPUT = Path(__file__).resolve().parent / "BENCH_fleet.json"
+SPEC = Path(__file__).resolve().parent / "fleet_campus.yaml"
+
+WORKERS = 4
+REPEATS = 2
+
+
+def _epoch_time(spec, workers) -> float:
+    """Best-of-``REPEATS`` wall time of epoch 0 on a fresh service."""
+    best = np.inf
+    for _ in range(REPEATS):
+        service = FleetService(spec, workers=workers)
+        start = time.perf_counter()
+        service.run_epoch()
+        best = min(best, time.perf_counter() - start)
+    return float(best)
+
+
+def bench_fleet_epoch() -> dict:
+    spec = load_fleet_spec(SPEC)
+    serial_report = FleetService(spec).run_epoch()
+    parallel_report = FleetService(spec, workers=WORKERS).run_epoch()
+    identical = (format_epoch(serial_report)
+                 == format_epoch(parallel_report))
+    assert identical, (
+        "sharded-parallel epoch diverged from the serial reference; "
+        "refusing to benchmark a wrong answer")
+    shutdown_warm_pools()
+    serial_s = _epoch_time(spec, workers=None)
+    # Cold run: pays the pool fork; later dispatches reuse the pool.
+    cold_service = FleetService(spec, workers=WORKERS)
+    start = time.perf_counter()
+    cold_service.run_epoch()
+    cold_s = time.perf_counter() - start
+    parallel_s = _epoch_time(spec, workers=WORKERS)
+    shutdown_warm_pools()
+    return {
+        "n_buildings": spec.n_buildings,
+        "n_users": spec.n_users,
+        "n_shards": serial_report.n_shards,
+        "workers": WORKERS,
+        "identical_to_serial": identical,
+        "serial_s": serial_s,
+        "parallel_cold_s": cold_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s,
+    }
+
+
+def main() -> dict:
+    report = {
+        "meta": {
+            "spec": SPEC.name,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            # Shard-parallel speedup is bounded by this number.
+            "cpus": len(os.sched_getaffinity(0)),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                       time.gmtime()),
+        },
+        "fleet_epoch_serial_vs_sharded": bench_fleet_epoch(),
+    }
+    atomic_write_text(OUTPUT, json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {OUTPUT}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

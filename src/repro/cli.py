@@ -12,6 +12,8 @@ Runs any of the paper's experiments from a shell::
     wolt sim --checkpoint run.jsonl --workers 4   # durable sweep
     wolt sim --checkpoint run.jsonl --resume      # continue after a crash
     wolt solve --extenders 15 --users 36 --seed 1
+    wolt serve --spec fleet.yaml --epochs 10      # campus fleet service
+    wolt serve --spec fleet.yaml --epochs 2 --dry-run   # preview only
     wolt all             # every figure, paper-scale
 
 All experiments are deterministic for a given ``--seed``; a
@@ -131,6 +133,36 @@ def build_parser() -> argparse.ArgumentParser:
                      help="retry budget for crashed trials before an "
                           "explicit TrialFailure is recorded")
 
+    serve = sub.add_parser(
+        "serve",
+        help="campus fleet association service (sharded epochs, "
+             "dry-run previews, journal/resume)")
+    serve.add_argument("--spec", type=str, required=True,
+                       help="YAML fleet spec (see docs/FLEET.md)")
+    serve.add_argument("--epochs", type=int, default=1,
+                       help="epochs to run before exiting (default 1)")
+    serve.add_argument("--dry-run", action="store_true",
+                       help="preview every directive without applying "
+                            "anything or writing the journal")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker processes for shard solves "
+                            "(default: serial; results are "
+                            "bit-identical for any worker count)")
+    serve.add_argument("--chunk-size", type=int, default=None,
+                       help="shards dispatched per worker task "
+                            "(default: auto; results are bit-identical "
+                            "for any chunk size)")
+    serve.add_argument("--journal", type=str, default=None,
+                       help="append each applied epoch to this "
+                            "crash-consistent JSONL journal")
+    serve.add_argument("--resume", action="store_true",
+                       help="replay the journal and continue from the "
+                            "next epoch, bit-identically (requires "
+                            "--journal)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="one summary line per epoch, no "
+                            "per-directive detail")
+
     solve = sub.add_parser(
         "solve", help="run WOLT on a random enterprise floor")
     solve.add_argument("--extenders", type=int, default=15)
@@ -208,6 +240,47 @@ def _sim(args: argparse.Namespace) -> Tuple[str, int]:
     return "\n".join(lines), 0
 
 
+def _serve(args: argparse.Namespace) -> Tuple[str, int]:
+    """The ``wolt serve`` fleet service; returns (report, exit code)."""
+    from .fleet.service import FleetService, format_epoch
+    from .fleet.spec import load_fleet_spec
+    from .sim.dispatch import InterruptState, SignalGuard
+
+    if args.resume and args.journal is None:
+        return "serve: --resume requires --journal", 2
+    if args.epochs < 1:
+        return "serve: --epochs must be >= 1", 2
+    spec = load_fleet_spec(args.spec)
+    print(f"fleet {spec.name}: {spec.n_buildings} buildings, "
+          f"{spec.n_users} users, plc_mode={spec.plc_mode}, "
+          f"seed {spec.seed}")
+    state = InterruptState()
+    with SignalGuard(state), FleetService(
+            spec, workers=args.workers, chunk_size=args.chunk_size,
+            journal=args.journal, resume=args.resume) as service:
+        if args.resume and service.epoch:
+            print(f"resumed from {args.journal} at epoch "
+                  f"{service.epoch}")
+        reports, interrupted = service.run(
+            args.epochs, dry_run=args.dry_run, state=state,
+            on_epoch=lambda r: print(
+                format_epoch(r, directives=not args.quiet)))
+    if interrupted is not None:
+        note = (f"interrupted by {interrupted} after "
+                f"{len(reports)} epochs")
+        if args.journal:
+            note += ("; journal flushed — re-run with --resume to "
+                     "continue")
+        return note, INTERRUPT_EXIT_CODES.get(interrupted, 1)
+    total_directives = sum(len(r.directives) for r in reports)
+    mode = "previewed" if args.dry_run else "applied"
+    summary = (f"{len(reports)} epochs {mode}, {total_directives} "
+               "directives")
+    if args.journal and not args.dry_run:
+        summary += f"; journal: {args.journal}"
+    return summary, 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     from .sim.checkpoint import CheckpointError
@@ -249,6 +322,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"checkpoint error: {exc}", file=sys.stderr)
             return CHECKPOINT_ERROR_EXIT
         print(text)
+        return code
+    elif args.command == "serve":
+        try:
+            text, code = _serve(args)
+        except CheckpointError as exc:
+            print(f"checkpoint error: {exc}", file=sys.stderr)
+            return CHECKPOINT_ERROR_EXIT
+        print(text, file=sys.stderr if code == 2 else sys.stdout)
         return code
     elif args.command == "all":
         print(fig2.main(args.seed))

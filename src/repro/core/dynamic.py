@@ -159,7 +159,10 @@ class IncrementalWolt:
         each user; candidate moves are applied greedily in order of
         marginal gain, re-evaluated after every application, until no
         remaining move gains at least ``min_gain_mbps`` (or the move cap
-        is hit).
+        is hit).  At ``min_gain_mbps == 0`` every target move is applied
+        — zero-gain tie points included — so the final association *is*
+        the fresh WOLT target (vanilla epoch-boundary WOLT), as the
+        class contract promises.
         """
         scenario, ids = self._scenario()
         if not ids:
@@ -209,14 +212,27 @@ class IncrementalWolt:
             gains = [(float(agg) - best, idx)
                      for agg, idx in zip(aggregates, idxs)]
             gain, idx = max(gains)
-            if gain < self.min_gain_mbps or gain <= 1e-12:
+            # The hysteresis bar: at a positive threshold, stop as soon
+            # as the best remaining move falls short.  At the zero
+            # threshold the class contract is "vanilla epoch-boundary
+            # WOLT" — every remaining target move is applied, zero-gain
+            # tie points included (pending shrinks each iteration, so
+            # the loop still terminates).
+            if self.min_gain_mbps > 0 and gain < self.min_gain_mbps:
                 break
+            moved_agg = float(aggregates[idxs.index(idx)])
             applied.append((ids[idx], int(working[idx]),
                             int(target.assignment[idx])))
             working[idx] = target.assignment[idx]
             if evaluator is not None:
                 evaluator.commit(idx, int(target.assignment[idx]))
-            best += gain
+                # Re-sync from the evaluator's committed aggregate:
+                # ``best += gain`` would accumulate one rounding error
+                # per move and the greedy threshold would drift away
+                # from the true baseline over a long churn sequence.
+                best = evaluator.aggregate
+            else:
+                best = moved_agg
             pending.discard(idx)
         for user_id, _, new_j in applied:
             self.assignment[user_id] = new_j

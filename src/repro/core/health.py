@@ -127,9 +127,11 @@ class HealthMonitor:
         """Finite capacities usable by a solver.
 
         Finite non-negative reports pass through; anything else takes
-        the last finite non-negative observation, or ``0.0`` when there
-        never was one.  (Quarantine is a separate concern — mask with
-        :attr:`quarantined` / ``fail_extenders``.)
+        the last *clean* finite non-negative observation — one
+        :meth:`observe` found no fault with (suspect readings such as
+        zero-under-traffic never become the fallback) — or ``0.0`` when
+        there never was one.  (Quarantine is a separate concern — mask
+        with :attr:`quarantined` / ``fail_extenders``.)
         """
         arr = np.asarray(reported, dtype=float).ravel()
         if arr.shape[0] != self.n_extenders:
@@ -198,7 +200,14 @@ class HealthMonitor:
                         event="quarantine", reason=reason))
             if np.isfinite(rates[j]):
                 self._last_seen[j] = float(rates[j])
-                if rates[j] >= 0:
+                # Only a *clean* observation may become the last-known-
+                # good fallback.  A damning one (zero capacity while the
+                # extender demonstrably carries traffic, or a flapping
+                # epoch) passes the ``>= 0`` test yet is exactly the
+                # reading quarantine distrusts; folding it in would let
+                # ``effective_rates`` starve the extender with its own
+                # indictment long after telemetry recovers.
+                if rates[j] >= 0 and reason is None:
                     self._last_good[j] = float(rates[j])
         self.epoch += 1
         return self.quarantined

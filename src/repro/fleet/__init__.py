@@ -1,0 +1,44 @@
+"""Campus layer: fleets of buildings served by one association service.
+
+The paper's CentralController (§IV) is a per-site controller; this
+package scales it to an operator's whole building fleet:
+
+* :mod:`repro.fleet.spec` — declarative YAML fleet specs (explicit
+  buildings plus ``generate`` blocks, so a 1000-building campus stays a
+  ten-line file);
+* :mod:`repro.fleet.sharding` — connected-component splitting of a
+  building's extender set into independent PLC segments over the
+  wiring/interference graph, with bit-identical scatter/gather;
+* :mod:`repro.fleet.service` — :class:`~repro.fleet.service.FleetService`,
+  the epoch loop behind ``wolt serve``: per-building telemetry,
+  :class:`~repro.core.health.HealthMonitor` quarantine,
+  :class:`~repro.core.guard.DecisionGuard` validation, shard solves
+  dispatched through :func:`repro.sim.dispatch.run_chunked`, directive
+  previews (dry-run) and per-epoch JSONL journaling.
+"""
+
+from .service import (BuildingEpoch, Directive, EpochReport, FleetService,
+                      format_epoch)
+from .sharding import (Segment, coupling_components, scatter_assignment,
+                       solve_segments_reference, split_segments)
+from .spec import (BuildingSpec, FleetSpec, HealthSettings,
+                   TelemetryModel, load_fleet_spec, parse_fleet_spec)
+
+__all__ = [
+    "BuildingEpoch",
+    "BuildingSpec",
+    "Directive",
+    "EpochReport",
+    "FleetService",
+    "FleetSpec",
+    "HealthSettings",
+    "Segment",
+    "TelemetryModel",
+    "coupling_components",
+    "format_epoch",
+    "load_fleet_spec",
+    "parse_fleet_spec",
+    "scatter_assignment",
+    "solve_segments_reference",
+    "split_segments",
+]

@@ -1,0 +1,537 @@
+"""The fleet association service behind ``wolt serve``.
+
+:class:`FleetService` runs the paper's epoch-driven reconfiguration
+loop (Fig. 6b) across a whole campus.  Each epoch:
+
+1. **Telemetry** — every building's scan/capacity stream drifts from
+   its ground-truth rates under the spec's
+   :class:`~repro.fleet.spec.TelemetryModel` (seeded per
+   ``(building, epoch)``, so any epoch is reproducible in isolation);
+   the building's :class:`~repro.core.health.HealthMonitor` folds in
+   the PLC reports, and quarantined extenders are masked out of the
+   solve exactly like dead ones
+   (:func:`repro.sim.failures.fail_extenders` semantics).
+2. **Sharding** — the effective scenario is split into independent PLC
+   segments (:func:`repro.fleet.sharding.split_segments`); all shards
+   of all buildings form one work batch.
+3. **Dispatch** — shard solves run through the chunked warm-pool
+   dispatch layer (:func:`repro.sim.dispatch.dispatch_chunked`, the
+   machinery behind ``run_trials``), bit-identical to the serial
+   reference for any worker/chunk count.  A shard whose worker died
+   repeatedly is quarantined by the supervisor and its users simply
+   keep their previous association — one poisoned building cannot take
+   the campus down.
+4. **Directives** — the per-building diff old → new is emitted as
+   :class:`Directive` records with per-move expected aggregate deltas;
+   ``dry_run`` previews them without applying anything.
+5. **Journal** — applied epochs append one crash-consistent record to
+   the :class:`~repro.sim.checkpoint.TrialStore` journal; resume
+   replays telemetry deterministically and restores assignments, so a
+   resumed service continues bit-identically.
+
+Dry-run semantics: the world keeps turning (telemetry is ingested,
+health state advances, the epoch counter increments) but **nothing is
+applied** — associations stay as they were and the journal is not
+written.  Repeated ``--dry-run`` epochs therefore preview what each
+successive epoch *would* do against the frozen association state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.guard import DecisionGuard
+from ..core.health import HealthMonitor
+from ..core.problem import MIN_USABLE_RATE, UNASSIGNED, Scenario
+from ..core.wolt import solve_wolt
+from ..net.engine import evaluate
+from ..sim.checkpoint import TrialStore, fingerprint
+from ..sim.dispatch import (InterruptState, WorkFailure, WorkSpec,
+                            dispatch_chunked)
+from .sharding import Segment, split_segments
+from .spec import FleetSpec, build_building_scenario
+
+__all__ = ["BuildingEpoch", "Directive", "EpochReport", "FleetService",
+           "format_epoch"]
+
+
+@dataclass(frozen=True)
+class Directive:
+    """One association change the service wants to apply.
+
+    Attributes:
+        building: building name.
+        user: building-local user index.
+        old_extender: current extender
+            (:data:`~repro.core.problem.UNASSIGNED` for a new
+            placement).
+        new_extender: target extender
+            (:data:`~repro.core.problem.UNASSIGNED` detaches the
+            user).
+        delta_mbps: expected building-aggregate change from applying
+            this directive, in the epoch's directive order.
+    """
+
+    building: str
+    user: int
+    old_extender: int
+    new_extender: int
+    delta_mbps: float
+
+
+@dataclass(frozen=True)
+class BuildingEpoch:
+    """One building's slice of an epoch.
+
+    ``delta_mbps`` compares the directives' outcome against keeping
+    the previous association, both scored under *this* epoch's
+    effective scenario (telemetry moved between epochs, so comparing
+    against last epoch's aggregate would conflate drift with
+    decisions).
+    """
+
+    building: str
+    n_segments: int
+    n_shard_failures: int
+    quarantined: Tuple[int, ...]
+    aggregate_mbps: float
+    delta_mbps: float
+    directives: Tuple[Directive, ...]
+
+
+@dataclass(frozen=True)
+class EpochReport:
+    """Everything one epoch decided, across the fleet."""
+
+    epoch: int
+    buildings: Tuple[BuildingEpoch, ...]
+    n_shards: int
+    n_shard_failures: int
+    aggregate_mbps: float
+    delta_mbps: float
+    applied: bool
+
+    @property
+    def directives(self) -> Tuple[Directive, ...]:
+        return tuple(d for b in self.buildings for d in b.directives)
+
+
+@dataclass(frozen=True)
+class _ShardWork:
+    """One shard solve: a building index plus its segment."""
+
+    building: int
+    segment: Segment
+
+
+def _solve_shard(plc_mode: str, spec: WorkSpec) -> np.ndarray:
+    """Worker-side shard solve (module-level, picklable).
+
+    Returns the segment-local assignment; an empty segment (every
+    serving extender quarantined away) short-circuits without a solve.
+    """
+    segment = spec.item.segment
+    if segment.scenario.n_users == 0:
+        return np.empty(0, dtype=int)
+    return solve_wolt(segment.scenario, plc_mode=plc_mode).assignment
+
+
+class _BuildingState:
+    """Mutable per-building service state (one per spec building)."""
+
+    def __init__(self, spec: FleetSpec, index: int) -> None:
+        building = spec.buildings[index]
+        self.index = index
+        self.name = building.name
+        self.circuits = building.circuits
+        self.scenario = build_building_scenario(spec, index)
+        self.health = HealthMonitor(
+            building.n_extenders,
+            flap_band=spec.health.flap_band,
+            flap_strikes=spec.health.flap_strikes,
+            probation_epochs=spec.health.probation_epochs)
+        self.guard = DecisionGuard()
+        self.assignment = np.full(building.n_users, UNASSIGNED,
+                                  dtype=int)
+
+
+class FleetService:
+    """Campus-scale association service (the engine of ``wolt serve``).
+
+    Args:
+        spec: the parsed fleet specification.
+        workers: worker processes for shard dispatch (``None``/0/1 =
+            serial in-process; results are bit-identical either way).
+        chunk_size: shards per dispatched chunk (``None`` = auto).
+        journal: optional path of a crash-consistent JSONL epoch
+            journal (:class:`~repro.sim.checkpoint.TrialStore`).
+        resume: recover the journal and replay it so the service
+            continues exactly where it stopped (requires ``journal``).
+    """
+
+    def __init__(self, spec: FleetSpec,
+                 workers: Optional[int] = None,
+                 chunk_size: Optional[int] = None,
+                 journal: Optional[str] = None,
+                 resume: bool = False) -> None:
+        if resume and journal is None:
+            raise ValueError("resume requires a journal path")
+        self.spec = spec
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.epoch = 0
+        self._buildings = [_BuildingState(spec, i)
+                           for i in range(spec.n_buildings)]
+        self._store: Optional[TrialStore] = None
+        if journal is not None:
+            params = spec.params()
+            self._store = TrialStore(journal, fingerprint(params),
+                                     params=params, resume=resume)
+            if resume and self._store.records:
+                self._replay(self._store.records)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def close(self) -> None:
+        if self._store is not None:
+            self._store.close()
+
+    def __enter__(self) -> "FleetService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # telemetry
+
+    def _telemetry_rng(self, building: int,
+                       epoch: int) -> np.random.Generator:
+        # Three-element spawn_key: topology uses (building, 0) (see
+        # spec.build_building_scenario), so telemetry streams can
+        # never alias it, and any epoch is addressable directly —
+        # which is what makes journal replay bit-identical.
+        return np.random.default_rng(np.random.SeedSequence(
+            entropy=self.spec.seed, spawn_key=(building, epoch, 1)))
+
+    def _observe(self, state: _BuildingState,
+                 epoch: int) -> Tuple[Scenario, Tuple[int, ...]]:
+        """Ingest one epoch of telemetry for one building.
+
+        Draws the building's drifted scan/capacity reports, folds the
+        PLC reports into the health monitor, and returns the
+        *effective* scenario (last-known-good capacities, quarantined
+        extenders masked out like dead ones) plus the quarantine set.
+        """
+        model = self.spec.telemetry
+        true = state.scenario
+        rng = self._telemetry_rng(state.index, epoch)
+        wifi_obs = true.wifi_rates
+        if model.wifi_jitter > 0:
+            noise = rng.standard_normal(true.wifi_rates.shape)
+            wifi_obs = np.clip(
+                true.wifi_rates * (1.0 + model.wifi_jitter * noise),
+                0.0, None)
+        plc_obs = true.plc_rates.astype(float, copy=True)
+        if model.plc_jitter > 0:
+            noise = rng.standard_normal(true.plc_rates.shape)
+            plc_obs = np.clip(
+                plc_obs * (1.0 + model.plc_jitter * noise), 0.0, None)
+        if model.dropout > 0:
+            lost = rng.random(true.n_extenders) < model.dropout
+            plc_obs[lost] = np.nan
+        carrying = np.zeros(true.n_extenders, dtype=bool)
+        attached = state.assignment[state.assignment != UNASSIGNED]
+        carrying[attached] = True
+        state.health.observe(plc_obs, carrying_traffic=carrying)
+        effective_plc = state.health.effective_rates(plc_obs)
+        quarantined = state.health.quarantined_extenders()
+        if quarantined:
+            mask = np.asarray(quarantined, dtype=int)
+            wifi_obs = wifi_obs.copy()
+            wifi_obs[:, mask] = 0.0
+            effective_plc = effective_plc.copy()
+            effective_plc[mask] = 0.0
+        return (Scenario(wifi_rates=wifi_obs, plc_rates=effective_plc),
+                quarantined)
+
+    # ------------------------------------------------------------------
+    # the epoch
+
+    def run_epoch(self, dry_run: bool = False,
+                  state: Optional[InterruptState] = None
+                  ) -> Optional[EpochReport]:
+        """Run one epoch; ``None`` when interrupted mid-dispatch.
+
+        An interrupted epoch is discarded whole (nothing applied,
+        nothing journaled) — epochs are atomic.
+        """
+        epoch = self.epoch
+        observed: List[Tuple[Scenario, Tuple[int, ...]]] = [
+            self._observe(b, epoch) for b in self._buildings]
+        segments_of: List[List[Segment]] = [
+            split_segments(scenario, circuits=b.circuits)
+            for b, (scenario, _) in zip(self._buildings, observed)]
+        specs = tuple(
+            WorkSpec(index=i, item=work) for i, work in enumerate(
+                _ShardWork(building=b, segment=segment)
+                for b, segments in enumerate(segments_of)
+                for segment in segments))
+        shard_results = self._dispatch(specs, state)
+        if state is not None and state.interrupted:
+            # The epoch is discarded whole, so the counter must not
+            # advance: journal resume will re-run this same epoch.
+            return None
+        cursor = 0
+        building_reports: List[BuildingEpoch] = []
+        for b, bstate in enumerate(self._buildings):
+            segments = segments_of[b]
+            results = [shard_results[cursor + s]
+                       for s in range(len(segments))]
+            cursor += len(segments)
+            scenario, quarantined = observed[b]
+            building_reports.append(self._settle_building(
+                bstate, scenario, quarantined, segments, results,
+                apply=not dry_run))
+        report = EpochReport(
+            epoch=epoch,
+            buildings=tuple(building_reports),
+            n_shards=len(specs),
+            n_shard_failures=sum(b.n_shard_failures
+                                 for b in building_reports),
+            aggregate_mbps=sum(b.aggregate_mbps
+                               for b in building_reports),
+            delta_mbps=sum(b.delta_mbps for b in building_reports),
+            applied=not dry_run)
+        if not dry_run and self._store is not None:
+            self._store.append(epoch, self._encode_epoch(report))
+        self.epoch += 1
+        return report
+
+    def run(self, epochs: int, dry_run: bool = False,
+            state: Optional[InterruptState] = None,
+            on_epoch: Optional[Callable[[EpochReport], None]] = None
+            ) -> Tuple[List[EpochReport], Optional[str]]:
+        """Run ``epochs`` epochs, draining gracefully on interruption.
+
+        Returns ``(reports, interrupted_signal_name)``; on interrupt
+        the in-flight epoch is discarded, an ``interrupted`` event is
+        journaled, and the service can be resumed later.
+        """
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        reports: List[EpochReport] = []
+        interrupted: Optional[str] = None
+        for _ in range(epochs):
+            if state is not None and state.interrupted:
+                interrupted = state.signal_name
+                break
+            report = self.run_epoch(dry_run=dry_run, state=state)
+            if report is None:  # interrupted mid-epoch
+                interrupted = None if state is None else state.signal_name
+                break
+            reports.append(report)
+            if on_epoch is not None:
+                on_epoch(report)
+        if interrupted is not None and self._store is not None:
+            self._store.append_event("interrupted", signal=interrupted,
+                                     epoch=self.epoch)
+        return reports, interrupted
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _dispatch(self, specs: Sequence[WorkSpec],
+                  state: Optional[InterruptState]) -> Dict[int, Any]:
+        """Solve every shard; per-index results keyed by spec index."""
+        results: Dict[int, Any] = {}
+
+        def record(index: int, result: Any) -> None:
+            results[index] = result
+
+        workers = self.workers
+        if workers is not None and workers > 1:
+            dispatch_chunked(specs, self.spec.plc_mode, _solve_shard,
+                             workers=workers,
+                             chunk_size=self.chunk_size,
+                             retry_budget=1, record=record,
+                             state=state)
+        else:
+            for spec in specs:
+                if state is not None and state.interrupted:
+                    break
+                record(spec.index, _solve_shard(self.spec.plc_mode,
+                                                spec))
+        return results
+
+    def _settle_building(self, bstate: _BuildingState,
+                         scenario: Scenario,
+                         quarantined: Tuple[int, ...],
+                         segments: Sequence[Segment],
+                         results: Sequence[Any],
+                         apply: bool) -> BuildingEpoch:
+        """Scatter shard results, diff directives, optionally apply."""
+        old = bstate.assignment
+        n_users = old.shape[0]
+        new = np.full(n_users, UNASSIGNED, dtype=int)
+        shard_failures = 0
+        for segment, result in zip(segments, results):
+            if isinstance(result, WorkFailure):
+                # Shard quarantine: its users keep their previous
+                # association (when still reachable) instead of taking
+                # the building down with the failed solve.
+                shard_failures += 1
+                if self._store is not None:
+                    self._store.append_event(
+                        "shard-failure", epoch=self.epoch,
+                        building=bstate.name, segment=segment.index,
+                        error_type=result.error_type)
+                for user in segment.users:
+                    kept = int(old[user])
+                    if (kept != UNASSIGNED
+                            and scenario.wifi_rates[user, kept]
+                            > MIN_USABLE_RATE):
+                        new[user] = kept
+                continue
+            local = np.asarray(result, dtype=int).ravel()
+            ext_map = np.asarray(segment.extenders, dtype=int)
+            for pos, user in enumerate(segment.users):
+                if local[pos] != UNASSIGNED:
+                    new[user] = ext_map[local[pos]]
+        new, _ = bstate.guard.repair_assignment(
+            scenario, new, source="fleet", require_complete=False)
+        # Score against the previous association *as servable this
+        # epoch* (users whose extender vanished contribute nothing to
+        # the baseline).
+        reachable_old = old.copy()
+        attached = np.flatnonzero(reachable_old != UNASSIGNED)
+        if attached.size:
+            rates = scenario.wifi_rates[attached,
+                                        reachable_old[attached]]
+            reachable_old[attached[rates <= MIN_USABLE_RATE]] = \
+                UNASSIGNED
+        running = evaluate(scenario, reachable_old,
+                           plc_mode=self.spec.plc_mode).aggregate
+        baseline = running
+        working = reachable_old.copy()
+        directives: List[Directive] = []
+        for user in range(n_users):
+            if int(new[user]) == int(old[user]):
+                continue
+            working[user] = new[user]
+            moved = evaluate(scenario, working,
+                             plc_mode=self.spec.plc_mode).aggregate
+            directives.append(Directive(
+                building=bstate.name, user=user,
+                old_extender=int(old[user]),
+                new_extender=int(new[user]),
+                delta_mbps=float(moved - running)))
+            running = moved
+        if apply:
+            bstate.assignment = new
+        return BuildingEpoch(building=bstate.name,
+                             n_segments=len(segments),
+                             n_shard_failures=shard_failures,
+                             quarantined=quarantined,
+                             aggregate_mbps=float(running),
+                             delta_mbps=float(running - baseline),
+                             directives=tuple(directives))
+
+    # ------------------------------------------------------------------
+    # journaling and resume
+
+    def _encode_epoch(self, report: EpochReport) -> Dict[str, Any]:
+        return {
+            "aggregate_mbps": report.aggregate_mbps,
+            "delta_mbps": report.delta_mbps,
+            "n_shards": report.n_shards,
+            "n_shard_failures": report.n_shard_failures,
+            "buildings": [
+                {"name": b.building,
+                 "assignment": self._buildings[i].assignment.tolist(),
+                 "aggregate_mbps": b.aggregate_mbps,
+                 "delta_mbps": b.delta_mbps,
+                 "n_segments": b.n_segments,
+                 "quarantined": list(b.quarantined),
+                 "directives": [[d.user, d.old_extender,
+                                 d.new_extender, d.delta_mbps]
+                                for d in b.directives]}
+                for i, b in enumerate(report.buildings)],
+        }
+
+    def _replay(self, records: Dict[int, Any]) -> None:
+        """Restore service state from a recovered epoch journal.
+
+        Telemetry is a pure function of ``(seed, building, epoch)``,
+        so replaying the recorded epochs through each health monitor
+        (with the journaled associations supplying the traffic masks)
+        reconstructs the exact pre-crash state; the continuation is
+        bit-identical to a run that was never interrupted
+        (``tests/test_fleet_service.py``).
+        """
+        epochs = sorted(records)
+        if epochs != list(range(len(epochs))):
+            from ..sim.checkpoint import CorruptCheckpoint
+            raise CorruptCheckpoint(
+                f"fleet journal epochs {epochs} are not contiguous "
+                "from 0; refusing to resume")
+        for epoch in epochs:
+            payload = records[epoch]
+            entries = payload.get("buildings", [])
+            if len(entries) != len(self._buildings):
+                from ..sim.checkpoint import CorruptCheckpoint
+                raise CorruptCheckpoint(
+                    f"fleet journal epoch {epoch} covers "
+                    f"{len(entries)} buildings, spec has "
+                    f"{len(self._buildings)}")
+            for bstate, entry in zip(self._buildings, entries):
+                self._observe(bstate, epoch)
+                bstate.assignment = np.asarray(entry["assignment"],
+                                               dtype=int)
+        self.epoch = len(epochs)
+
+
+# ---------------------------------------------------------------------------
+# rendering (byte-stable: the dry-run preview is golden-file tested)
+
+
+def _ext_label(extender: int) -> str:
+    return "none" if extender == UNASSIGNED else str(extender)
+
+
+def format_epoch(report: EpochReport, directives: bool = True) -> str:
+    """Render one epoch as a stable, diff-friendly text block.
+
+    The format is deliberately deterministic — fixed float precision,
+    spec ordering, no timestamps — so ``wolt serve --dry-run`` output
+    can be diffed against a golden file in CI.
+    """
+    mode = "preview" if not report.applied else "applied"
+    lines = [
+        f"epoch {report.epoch} ({mode}): "
+        f"{len(report.buildings)} buildings, {report.n_shards} shards"
+        f" ({report.n_shard_failures} failed), "
+        f"{len(report.directives)} directives, aggregate "
+        f"{report.aggregate_mbps:.6f} Mbps "
+        f"({report.delta_mbps:+.6f})"]
+    for building in report.buildings:
+        quarantine_note = (
+            "" if not building.quarantined
+            else " quarantined=" + ",".join(
+                str(j) for j in building.quarantined))
+        lines.append(
+            f"  [{building.building}] segments "
+            f"{building.n_segments}, aggregate "
+            f"{building.aggregate_mbps:.6f} Mbps "
+            f"({building.delta_mbps:+.6f}){quarantine_note}")
+        if directives:
+            for d in building.directives:
+                lines.append(
+                    f"    user {d.user}: {_ext_label(d.old_extender)}"
+                    f" -> {_ext_label(d.new_extender)} "
+                    f"({d.delta_mbps:+.6f} Mbps)")
+    return "\n".join(lines)

@@ -1,0 +1,229 @@
+"""Topology sharding: split a building into independent PLC segments.
+
+``repro.core.partition`` is the *Theorem-1 NP-hardness reduction*
+(PARTITION ↔ Problem 1), not a topology splitter — it proves the
+problem is hard, it does not decompose instances.  This module is the
+actual splitter: it partitions a building's extender set into
+**independent PLC segments** via connected components of the
+wiring/interference graph, where two extenders are coupled when
+
+* they share a powerline circuit (a *wiring* edge — extenders on one
+  circuit contend for the same PLC medium), or
+* some user hears both above
+  :data:`~repro.core.problem.MIN_USABLE_RATE` (an *interference* edge
+  — the association decision for that user couples the two cells).
+
+Why segments must be separate :class:`~repro.core.problem.Scenario`
+objects rather than column-slices of one big one: every quantity in a
+WOLT solve is coupled through the scenario-wide extender set.  Phase I
+utilities are ``min(c_j/|A|, r_ij)`` with the *global* ``|A|``
+(Theorem 2), and all three PLC sharing laws in
+:mod:`repro.plc.sharing` divide **one** unit of medium time among all
+extenders of the scenario.  Merging two electrically separate segments
+into one ``Scenario`` therefore models them as sharing a single PLC
+medium — a different (and wrong) physical system whose solution
+legitimately differs.  The correct whole-fleet solve *is* the
+per-segment solve: :func:`solve_segments_reference` runs it serially
+in canonical segment order, and the parallel shard dispatch in
+:mod:`repro.fleet.service` is property-tested bit-identical to it
+(``tests/test_fleet_sharding.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.problem import UNASSIGNED, Scenario
+from ..core.wolt import solve_wolt
+
+__all__ = ["Segment", "coupling_components", "scatter_assignment",
+           "solve_segments_reference", "split_segments"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One independent PLC segment of a building.
+
+    Attributes:
+        index: canonical position (segments are ordered by their
+            smallest extender index).
+        extenders: parent-scenario extender indices, ascending.
+        users: parent-scenario user indices, ascending — exactly the
+            users whose reachable set lies inside ``extenders`` (a user
+            hearing two segments would have merged them).
+        scenario: the segment as a standalone scenario with its **own**
+            PLC medium; rows/columns follow ``users``/``extenders``.
+    """
+
+    index: int
+    extenders: Tuple[int, ...]
+    users: Tuple[int, ...]
+    scenario: Scenario
+
+
+class _UnionFind:
+    """Union-find over extender indices (path halving, union by size)."""
+
+    def __init__(self, n: int) -> None:
+        self._parent = list(range(n))
+        self._size = [1] * n
+
+    def find(self, j: int) -> int:
+        parent = self._parent
+        while parent[j] != j:
+            parent[j] = parent[parent[j]]
+            j = parent[j]
+        return j
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+
+
+def coupling_components(scenario: Scenario,
+                        circuits: Optional[Sequence[object]] = None
+                        ) -> List[Tuple[int, ...]]:
+    """Connected components of the wiring/interference graph.
+
+    Args:
+        scenario: the building snapshot.
+        circuits: optional per-extender powerline-circuit labels; any
+            two extenders with equal labels get a wiring edge.  When
+            omitted, every extender shares one circuit (the
+            conservative default: one building, one medium), so the
+            graph has a single component.
+
+    Returns:
+        Extender-index tuples, each sorted ascending, ordered by their
+        smallest member.
+    """
+    n_ext = scenario.n_extenders
+    uf = _UnionFind(n_ext)
+    if circuits is None:
+        for j in range(1, n_ext):
+            uf.union(0, j)
+    else:
+        labels = list(circuits)
+        if len(labels) != n_ext:
+            raise ValueError(
+                f"circuits has {len(labels)} labels for {n_ext} "
+                "extenders")
+        first_of: Dict[object, int] = {}
+        for j, label in enumerate(labels):
+            if label in first_of:
+                uf.union(first_of[label], j)
+            else:
+                first_of[label] = j
+    for user in range(scenario.n_users):
+        reach = scenario.reachable(user)
+        for j in reach[1:]:
+            uf.union(int(reach[0]), int(j))
+    groups: Dict[int, List[int]] = {}
+    for j in range(n_ext):
+        groups.setdefault(uf.find(j), []).append(j)
+    return sorted((tuple(sorted(g)) for g in groups.values()),
+                  key=lambda g: g[0])
+
+
+def split_segments(scenario: Scenario,
+                   circuits: Optional[Sequence[object]] = None
+                   ) -> List[Segment]:
+    """Split a building into its independent PLC segments.
+
+    Every user with at least one reachable extender lands in exactly
+    one segment (reaching two would have merged them into one
+    component); users hearing nothing belong to no segment and are left
+    :data:`~repro.core.problem.UNASSIGNED` by
+    :func:`scatter_assignment`.
+
+    Returns:
+        Segments in canonical order (by smallest extender index).
+    """
+    components = coupling_components(scenario, circuits)
+    ext_to_comp = {j: c for c, comp in enumerate(components)
+                   for j in comp}
+    comp_users: List[List[int]] = [[] for _ in components]
+    for user in range(scenario.n_users):
+        reach = scenario.reachable(user)
+        if reach.size:
+            comp_users[ext_to_comp[int(reach[0])]].append(user)
+    segments: List[Segment] = []
+    for c, extenders in enumerate(components):
+        users = comp_users[c]
+        ext_idx = np.asarray(extenders, dtype=int)
+        user_idx = np.asarray(users, dtype=int)
+        wifi = scenario.wifi_rates[np.ix_(user_idx, ext_idx)]
+        caps = (None if scenario.capacities is None
+                else scenario.capacities[ext_idx])
+        ids = (None if scenario.user_ids is None
+               else scenario.user_ids[user_idx])
+        sub = Scenario(wifi_rates=wifi,
+                       plc_rates=scenario.plc_rates[ext_idx],
+                       capacities=caps, user_ids=ids)
+        segments.append(Segment(index=c, extenders=tuple(extenders),
+                                users=tuple(users), scenario=sub))
+    return segments
+
+
+def scatter_assignment(n_users: int, segments: Sequence[Segment],
+                       assignments: Sequence[Sequence[int]]
+                       ) -> np.ndarray:
+    """Scatter per-segment assignments back into parent indices.
+
+    Args:
+        n_users: user count of the parent scenario.
+        segments: the segments, in any order.
+        assignments: one per-segment assignment vector (segment-local
+            extender indices or :data:`~repro.core.problem.UNASSIGNED`),
+            aligned with ``segments``.
+
+    Returns:
+        A length-``n_users`` parent assignment; users outside every
+        segment stay :data:`~repro.core.problem.UNASSIGNED`.
+    """
+    if len(segments) != len(assignments):
+        raise ValueError(
+            f"{len(assignments)} assignment vectors for "
+            f"{len(segments)} segments")
+    full = np.full(n_users, UNASSIGNED, dtype=int)
+    for segment, local in zip(segments, assignments):
+        vec = np.asarray(local, dtype=int).ravel()
+        if vec.shape[0] != len(segment.users):
+            raise ValueError(
+                f"segment {segment.index} assignment covers "
+                f"{vec.shape[0]} users, expected {len(segment.users)}")
+        ext_map = np.asarray(segment.extenders, dtype=int)
+        attached = vec != UNASSIGNED
+        parent = np.full(vec.shape[0], UNASSIGNED, dtype=int)
+        parent[attached] = ext_map[vec[attached]]
+        full[np.asarray(segment.users, dtype=int)] = parent
+    return full
+
+
+def solve_segments_reference(scenario: Scenario,
+                             circuits: Optional[Sequence[object]] = None,
+                             plc_mode: str = "redistribute"
+                             ) -> np.ndarray:
+    """The unsharded whole-fleet reference solve of one building.
+
+    Splits into segments and solves each **serially** in canonical
+    order with :func:`~repro.core.wolt.solve_wolt` (each segment keeps
+    its own PLC medium — see the module docstring for why this, not a
+    merged-scenario solve, is the correct whole-building model).  The
+    parallel shard dispatch must be bit-identical to this for any
+    worker/chunk count; on a single-segment building it degenerates to
+    plain ``solve_wolt(scenario)``.
+    """
+    segments = split_segments(scenario, circuits)
+    assignments = [solve_wolt(seg.scenario,
+                              plc_mode=plc_mode).assignment
+                   for seg in segments]
+    return scatter_assignment(scenario.n_users, segments, assignments)

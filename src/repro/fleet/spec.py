@@ -1,0 +1,317 @@
+"""Declarative fleet specs: the YAML schema behind ``wolt serve``.
+
+A fleet spec names the campus, pins the master seed and PLC sharing
+law, and lists buildings — explicitly and/or through ``generate``
+blocks that expand into numbered buildings, so a 1000-building campus
+spec stays a ten-line file::
+
+    fleet:
+      name: campus-east
+      seed: 2026
+      plc_mode: redistribute
+    buildings:
+      - name: hq
+        extenders: 6
+        users: 14
+        circuits: [a, a, a, b, b, b]
+    generate:
+      - prefix: b
+        count: 1000
+        extenders: 3
+        users: 6
+    telemetry:
+      wifi_jitter: 0.05
+      plc_jitter: 0.10
+      dropout: 0.01
+    health:
+      flap_band: 0.5
+      flap_strikes: 2
+      probation_epochs: 3
+
+Everything downstream is a pure function of the spec: building
+topologies come from :func:`~repro.net.topology.enterprise_floor`
+seeded by ``SeedSequence(seed, spawn_key=(building, 0))`` and per-epoch
+telemetry from ``spawn_key=(building, epoch, 1)``, so any epoch of any
+building is reproducible in isolation (which is what makes journal
+resume bit-identical — see :mod:`repro.fleet.service`).
+
+The YAML loader (PyYAML) is imported lazily and gated: parsing raises
+a clear error when the dependency is absent instead of failing at
+import time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.problem import Scenario
+from ..net.topology import enterprise_floor
+from ..plc.sharing import PLC_MODES
+
+__all__ = ["BuildingSpec", "FleetSpec", "HealthSettings",
+           "TelemetryModel", "build_building_scenario",
+           "load_fleet_spec", "parse_fleet_spec"]
+
+
+@dataclass(frozen=True)
+class BuildingSpec:
+    """One building of the fleet.
+
+    Attributes:
+        name: unique building name (directive and journal key).
+        n_extenders: extender count.
+        n_users: user count.
+        circuits: optional per-extender powerline-circuit labels (the
+            wiring side of the coupling graph in
+            :mod:`repro.fleet.sharding`); ``None`` means one circuit.
+    """
+
+    name: str
+    n_extenders: int
+    n_users: int
+    circuits: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("building name must be non-empty")
+        if self.n_extenders < 1:
+            raise ValueError(
+                f"building {self.name!r}: extenders must be >= 1")
+        if self.n_users < 1:
+            raise ValueError(
+                f"building {self.name!r}: users must be >= 1")
+        if (self.circuits is not None
+                and len(self.circuits) != self.n_extenders):
+            raise ValueError(
+                f"building {self.name!r}: {len(self.circuits)} circuit "
+                f"labels for {self.n_extenders} extenders")
+
+
+@dataclass(frozen=True)
+class TelemetryModel:
+    """Per-epoch telemetry drift applied to a building's true rates.
+
+    All three knobs are dimensionless: the jitters are relative
+    standard deviations of a multiplicative Gaussian factor (clipped at
+    zero), ``dropout`` is the per-extender probability that a PLC
+    capacity report arrives as NaN (a failed probe).
+    """
+
+    wifi_jitter: float = 0.0
+    plc_jitter: float = 0.0
+    dropout: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.wifi_jitter < 0 or self.plc_jitter < 0:
+            raise ValueError("telemetry jitters must be non-negative")
+        if not 0.0 <= self.dropout <= 1.0:
+            raise ValueError("dropout must be a probability in [0, 1]")
+
+
+@dataclass(frozen=True)
+class HealthSettings:
+    """Constructor arguments for each building's HealthMonitor."""
+
+    flap_band: float = 0.5
+    flap_strikes: int = 2
+    probation_epochs: int = 3
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A parsed, validated fleet specification."""
+
+    name: str
+    seed: int
+    plc_mode: str = "redistribute"
+    buildings: Tuple[BuildingSpec, ...] = ()
+    telemetry: TelemetryModel = field(default_factory=TelemetryModel)
+    health: HealthSettings = field(default_factory=HealthSettings)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("fleet name must be non-empty")
+        if self.plc_mode not in PLC_MODES:
+            raise ValueError(
+                f"plc_mode must be one of {PLC_MODES}, got "
+                f"{self.plc_mode!r}")
+        if not self.buildings:
+            raise ValueError("a fleet needs at least one building")
+        names = [b.name for b in self.buildings]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate building names: {dupes}")
+
+    @property
+    def n_buildings(self) -> int:
+        return len(self.buildings)
+
+    @property
+    def n_users(self) -> int:
+        return sum(b.n_users for b in self.buildings)
+
+    def params(self) -> Dict[str, Any]:
+        """JSON-serializable echo for checkpoint fingerprinting."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "plc_mode": self.plc_mode,
+            "buildings": [
+                {"name": b.name, "extenders": b.n_extenders,
+                 "users": b.n_users,
+                 "circuits": (None if b.circuits is None
+                              else list(b.circuits))}
+                for b in self.buildings],
+            "telemetry": {"wifi_jitter": self.telemetry.wifi_jitter,
+                          "plc_jitter": self.telemetry.plc_jitter,
+                          "dropout": self.telemetry.dropout},
+            "health": {"flap_band": self.health.flap_band,
+                       "flap_strikes": self.health.flap_strikes,
+                       "probation_epochs":
+                           self.health.probation_epochs},
+        }
+
+
+def build_building_scenario(spec: FleetSpec,
+                            building: int) -> Scenario:
+    """The ground-truth topology of one building (pure in the spec).
+
+    Seeded by ``SeedSequence(entropy=spec.seed,
+    spawn_key=(building, 0))``, so adding, removing, or reordering
+    *other* buildings never changes this one's floor.
+    """
+    b = spec.buildings[building]
+    rng = np.random.default_rng(np.random.SeedSequence(
+        entropy=spec.seed, spawn_key=(building, 0)))
+    return enterprise_floor(b.n_extenders, b.n_users, rng)
+
+
+# ---------------------------------------------------------------------------
+# YAML parsing.
+
+
+def _require_mapping(value: Any, where: str) -> Dict[str, Any]:
+    if not isinstance(value, dict):
+        raise ValueError(f"{where} must be a mapping, got "
+                         f"{type(value).__name__}")
+    return value
+
+
+def _take_int(mapping: Mapping[str, Any], key: str, where: str,
+              default: Optional[int] = None) -> int:
+    if key not in mapping:
+        if default is None:
+            raise ValueError(f"{where} is missing required key "
+                             f"{key!r}")
+        return default
+    value = mapping[key]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"{where}.{key} must be an integer, got "
+                         f"{value!r}")
+    return value
+
+
+def _reject_unknown(mapping: Mapping[str, Any], allowed: Tuple[str, ...],
+                    where: str) -> None:
+    unknown = sorted(set(mapping) - set(allowed))
+    if unknown:
+        raise ValueError(f"{where} has unknown keys {unknown}; "
+                         f"allowed: {sorted(allowed)}")
+
+
+def _parse_building(raw: Any, where: str) -> BuildingSpec:
+    block = _require_mapping(raw, where)
+    _reject_unknown(block, ("name", "extenders", "users", "circuits"),
+                    where)
+    if "name" not in block:
+        raise ValueError(f"{where} is missing required key 'name'")
+    circuits: Optional[Tuple[str, ...]] = None
+    if block.get("circuits") is not None:
+        if not isinstance(block["circuits"], list):
+            raise ValueError(f"{where}.circuits must be a list")
+        circuits = tuple(str(c) for c in block["circuits"])
+    return BuildingSpec(name=str(block["name"]),
+                        n_extenders=_take_int(block, "extenders", where),
+                        n_users=_take_int(block, "users", where),
+                        circuits=circuits)
+
+
+def _expand_generate(raw: Any, where: str) -> List[BuildingSpec]:
+    block = _require_mapping(raw, where)
+    _reject_unknown(block, ("prefix", "count", "extenders", "users",
+                            "circuits"), where)
+    prefix = str(block.get("prefix", "bldg"))
+    count = _take_int(block, "count", where)
+    if count < 1:
+        raise ValueError(f"{where}.count must be >= 1")
+    width = len(str(count - 1))
+    template = _parse_building(
+        {"name": "template",
+         "extenders": _take_int(block, "extenders", where),
+         "users": _take_int(block, "users", where),
+         "circuits": block.get("circuits")}, where)
+    return [BuildingSpec(name=f"{prefix}{i:0{width}d}",
+                         n_extenders=template.n_extenders,
+                         n_users=template.n_users,
+                         circuits=template.circuits)
+            for i in range(count)]
+
+
+def parse_fleet_spec(text: str) -> FleetSpec:
+    """Parse and validate a YAML fleet spec from a string."""
+    try:
+        import yaml
+    except ImportError as exc:  # pragma: no cover - dep always present
+        raise RuntimeError(
+            "fleet specs are YAML; install pyyaml to use "
+            "repro.fleet.spec") from exc
+    document = yaml.safe_load(text)
+    root = _require_mapping(document, "fleet spec")
+    _reject_unknown(root, ("fleet", "buildings", "generate",
+                           "telemetry", "health"), "fleet spec")
+    head = _require_mapping(root.get("fleet", {}), "fleet")
+    _reject_unknown(head, ("name", "seed", "plc_mode"), "fleet")
+    buildings: List[BuildingSpec] = []
+    raw_buildings = root.get("buildings", [])
+    if not isinstance(raw_buildings, list):
+        raise ValueError("buildings must be a list")
+    for pos, raw in enumerate(raw_buildings):
+        buildings.append(_parse_building(raw, f"buildings[{pos}]"))
+    raw_generate = root.get("generate", [])
+    if not isinstance(raw_generate, list):
+        raise ValueError("generate must be a list")
+    for pos, raw in enumerate(raw_generate):
+        buildings.extend(_expand_generate(raw, f"generate[{pos}]"))
+    telemetry_block = _require_mapping(root.get("telemetry", {}),
+                                       "telemetry")
+    _reject_unknown(telemetry_block,
+                    ("wifi_jitter", "plc_jitter", "dropout"),
+                    "telemetry")
+    health_block = _require_mapping(root.get("health", {}), "health")
+    _reject_unknown(health_block,
+                    ("flap_band", "flap_strikes", "probation_epochs"),
+                    "health")
+    return FleetSpec(
+        name=str(head.get("name", "fleet")),
+        seed=_take_int(head, "seed", "fleet", default=0),
+        plc_mode=str(head.get("plc_mode", "redistribute")),
+        buildings=tuple(buildings),
+        telemetry=TelemetryModel(
+            wifi_jitter=float(telemetry_block.get("wifi_jitter", 0.0)),
+            plc_jitter=float(telemetry_block.get("plc_jitter", 0.0)),
+            dropout=float(telemetry_block.get("dropout", 0.0))),
+        health=HealthSettings(
+            flap_band=float(health_block.get("flap_band", 0.5)),
+            flap_strikes=_take_int(health_block, "flap_strikes",
+                                   "health", default=2),
+            probation_epochs=_take_int(health_block, "probation_epochs",
+                                       "health", default=3)))
+
+
+def load_fleet_spec(path: Union[str, Path]) -> FleetSpec:
+    """Load and validate a YAML fleet spec from disk."""
+    return parse_fleet_spec(Path(path).read_text(encoding="utf-8"))

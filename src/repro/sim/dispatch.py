@@ -1,0 +1,630 @@
+"""Generic chunked warm-pool dispatch: the process-supervision layer.
+
+Extracted from ``repro.sim.runner`` so that *any* batch of picklable
+work items — Monte-Carlo trials, fleet shard solves — can ride the
+same machinery instead of re-growing its own pool plumbing:
+
+* **Chunked submits** — one future per *chunk* of work amortizes the
+  submit/result IPC that made one-future-per-item pools lose to serial
+  execution, and the shared config registry lets fork-started workers
+  inherit the run parameters instead of re-pickling them per chunk.
+* **Warm pool reuse** — idle executors are cached across dispatch
+  calls, so a parameter sweep pays process startup once.
+* **Supervision** — per-item deadlines with hung-worker reaping,
+  broken-pool recycling with *serial quarantine* (casualties are
+  re-probed one at a time so the true killer is blamed with
+  certainty), and graceful SIGINT/SIGTERM draining.
+
+The unit of work is ``fn(config, spec)`` where ``fn`` is a
+module-level (picklable) callable, ``config`` is the batch-shared
+parameter block, and ``spec`` is the per-item half.  Every spec must
+expose an integer ``index`` (its 0-based position in the batch) — use
+:class:`WorkSpec` when there is nothing more to say about an item.
+
+``repro.sim.runner`` remains the canonical client: it supplies trial
+specs, a trial-solving ``fn``, and a journaling ``record`` callback,
+and keeps the checkpoint/resume and result-codec layers for itself.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import multiprocessing
+import os
+import signal
+import time
+from collections import deque
+from concurrent.futures import (FIRST_COMPLETED, ProcessPoolExecutor,
+                                wait)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import (Any, Callable, Deque, Dict, List, Optional,
+                    Sequence, Tuple)
+
+__all__ = ["WorkSpec", "WorkFailure", "InterruptState", "SignalGuard",
+           "dispatch_chunked", "run_chunked", "shutdown_warm_pools",
+           "TIMEOUT_ERROR_TYPE", "POOL_ERROR_TYPE"]
+
+#: Supervisor wake-up period: the upper bound on how stale the deadline
+#: and interrupt checks can be while workers are busy.
+_POLL_S = 0.2
+
+#: ``error_type`` recorded for a work item reaped past its deadline.
+TIMEOUT_ERROR_TYPE = "TrialTimeout"
+
+#: ``error_type`` recorded for an item whose worker died (pool crash).
+POOL_ERROR_TYPE = "BrokenProcessPool"
+
+
+@dataclass(frozen=True)
+class WorkSpec:
+    """A minimal work spec: batch position plus the caller's item.
+
+    Callers with richer per-item state (seed material, sub-problems)
+    may supply their own spec dataclass instead — the dispatch layer
+    only ever touches ``spec.index``.
+    """
+
+    index: int
+    item: Any
+
+
+@dataclass(frozen=True)
+class WorkFailure:
+    """A work item the supervisor had to give up on.
+
+    Produced for items reaped past their deadline
+    (:data:`TIMEOUT_ERROR_TYPE`) or whose worker process died
+    repeatedly (:data:`POOL_ERROR_TYPE`); delivered through ``record``
+    in place of a result.  Item-level exceptions are *not* wrapped —
+    an unguarded ``fn`` propagates them to the caller unchanged.
+
+    Attributes:
+        index: 0-based position of the item in the batch.
+        attempts: attempts made before giving up.
+        error_type: :data:`TIMEOUT_ERROR_TYPE` or
+            :data:`POOL_ERROR_TYPE`.
+        error: a supervisor note describing what happened.
+    """
+
+    index: int
+    attempts: int
+    error_type: str
+    error: str
+
+
+# ---------------------------------------------------------------------------
+# Shared config registry: fork-inherited batch parameters.
+
+
+#: Parent-side registry of live batch configs.  A pool *created while a
+#: token is registered* forks its workers from this process, so they
+#: inherit the entry and chunks can reference it by token alone; pools
+#: that predate the registration (warm reuse) get the config embedded
+#: in each chunk task instead.
+_SHARED_CONFIGS: Dict[str, Any] = {}
+
+_config_tokens = itertools.count()
+
+#: True when worker processes inherit parent memory at fork time (the
+#: Linux default).  Spawn-style start methods never inherit, so chunks
+#: always embed their config there.
+_FORK_INHERITS = multiprocessing.get_start_method(allow_none=False) == "fork"
+
+
+def _register_config(config: Any) -> str:
+    token = f"{os.getpid()}-{next(_config_tokens)}"
+    _SHARED_CONFIGS[token] = config
+    return token
+
+
+@dataclass(frozen=True)
+class _ChunkTask:
+    """A batch of work shipped to one worker in a single submit.
+
+    ``inherit`` marks a chunk bound for a worker known to have
+    inherited the registry entry for ``token`` at fork time; the worker
+    then resolves the config locally and the chunk's pickle carries
+    only the per-item specs.  (A separate flag — not ``config is
+    None`` — because ``None`` is a legitimate config for callers whose
+    ``fn`` needs no shared block.)
+    """
+
+    token: str
+    config: Optional[Any]
+    inherit: bool
+    specs: Tuple[Any, ...]
+    fn: Callable[[Any, Any], Any]
+
+
+def _run_chunk(task: _ChunkTask) -> List[Any]:
+    """Execute one chunk inside a worker, preserving spec order.
+
+    The returned list maps 1:1 onto ``task.specs`` — the supervisor
+    re-associates results by position, so this invariant (checked
+    there) is what keeps chunked results correctly attributed no matter
+    which order chunks complete in.
+    """
+    if task.inherit:
+        if task.token not in _SHARED_CONFIGS:  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"worker has no config for token {task.token!r}; the "
+                "chunk was dispatched to a pool that never inherited "
+                "it")
+        config = _SHARED_CONFIGS[task.token]
+    else:
+        config = task.config
+    return [task.fn(config, spec) for spec in task.specs]
+
+
+#: Cap on the automatic chunk size; beyond this the IPC amortization is
+#: negligible and large chunks only hurt load balance and durability
+#: granularity (a completed chunk journals all its items at once).
+_MAX_AUTO_CHUNK = 16
+
+#: Target number of chunk "waves" per worker: small enough to amortize
+#: IPC, large enough that one slow chunk cannot idle the other workers
+#: for long.
+_CHUNK_WAVES = 2
+
+
+def _auto_chunk_size(n_pending: int, workers: int) -> int:
+    """Default chunk size: ``_CHUNK_WAVES`` chunks per worker, capped."""
+    if n_pending <= 0:
+        return 1
+    per_wave = -(-n_pending // (max(workers, 1) * _CHUNK_WAVES))
+    return max(1, min(per_wave, _MAX_AUTO_CHUNK))
+
+
+# ---------------------------------------------------------------------------
+# Warm pools and leases.
+
+
+#: Idle warm pools keyed by worker count, reused across dispatch calls
+#: so a parameter sweep pays process startup once, not once per sweep
+#: point.  Pools are leased exclusively (popped) while a run is active
+#: and returned only when they finished cleanly.
+_WARM_POOLS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def shutdown_warm_pools() -> None:
+    """Tear down every idle warm worker pool (also runs at exit).
+
+    Safe to call at any time: pools leased by an in-flight dispatch
+    are not in the cache and are unaffected.
+    """
+    while _WARM_POOLS:
+        _, pool = _WARM_POOLS.popitem()
+        _kill_pool(pool)
+
+
+atexit.register(shutdown_warm_pools)
+
+
+class _PoolLease:
+    """Exclusive use of a (possibly warm) process pool for one run.
+
+    Tracks whether the current executor was created *after* the run's
+    config registration (``inherits`` — its forked workers carry the
+    config and chunks may omit it) and routes the end-of-run decision:
+    a cleanly drained pool goes back to the warm cache, an abandoned or
+    broken one is killed.
+    """
+
+    def __init__(self, workers: int, reuse: bool = True) -> None:
+        self.workers = workers
+        self.reuse = reuse
+        self._dead = False
+        cached = _WARM_POOLS.pop(workers, None) if reuse else None
+        if cached is not None:
+            self.pool = cached
+            self._fresh = False
+        else:
+            self.pool = ProcessPoolExecutor(max_workers=workers)
+            self._fresh = True
+
+    @property
+    def inherits(self) -> bool:
+        """True when this pool's workers inherited the run config."""
+        return self._fresh and _FORK_INHERITS
+
+    def recycle(self) -> None:
+        """Kill the current executor and start a fresh one."""
+        _kill_pool(self.pool)
+        self.pool = ProcessPoolExecutor(max_workers=self.workers)
+        self._fresh = True
+        self._dead = False
+
+    def abandon(self) -> None:
+        """Kill the executor without returning it to the cache."""
+        self._dead = True
+        _kill_pool(self.pool)
+
+    def release(self) -> None:
+        """Return a cleanly drained executor to the warm cache."""
+        if self._dead:
+            return  # already killed by abandon()
+        if not self.reuse:
+            self.pool.shutdown(wait=True)
+            return
+        if self.workers in _WARM_POOLS:  # nested/concurrent runs
+            self.pool.shutdown(wait=True)
+        else:
+            _WARM_POOLS[self.workers] = self.pool
+
+
+# ---------------------------------------------------------------------------
+# Supervision: signals, deadlines, pool recycling.
+
+
+class InterruptState:
+    """Mutable flag the signal handlers share with the run loop."""
+
+    def __init__(self) -> None:
+        self.signal_name: Optional[str] = None
+
+    @property
+    def interrupted(self) -> bool:
+        return self.signal_name is not None
+
+
+class SignalGuard:
+    """Install graceful SIGINT/SIGTERM handlers for a durable run.
+
+    The handler records the signal and lets the run loop drain: no
+    work item is torn mid-write, journals are flushed, and the partial
+    results are returned with ``interrupted`` set.  Outside the main
+    thread (where ``signal.signal`` is unavailable) the guard is a
+    no-op and the default semantics apply.
+    """
+
+    _SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self, state: InterruptState) -> None:
+        self.state = state
+        self._saved: List[Tuple[int, Any]] = []
+
+    def __enter__(self) -> "SignalGuard":
+        for sig in self._SIGNALS:
+            try:
+                previous = signal.signal(sig, self._handle)
+            except ValueError:  # not the main thread
+                continue
+            self._saved.append((sig, previous))
+        return self
+
+    def _handle(self, signum: int, frame: Any) -> None:
+        self.state.signal_name = signal.Signals(signum).name
+
+    def __exit__(self, *exc_info: Any) -> None:
+        for sig, previous in self._saved:
+            signal.signal(sig, previous)
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Forcibly reap a pool, hung workers included.
+
+    ``ProcessPoolExecutor`` has no public kill switch — ``shutdown``
+    waits for running calls, which is exactly what a hung worker never
+    finishes — so the workers are SIGKILLed directly before the
+    bookkeeping threads are shut down.
+    """
+    # _processes is None before the first submit and after shutdown.
+    for proc in list((getattr(pool, "_processes", None) or {}).values()):
+        try:
+            proc.kill()
+        except (OSError, AttributeError):  # already gone
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # the pool may already be broken — that's fine
+        pass
+
+
+def _run_supervised(pending: Sequence[Any], config: Any, token: str,
+                    lease: _PoolLease, chunk_size: int,
+                    fn: Callable[[Any, Any], Any], guarded: bool,
+                    retry_budget: int, timeout_s: Optional[float],
+                    record: Callable[[int, Any], None],
+                    state: InterruptState) -> None:
+    """Run work specs on a supervised, chunk-dispatching process pool.
+
+    Unlike a blind ``pool.map``, the supervisor:
+
+    * submits work in *chunks* of ``chunk_size`` (one future per
+      chunk), amortizing the submit/result IPC and the config pickle
+      over the whole batch; a chunk's results map positionally onto its
+      specs, and that mapping is asserted so chunk completion order can
+      never mis-attribute a result;
+    * keeps at most ``workers`` chunks in flight, so every submitted
+      chunk starts promptly and its deadline is meaningful;
+    * reaps any chunk that outlives its deadline (``timeout_s`` per
+      item in the chunk; callers force single-item chunks when
+      deadlines are active, keeping the contract per-item) — the pool
+      is killed (hung workers cannot be joined), the hung items are
+      recorded as :class:`WorkFailure` with
+      :data:`TIMEOUT_ERROR_TYPE`, and the innocent in-flight items are
+      resubmitted on a fresh pool (deterministic ``fn``s make the
+      rerun bit-identical);
+    * converts a :class:`BrokenProcessPool` (a worker SIGKILLed / OOMed
+      / segfaulted) into a pool recycle with *serial quarantine*: a
+      broken pool takes down every in-flight future, so blame cannot be
+      attributed while several items share it.  The casualties are
+      therefore resubmitted one item at a time on the fresh pool — an
+      innocent probe completes and walks free; the true killer dies
+      alone, is now blamed with certainty, and is retried up to
+      ``max(retry_budget, 1)`` times before being recorded as an
+      explicit :class:`WorkFailure`.  One repeatedly-dying item can
+      never take a neighbour down with it;
+    * drains promptly on interruption: completed results are kept,
+      queued chunks are abandoned.
+
+    ``record`` is called exactly once per finished item — in spec
+    order within a chunk, in completion order across chunks — and is
+    expected to journal durably.  The caller re-emits the collected
+    results in submission order regardless of completion order.
+    """
+    queue: Deque[Tuple[Any, ...]] = deque(
+        tuple(pending[i:i + chunk_size])
+        for i in range(0, len(pending), chunk_size))
+    pool_attempts: Dict[int, int] = {}
+    quarantine: set = set()
+    inflight: Dict[Any, Tuple[Tuple[Any, ...],
+                              Optional[float]]] = {}
+
+    def make_task(specs: Tuple[Any, ...]) -> _ChunkTask:
+        # A pool created after the config registration forked workers
+        # that inherited the registry; older (warm-reused) pools need
+        # the config embedded in the chunk.
+        return _ChunkTask(token=token,
+                          config=None if lease.inherits else config,
+                          inherit=lease.inherits, specs=specs, fn=fn)
+
+    def settle_chunk(specs: Tuple[Any, ...],
+                     results: List[Any]) -> None:
+        if len(results) != len(specs):  # pragma: no cover - invariant
+            raise RuntimeError(
+                f"chunk returned {len(results)} results for "
+                f"{len(specs)} items — per-item attribution lost")
+        for spec, result in zip(specs, results):
+            quarantine.discard(spec.index)
+            record(spec.index, result)
+
+    def fail_spec(spec: Any, failure: WorkFailure) -> None:
+        quarantine.discard(spec.index)
+        record(spec.index, failure)
+
+    def recycle(casualties: List[Tuple[Any, ...]]) -> None:
+        """Replace a broken pool; quarantine, retry or fail casualties.
+
+        Blame is only assigned when a single item was in flight (it is
+        then certainly the one whose worker died); a multi-casualty
+        break quarantines everyone unblamed and lets the serial probes
+        sort killer from bystander.  Casualty chunks are always
+        requeued as single-item probes so the next break is
+        attributable.
+        """
+        specs = [spec for chunk in casualties for spec in chunk]
+        lease.recycle()
+        budget = max(retry_budget, 1)
+        certain = len(specs) == 1
+        for spec in reversed(specs):
+            count = pool_attempts.get(spec.index, 0)
+            if certain:
+                count += 1
+                pool_attempts[spec.index] = count
+            if count > budget:
+                fail_spec(spec, WorkFailure(
+                    index=spec.index, attempts=count,
+                    error_type=POOL_ERROR_TYPE,
+                    error=f"worker process died {count} times while "
+                          f"running this work item"))
+            else:
+                quarantine.add(spec.index)
+                queue.appendleft((spec,))
+
+    try:
+        while (queue or inflight) and not state.interrupted:
+            # Top up the pool, one in-flight chunk per worker — except
+            # while quarantined casualties await their serial probes.
+            while queue and len(inflight) < (1 if quarantine
+                                             else lease.workers):
+                specs = queue.popleft()
+                deadline = (None if timeout_s is None
+                            else time.monotonic()
+                            + timeout_s * len(specs))
+                try:
+                    future = lease.pool.submit(_run_chunk,
+                                               make_task(specs))
+                except (BrokenProcessPool, RuntimeError):
+                    # The pool died between polls; recycle and retry.
+                    casualties = [c for c, _ in inflight.values()]
+                    casualties.append(specs)
+                    inflight.clear()
+                    recycle(casualties)
+                    break
+                inflight[future] = (specs, deadline)
+            if not inflight:
+                continue
+            wait_s = _POLL_S
+            deadlines = [d for _, d in inflight.values()
+                         if d is not None]
+            if deadlines:
+                wait_s = min(wait_s,
+                             max(0.0, min(deadlines) - time.monotonic()))
+            done, _ = wait(set(inflight), timeout=wait_s,
+                           return_when=FIRST_COMPLETED)
+            broken = False
+            for future in done:
+                specs, _ = inflight.pop(future)
+                try:
+                    settle_chunk(specs, future.result())
+                except BrokenProcessPool:
+                    broken = True
+                    inflight[future] = (specs, None)
+                except Exception:
+                    if guarded:
+                        raise  # guarded fns never raise these
+                    lease.abandon()
+                    raise
+            if broken:
+                casualties = [c for c, _ in inflight.values()]
+                inflight.clear()
+                recycle(casualties)
+                continue
+            # Deadline pass: harvest any just-finished stragglers, then
+            # reap whatever is genuinely past its deadline.
+            now = time.monotonic()
+            expired = [future for future, (c, d) in inflight.items()
+                       if d is not None and now >= d]
+            if not expired:
+                continue
+            for future in list(expired):
+                if future.done():  # finished in the polling gap
+                    expired.remove(future)
+                    specs, _ = inflight.pop(future)
+                    try:
+                        settle_chunk(specs, future.result())
+                    except BrokenProcessPool:
+                        inflight[future] = (specs, None)
+            hung = [inflight.pop(future)[0] for future in expired
+                    if future in inflight]
+            if not hung:
+                continue
+            for specs in hung:
+                for spec in specs:
+                    fail_spec(spec, WorkFailure(
+                        index=spec.index, attempts=1,
+                        error_type=TIMEOUT_ERROR_TYPE,
+                        error=f"work item exceeded its {timeout_s}s "
+                              "deadline and was reaped"))
+            # The hung workers must die; innocents rerun unpunished
+            # (deadline reaping is not their failure).
+            survivors = [c for c, _ in inflight.values()]
+            inflight.clear()
+            lease.recycle()
+            queue.extendleft(reversed(survivors))
+    finally:
+        if inflight or queue:
+            # Interrupted (or propagating an error): abandon cleanly.
+            lease.abandon()
+        else:
+            lease.release()
+
+
+# ---------------------------------------------------------------------------
+# Public entry points.
+
+
+def dispatch_chunked(specs: Sequence[Any], config: Any,
+                     fn: Callable[[Any, Any], Any], *,
+                     workers: int,
+                     chunk_size: Optional[int] = None,
+                     guarded: bool = False,
+                     retry_budget: int = 0,
+                     timeout_s: Optional[float] = None,
+                     record: Callable[[int, Any], None],
+                     state: Optional[InterruptState] = None,
+                     reuse_pool: bool = True) -> None:
+    """Supervise a batch of specs through a leased warm pool.
+
+    The callback-style entry point: ``record(index, result)`` fires
+    once per finished item (supervisor failures arrive as
+    :class:`WorkFailure`), in chunk completion order.  Callers that
+    just want an ordered result list use :func:`run_chunked`.
+
+    Args:
+        specs: per-item work specs; each must expose ``index``.
+        config: the batch-shared parameter block (any picklable value,
+            ``None`` included); registered so fork-started workers
+            inherit it instead of re-pickling it per chunk.
+        fn: module-level callable run as ``fn(config, spec)`` inside
+            the workers; must be picklable.
+        workers: worker process count (>= 1).
+        chunk_size: items per dispatched chunk; ``None`` sizes chunks
+            automatically (≈ two waves per worker, capped at 16).
+            ``timeout_s`` forces single-item chunks — the deadline
+            contract is per item.
+        guarded: declare that ``fn`` never raises (it returns explicit
+            failure records instead); an exception out of a guarded
+            ``fn`` then propagates as an invariant violation without
+            tearing down the pool lease.
+        retry_budget: pool-death retries per item before recording a
+            :class:`WorkFailure` (at least one probe is always made).
+        timeout_s: optional per-item wall-clock deadline.
+        record: per-item completion callback.
+        state: optional shared interrupt flag; when it trips, the
+            supervisor drains promptly and abandons queued work.
+        reuse_pool: lease from / release to the warm-pool cache.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ValueError("timeout_s must be positive")
+    state = state if state is not None else InterruptState()
+    if timeout_s is not None:
+        effective_chunk = 1  # the deadline is per item
+    elif chunk_size is not None:
+        effective_chunk = chunk_size
+    else:
+        effective_chunk = _auto_chunk_size(len(specs), workers)
+    # Register the config *before* leasing the pool: a fresh pool
+    # forks its workers lazily on first submit, so they inherit the
+    # registry entry and chunks can travel config-free.
+    token = _register_config(config)
+    try:
+        lease = _PoolLease(workers, reuse=reuse_pool)
+        _run_supervised(specs, config, token, lease, effective_chunk,
+                        fn, guarded, retry_budget, timeout_s, record,
+                        state)
+    finally:
+        _SHARED_CONFIGS.pop(token, None)
+
+
+def run_chunked(fn: Callable[[Any, Any], Any], items: Sequence[Any], *,
+                config: Any = None,
+                workers: Optional[int] = None,
+                chunk_size: Optional[int] = None,
+                guarded: bool = False,
+                retry_budget: int = 0,
+                timeout_s: Optional[float] = None,
+                state: Optional[InterruptState] = None) -> List[Any]:
+    """Run ``fn(config, spec)`` over every item; results in item order.
+
+    Each item is wrapped in a :class:`WorkSpec` carrying its 0-based
+    position.  ``workers`` of ``None``/0/1 runs serially in-process
+    (except that ``timeout_s`` requires a pool — a deadline needs a
+    process boundary to reap across).  Supervisor-level failures
+    (deadline reaps, repeated worker deaths) appear as
+    :class:`WorkFailure` entries in the returned list; item-level
+    exceptions propagate unless ``fn`` guards itself.
+    """
+    if timeout_s is not None and (workers is None or workers < 1):
+        raise ValueError(
+            "timeout_s requires workers >= 1: reaping a hung item "
+            "needs a worker process boundary to kill across")
+    specs = tuple(WorkSpec(index=i, item=item)
+                  for i, item in enumerate(items))
+    results: Dict[int, Any] = {}
+
+    def record(index: int, result: Any) -> None:
+        results[index] = result
+
+    use_pool = (workers is not None
+                and (workers > 1 or timeout_s is not None))
+    if use_pool:
+        dispatch_chunked(specs, config, fn,
+                         workers=max(int(workers or 1), 1),
+                         chunk_size=chunk_size, guarded=guarded,
+                         retry_budget=retry_budget, timeout_s=timeout_s,
+                         record=record, state=state)
+    else:
+        serial_state = state if state is not None else InterruptState()
+        for spec in specs:
+            if serial_state.interrupted:
+                break
+            record(spec.index, fn(config, spec))
+    return [results[i] for i in sorted(results)]

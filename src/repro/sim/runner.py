@@ -10,24 +10,20 @@ every completed trial to a crash-consistent
 bit-identically, enforce per-trial deadlines with hung-worker reaping,
 and convert pool crashes and SIGINT/SIGTERM into explicit partial
 results instead of run loss.
+
+The chunked warm-pool machinery itself (supervision, pool leases,
+deadline reaping, broken-pool quarantine) lives in
+:mod:`repro.sim.dispatch`; this module supplies the trial-shaped work
+(specs, solvers, checkpoint codec) and is dispatch's canonical client.
 """
 
 from __future__ import annotations
 
-import atexit
-import itertools
-import multiprocessing
-import os
-import signal
-import time
-from collections import Counter, deque
-from concurrent.futures import (FIRST_COMPLETED, ProcessPoolExecutor,
-                                wait)
-from concurrent.futures.process import BrokenProcessPool
+from collections import Counter
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import (Any, Callable, Deque, Dict, List, Optional,
-                    Sequence, Tuple, Union)
+from typing import (Any, Callable, Dict, List, Optional, Sequence,
+                    Tuple, Union)
 
 import numpy as np
 
@@ -41,6 +37,9 @@ from ..net.topology import FloorPlan, enterprise_floor
 from ..plc.channel import random_building
 from ..wifi.phy import WifiPhy
 from .checkpoint import TrialStore, fingerprint
+from .dispatch import (POOL_ERROR_TYPE, TIMEOUT_ERROR_TYPE,
+                       InterruptState, SignalGuard, WorkFailure,
+                       dispatch_chunked, shutdown_warm_pools)
 from .dynamics import EpochStats, OnlineSimulation
 
 __all__ = ["PolicyOutcome", "TrialResult", "TrialFailure",
@@ -56,16 +55,6 @@ POLICY_NAMES = ("wolt", "greedy", "rssi", "random")
 #: :class:`repro.sim.faults.CrashSchedule`).  Must be picklable when
 #: ``workers`` is used.
 FaultHook = Callable[[int, int], None]
-
-#: Supervisor wake-up period: the upper bound on how stale the deadline
-#: and interrupt checks can be while workers are busy.
-_POLL_S = 0.2
-
-#: ``error_type`` recorded for a trial reaped past its deadline.
-TIMEOUT_ERROR_TYPE = "TrialTimeout"
-
-#: ``error_type`` recorded for a trial whose worker died (pool crash).
-POOL_ERROR_TYPE = "BrokenProcessPool"
 
 
 @dataclass(frozen=True)
@@ -251,12 +240,16 @@ class _TrialSpec:
     not by position in the ``policies`` tuple), so a policy's stream —
     and therefore its outcome — never depends on which other policies
     run alongside it, on execution order, or on retry attempts.
+
+    ``index`` is the supervisor-facing contract: every work spec the
+    chunked dispatch layer handles exposes its 0-based position under
+    this name (see :class:`WorkSpec`).
     """
 
     # woltlint: disable=W013 — derived, not configuration: the index
     # and both SeedSequence children are pure functions of (seed,
     # n_trials, policies), which the fingerprint already covers.
-    trial_index: int
+    index: int
     # woltlint: disable=W013 — derived from the fingerprinted seed.
     scenario_seq: np.random.SeedSequence
     # woltlint: disable=W013 — derived from the fingerprinted seed.
@@ -264,7 +257,7 @@ class _TrialSpec:
 
     def payload(self, config: _RunConfig) -> "_TrialPayload":
         return _TrialPayload(
-            trial_index=self.trial_index,
+            trial_index=self.index,
             scenario_seq=self.scenario_seq,
             policy_seqs=self.policy_seqs,
             n_extenders=config.n_extenders, n_users=config.n_users,
@@ -344,162 +337,25 @@ def _run_trial_guarded(payload: _TrialPayload
 
 
 # ---------------------------------------------------------------------------
-# Chunked dispatch: shared run configs, chunk tasks, warm worker pools.
+# Dispatch adapters: the trial-shaped work handed to repro.sim.dispatch.
 #
 # One future per *chunk* of trials amortizes the submit/result IPC that
 # made the old one-future-per-trial pool lose to serial execution
-# (BENCH_engine.json once recorded a 0.90x "speedup"), and the shared
-# config registry lets fork-started workers inherit the run parameters
-# instead of re-pickling them per trial.
+# (BENCH_engine.json once recorded a 0.90x "speedup"); the generic
+# machinery lives in repro.sim.dispatch, and these two module-level
+# (picklable) functions are the ``fn(config, spec)`` work units the
+# runner ships through it.
 
 
-#: Parent-side registry of live run configs.  A pool *created while a
-#: token is registered* forks its workers from this process, so they
-#: inherit the entry and chunks can reference it by token alone; pools
-#: that predate the registration (warm reuse) get the config embedded
-#: in each chunk task instead.
-_SHARED_CONFIGS: Dict[str, _RunConfig] = {}
-
-_config_tokens = itertools.count()
-
-#: True when worker processes inherit parent memory at fork time (the
-#: Linux default).  Spawn-style start methods never inherit, so chunks
-#: always embed their config there.
-_FORK_INHERITS = multiprocessing.get_start_method(allow_none=False) == "fork"
+def _solve_trial(config: _RunConfig, spec: _TrialSpec) -> TrialResult:
+    """Dispatch work unit: run one trial, letting errors propagate."""
+    return _run_single_trial(spec.payload(config))
 
 
-def _register_config(config: _RunConfig) -> str:
-    token = f"{os.getpid()}-{next(_config_tokens)}"
-    _SHARED_CONFIGS[token] = config
-    return token
-
-
-@dataclass(frozen=True)
-class _ChunkTask:
-    """A batch of trials shipped to one worker in a single submit.
-
-    ``config`` is ``None`` when the worker is known to have inherited
-    the registry entry for ``token`` at fork time; the worker then
-    resolves the config locally and the chunk's pickle carries only the
-    per-trial seeds.
-    """
-
-    token: str
-    config: Optional[_RunConfig]
-    specs: Tuple[_TrialSpec, ...]
-    guarded: bool
-
-
-def _run_chunk(task: _ChunkTask
-               ) -> List[Union[TrialResult, TrialFailure]]:
-    """Execute one chunk inside a worker, preserving spec order.
-
-    The returned list maps 1:1 onto ``task.specs`` — the supervisor
-    re-associates results by position, so this invariant (checked
-    there) is what keeps chunked results correctly attributed no matter
-    which order chunks complete in.
-    """
-    config = task.config
-    if config is None:
-        config = _SHARED_CONFIGS.get(task.token)
-    if config is None:  # pragma: no cover - defensive: misrouted chunk
-        raise RuntimeError(
-            f"worker has no run config for token {task.token!r}; the "
-            "chunk was dispatched to a pool that never inherited it")
-    run_fn = _run_trial_guarded if task.guarded else _run_single_trial
-    return [run_fn(spec.payload(config)) for spec in task.specs]
-
-
-#: Cap on the automatic chunk size; beyond this the IPC amortization is
-#: negligible and large chunks only hurt load balance and durability
-#: granularity (a completed chunk journals all its trials at once).
-_MAX_AUTO_CHUNK = 16
-
-#: Target number of chunk "waves" per worker: small enough to amortize
-#: IPC, large enough that one slow chunk cannot idle the other workers
-#: for long.
-_CHUNK_WAVES = 2
-
-
-def _auto_chunk_size(n_pending: int, workers: int) -> int:
-    """Default chunk size: ``_CHUNK_WAVES`` chunks per worker, capped."""
-    if n_pending <= 0:
-        return 1
-    per_wave = -(-n_pending // (max(workers, 1) * _CHUNK_WAVES))
-    return max(1, min(per_wave, _MAX_AUTO_CHUNK))
-
-
-#: Idle warm pools keyed by worker count, reused across ``run_trials``
-#: calls so a parameter sweep pays process startup once, not once per
-#: sweep point.  Pools are leased exclusively (popped) while a run is
-#: active and returned only when they finished cleanly.
-_WARM_POOLS: Dict[int, ProcessPoolExecutor] = {}
-
-
-def shutdown_warm_pools() -> None:
-    """Tear down every idle warm worker pool (also runs at exit).
-
-    Safe to call at any time: pools leased by an in-flight
-    ``run_trials`` are not in the cache and are unaffected.
-    """
-    while _WARM_POOLS:
-        _, pool = _WARM_POOLS.popitem()
-        _kill_pool(pool)
-
-
-atexit.register(shutdown_warm_pools)
-
-
-class _PoolLease:
-    """Exclusive use of a (possibly warm) process pool for one run.
-
-    Tracks whether the current executor was created *after* the run's
-    config registration (``inherits`` — its forked workers carry the
-    config and chunks may omit it) and routes the end-of-run decision:
-    a cleanly drained pool goes back to the warm cache, an abandoned or
-    broken one is killed.
-    """
-
-    def __init__(self, workers: int, reuse: bool = True) -> None:
-        self.workers = workers
-        self.reuse = reuse
-        self._dead = False
-        cached = _WARM_POOLS.pop(workers, None) if reuse else None
-        if cached is not None:
-            self.pool = cached
-            self._fresh = False
-        else:
-            self.pool = ProcessPoolExecutor(max_workers=workers)
-            self._fresh = True
-
-    @property
-    def inherits(self) -> bool:
-        """True when this pool's workers inherited the run config."""
-        return self._fresh and _FORK_INHERITS
-
-    def recycle(self) -> None:
-        """Kill the current executor and start a fresh one."""
-        _kill_pool(self.pool)
-        self.pool = ProcessPoolExecutor(max_workers=self.workers)
-        self._fresh = True
-        self._dead = False
-
-    def abandon(self) -> None:
-        """Kill the executor without returning it to the cache."""
-        self._dead = True
-        _kill_pool(self.pool)
-
-    def release(self) -> None:
-        """Return a cleanly drained executor to the warm cache."""
-        if self._dead:
-            return  # already killed by abandon()
-        if not self.reuse:
-            self.pool.shutdown(wait=True)
-            return
-        if self.workers in _WARM_POOLS:  # nested/concurrent runs
-            self.pool.shutdown(wait=True)
-        else:
-            _WARM_POOLS[self.workers] = self.pool
+def _solve_trial_guarded(config: _RunConfig, spec: _TrialSpec
+                         ) -> Union[TrialResult, TrialFailure]:
+    """Dispatch work unit: run one trial with bounded retries."""
+    return _run_trial_guarded(spec.payload(config))
 
 
 # ---------------------------------------------------------------------------
@@ -587,267 +443,6 @@ def _run_fingerprint(n_trials: int, n_extenders: int, n_users: int,
               "width_m": float(width_m), "height_m": float(height_m),
               "phy": phy_params, "plc_mode": plc_mode}
     return fingerprint(params), params
-
-
-# ---------------------------------------------------------------------------
-# Supervision: signals, deadlines, pool recycling.
-
-
-class _InterruptState:
-    """Mutable flag the signal handlers share with the run loop."""
-
-    def __init__(self) -> None:
-        self.signal_name: Optional[str] = None
-
-    @property
-    def interrupted(self) -> bool:
-        return self.signal_name is not None
-
-
-class _SignalGuard:
-    """Install graceful SIGINT/SIGTERM handlers for a durable run.
-
-    The handler records the signal and lets the run loop drain: no
-    trial is torn mid-write, the journal is flushed, and the partial
-    results are returned with ``interrupted`` set.  Outside the main
-    thread (where ``signal.signal`` is unavailable) the guard is a
-    no-op and the default semantics apply.
-    """
-
-    _SIGNALS = (signal.SIGINT, signal.SIGTERM)
-
-    def __init__(self, state: _InterruptState) -> None:
-        self.state = state
-        self._saved: List[Tuple[int, Any]] = []
-
-    def __enter__(self) -> "_SignalGuard":
-        for sig in self._SIGNALS:
-            try:
-                previous = signal.signal(sig, self._handle)
-            except ValueError:  # not the main thread
-                continue
-            self._saved.append((sig, previous))
-        return self
-
-    def _handle(self, signum: int, frame: Any) -> None:
-        self.state.signal_name = signal.Signals(signum).name
-
-    def __exit__(self, *exc_info: Any) -> None:
-        for sig, previous in self._saved:
-            signal.signal(sig, previous)
-
-
-def _kill_pool(pool: ProcessPoolExecutor) -> None:
-    """Forcibly reap a pool, hung workers included.
-
-    ``ProcessPoolExecutor`` has no public kill switch — ``shutdown``
-    waits for running calls, which is exactly what a hung worker never
-    finishes — so the workers are SIGKILLed directly before the
-    bookkeeping threads are shut down.
-    """
-    # _processes is None before the first submit and after shutdown.
-    for proc in list((getattr(pool, "_processes", None) or {}).values()):
-        try:
-            proc.kill()
-        except (OSError, AttributeError):  # already gone
-            pass
-    try:
-        pool.shutdown(wait=False, cancel_futures=True)
-    except Exception:  # the pool may already be broken — that's fine
-        pass
-
-
-def _run_supervised(pending: Sequence[_TrialSpec], config: _RunConfig,
-                    token: str, lease: _PoolLease, chunk_size: int,
-                    guarded: bool, retry_budget: int,
-                    timeout_s: Optional[float],
-                    record: Callable[[int, Union[TrialResult,
-                                                 TrialFailure]], None],
-                    state: _InterruptState) -> None:
-    """Run trial specs on a supervised, chunk-dispatching process pool.
-
-    Unlike the old blind ``pool.map``, the supervisor:
-
-    * submits trials in *chunks* of ``chunk_size`` (one future per
-      chunk), amortizing the submit/result IPC and the config pickle
-      over the whole batch; a chunk's results map positionally onto its
-      specs, and that mapping is asserted so chunk completion order can
-      never mis-attribute a result;
-    * keeps at most ``workers`` chunks in flight, so every submitted
-      chunk starts promptly and its deadline is meaningful;
-    * reaps any chunk that outlives its deadline (``timeout_s`` per
-      trial in the chunk; the runner forces single-trial chunks when
-      deadlines are active, keeping the contract per-trial) — the pool
-      is killed (hung workers cannot be joined), the hung trials are
-      recorded as :class:`TrialFailure` with
-      :data:`TIMEOUT_ERROR_TYPE`, and the innocent in-flight trials are
-      resubmitted on a fresh pool (their SeedSequence children make the
-      rerun bit-identical);
-    * converts a :class:`BrokenProcessPool` (a worker SIGKILLed / OOMed
-      / segfaulted) into a pool recycle with *serial quarantine*: a
-      broken pool takes down every in-flight future, so blame cannot be
-      attributed while several trials share it.  The casualties are
-      therefore resubmitted one trial at a time on the fresh pool — an
-      innocent probe completes and walks free; the true killer dies
-      alone, is now blamed with certainty, and is retried up to
-      ``max(retry_budget, 1)`` times before being recorded as an
-      explicit :class:`TrialFailure`.  One repeatedly-dying trial can
-      never take a neighbour down with it;
-    * drains promptly on interruption: completed results are kept,
-      queued chunks are abandoned.
-
-    ``record`` is called exactly once per finished trial — in spec
-    order within a chunk, in completion order across chunks — and is
-    expected to journal durably.  The caller re-emits the collected
-    results in submission order regardless of completion order.
-    """
-    queue: Deque[Tuple[_TrialSpec, ...]] = deque(
-        tuple(pending[i:i + chunk_size])
-        for i in range(0, len(pending), chunk_size))
-    pool_attempts: Dict[int, int] = {}
-    quarantine: set = set()
-    inflight: Dict[Any, Tuple[Tuple[_TrialSpec, ...],
-                              Optional[float]]] = {}
-
-    def make_task(specs: Tuple[_TrialSpec, ...]) -> _ChunkTask:
-        # A pool created after the config registration forked workers
-        # that inherited the registry; older (warm-reused) pools need
-        # the config embedded in the chunk.
-        return _ChunkTask(token=token,
-                          config=None if lease.inherits else config,
-                          specs=specs, guarded=guarded)
-
-    def settle_chunk(specs: Tuple[_TrialSpec, ...],
-                     results: List[Union[TrialResult,
-                                         TrialFailure]]) -> None:
-        if len(results) != len(specs):  # pragma: no cover - invariant
-            raise RuntimeError(
-                f"chunk returned {len(results)} results for "
-                f"{len(specs)} trials — per-trial attribution lost")
-        for spec, result in zip(specs, results):
-            quarantine.discard(spec.trial_index)
-            record(spec.trial_index, result)
-
-    def fail_spec(spec: _TrialSpec, failure: TrialFailure) -> None:
-        quarantine.discard(spec.trial_index)
-        record(spec.trial_index, failure)
-
-    def recycle(casualties: List[Tuple[_TrialSpec, ...]]) -> None:
-        """Replace a broken pool; quarantine, retry or fail casualties.
-
-        Blame is only assigned when a single trial was in flight (it is
-        then certainly the one whose worker died); a multi-casualty
-        break quarantines everyone unblamed and lets the serial probes
-        sort killer from bystander.  Casualty chunks are always
-        requeued as single-trial probes so the next break is
-        attributable.
-        """
-        specs = [spec for chunk in casualties for spec in chunk]
-        lease.recycle()
-        budget = max(retry_budget, 1)
-        certain = len(specs) == 1
-        for spec in reversed(specs):
-            count = pool_attempts.get(spec.trial_index, 0)
-            if certain:
-                count += 1
-                pool_attempts[spec.trial_index] = count
-            if count > budget:
-                fail_spec(spec, TrialFailure(
-                    trial_index=spec.trial_index, attempts=count,
-                    error_type=POOL_ERROR_TYPE,
-                    error=f"worker process died {count} times while "
-                          f"running this trial"))
-            else:
-                quarantine.add(spec.trial_index)
-                queue.appendleft((spec,))
-
-    try:
-        while (queue or inflight) and not state.interrupted:
-            # Top up the pool, one in-flight chunk per worker — except
-            # while quarantined casualties await their serial probes.
-            while queue and len(inflight) < (1 if quarantine
-                                             else lease.workers):
-                specs = queue.popleft()
-                deadline = (None if timeout_s is None
-                            else time.monotonic()
-                            + timeout_s * len(specs))
-                try:
-                    future = lease.pool.submit(_run_chunk,
-                                               make_task(specs))
-                except (BrokenProcessPool, RuntimeError):
-                    # The pool died between polls; recycle and retry.
-                    casualties = [c for c, _ in inflight.values()]
-                    casualties.append(specs)
-                    inflight.clear()
-                    recycle(casualties)
-                    break
-                inflight[future] = (specs, deadline)
-            if not inflight:
-                continue
-            wait_s = _POLL_S
-            deadlines = [d for _, d in inflight.values()
-                         if d is not None]
-            if deadlines:
-                wait_s = min(wait_s,
-                             max(0.0, min(deadlines) - time.monotonic()))
-            done, _ = wait(set(inflight), timeout=wait_s,
-                           return_when=FIRST_COMPLETED)
-            broken = False
-            for future in done:
-                specs, _ = inflight.pop(future)
-                try:
-                    settle_chunk(specs, future.result())
-                except BrokenProcessPool:
-                    broken = True
-                    inflight[future] = (specs, None)
-                except Exception:
-                    if guarded:
-                        raise  # _run_trial_guarded never raises these
-                    lease.abandon()
-                    raise
-            if broken:
-                casualties = [c for c, _ in inflight.values()]
-                inflight.clear()
-                recycle(casualties)
-                continue
-            # Deadline pass: harvest any just-finished stragglers, then
-            # reap whatever is genuinely past its deadline.
-            now = time.monotonic()
-            expired = [future for future, (c, d) in inflight.items()
-                       if d is not None and now >= d]
-            if not expired:
-                continue
-            for future in list(expired):
-                if future.done():  # finished in the polling gap
-                    expired.remove(future)
-                    specs, _ = inflight.pop(future)
-                    try:
-                        settle_chunk(specs, future.result())
-                    except BrokenProcessPool:
-                        inflight[future] = (specs, None)
-            hung = [inflight.pop(future)[0] for future in expired
-                    if future in inflight]
-            if not hung:
-                continue
-            for specs in hung:
-                for spec in specs:
-                    fail_spec(spec, TrialFailure(
-                        trial_index=spec.trial_index, attempts=1,
-                        error_type=TIMEOUT_ERROR_TYPE,
-                        error=f"trial exceeded its {timeout_s}s "
-                              "deadline and was reaped"))
-            # The hung workers must die; innocents rerun unpunished
-            # (deadline reaping is not their failure).
-            survivors = [c for c, _ in inflight.values()]
-            inflight.clear()
-            lease.recycle()
-            queue.extendleft(reversed(survivors))
-    finally:
-        if inflight or queue:
-            # Interrupted (or propagating an error): abandon cleanly.
-            lease.abandon()
-        else:
-            lease.release()
 
 
 def run_trials(n_trials: int,
@@ -989,7 +584,7 @@ def run_trials(n_trials: int,
         policy_children = child.spawn(len(POLICY_NAMES))
         policy_seqs = {name: policy_children[k]
                        for k, name in enumerate(POLICY_NAMES)}
-        specs.append(_TrialSpec(trial_index=index, scenario_seq=child,
+        specs.append(_TrialSpec(index=index, scenario_seq=child,
                                 policy_seqs=policy_seqs))
 
     results: Dict[int, Union[TrialResult, TrialFailure]] = {}
@@ -998,54 +593,49 @@ def run_trials(n_trials: int,
         for index, payload in store.records.items():
             results[index] = _decode_record(payload)
         resumed = len(results)
-    pending = [s for s in specs if s.trial_index not in results]
+    pending = [s for s in specs if s.index not in results]
 
     def record(index: int,
-               result: Union[TrialResult, TrialFailure]) -> None:
+               result: Union[TrialResult, TrialFailure,
+                             WorkFailure]) -> None:
+        if isinstance(result, WorkFailure):
+            # Supervisor-level failures (deadline reap, repeated worker
+            # death) arrive in dispatch's generic shape; re-cast them
+            # into the runner's checkpoint-codec-known record type.
+            result = TrialFailure(trial_index=result.index,
+                                  attempts=result.attempts,
+                                  error_type=result.error_type,
+                                  error=result.error)
         results[index] = result
         if store is not None:
             store.append(index, _encode_record(result))
 
-    state = _InterruptState()
+    state = InterruptState()
     # timeout_s promotes workers=1 to a one-worker pool: a deadline is
     # only enforceable across a process boundary.
     use_pool = (workers is not None
                 and (workers > 1 or timeout_s is not None))
     try:
-        with _SignalGuard(state) if store is not None else \
+        with SignalGuard(state) if store is not None else \
                 _NullContext():
             if use_pool:
-                n_workers = max(int(workers or 1), 1)
-                if timeout_s is not None:
-                    effective_chunk = 1  # the deadline is per trial
-                elif chunk_size is not None:
-                    effective_chunk = chunk_size
-                else:
-                    effective_chunk = _auto_chunk_size(len(pending),
-                                                       n_workers)
-                # Register the config *before* leasing the pool: a
-                # fresh pool forks its workers lazily on first submit,
-                # so they inherit the registry entry and chunks can
-                # travel config-free.
-                token = _register_config(config)
-                try:
-                    lease = _PoolLease(n_workers)
-                    _run_supervised(pending, config, token, lease,
-                                    effective_chunk, guarded,
-                                    max_retries or 0, timeout_s,
-                                    record, state)
-                finally:
-                    _SHARED_CONFIGS.pop(token, None)
+                dispatch_chunked(
+                    pending, config,
+                    _solve_trial_guarded if guarded else _solve_trial,
+                    workers=max(int(workers or 1), 1),
+                    chunk_size=chunk_size, guarded=guarded,
+                    retry_budget=max_retries or 0, timeout_s=timeout_s,
+                    record=record, state=state)
             else:
                 for spec in pending:
                     if state.interrupted:
                         break
                     payload = spec.payload(config)
                     if guarded:
-                        record(spec.trial_index,
+                        record(spec.index,
                                _run_trial_guarded(payload))
                     else:
-                        record(spec.trial_index,
+                        record(spec.index,
                                _run_single_trial(payload))
         if store is not None:
             if state.interrupted:

@@ -1,0 +1,263 @@
+"""Tests for the campus FleetService: epoch atomicity, dry-run
+semantics, journal/resume bit-identity, shard-failure carry-forward,
+quarantine masking, and the ``wolt serve`` CLI (golden-file stable)."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import CHECKPOINT_ERROR_EXIT, main
+from repro.core.problem import UNASSIGNED
+from repro.fleet import parse_fleet_spec
+from repro.fleet.service import FleetService, format_epoch
+from repro.sim.checkpoint import CheckpointError
+from repro.sim.dispatch import InterruptState, WorkFailure
+
+DATA = Path(__file__).parent / "data"
+
+SMOKE = """
+fleet: {name: smoke, seed: 7, plc_mode: redistribute}
+buildings:
+  - {name: hq, extenders: 4, users: 8, circuits: [a, a, b, b]}
+generate:
+  - {prefix: b, count: 2, extenders: 3, users: 5}
+telemetry: {wifi_jitter: 0.03, plc_jitter: 0.08}
+"""
+
+
+def smoke_spec(**head):
+    spec = parse_fleet_spec(SMOKE)
+    if not head:
+        return spec
+    from repro.fleet.spec import FleetSpec
+    values = {"name": spec.name, "seed": spec.seed,
+              "plc_mode": spec.plc_mode, "buildings": spec.buildings,
+              "telemetry": spec.telemetry, "health": spec.health}
+    values.update(head)
+    return FleetSpec(**values)
+
+
+class TestEpochLoop:
+    def test_epoch_applies_and_advances(self):
+        service = FleetService(smoke_spec())
+        report = service.run_epoch()
+        assert report.epoch == 0
+        assert report.applied
+        assert service.epoch == 1
+        assert report.aggregate_mbps > 0
+        assert all((b.assignment != UNASSIGNED).any()
+                   for b in service._buildings)
+        # Every user got an initial placement directive.
+        assert len(report.directives) == service.spec.n_users
+
+    def test_epochs_are_deterministic(self):
+        a = FleetService(smoke_spec())
+        b = FleetService(smoke_spec())
+        for _ in range(3):
+            assert (format_epoch(a.run_epoch())
+                    == format_epoch(b.run_epoch()))
+
+    def test_parallel_dispatch_is_bit_identical(self):
+        serial = FleetService(smoke_spec())
+        parallel = FleetService(smoke_spec(), workers=2, chunk_size=2)
+        for _ in range(2):
+            assert (format_epoch(serial.run_epoch())
+                    == format_epoch(parallel.run_epoch()))
+
+    def test_run_validates_epochs(self):
+        with pytest.raises(ValueError, match="epochs"):
+            FleetService(smoke_spec()).run(0)
+
+
+class TestDryRun:
+    def test_dry_run_applies_nothing(self):
+        service = FleetService(smoke_spec())
+        before = [b.assignment.copy() for b in service._buildings]
+        report = service.run_epoch(dry_run=True)
+        assert not report.applied
+        for state, old in zip(service._buildings, before):
+            np.testing.assert_array_equal(state.assignment, old)
+
+    def test_dry_run_still_advances_the_world(self):
+        # The epoch counter and telemetry move; associations do not.
+        service = FleetService(smoke_spec())
+        first = service.run_epoch(dry_run=True)
+        second = service.run_epoch(dry_run=True)
+        assert (first.epoch, second.epoch) == (0, 1)
+        assert format_epoch(first) != format_epoch(second)
+
+    def test_dry_run_writes_no_journal_records(self, tmp_path):
+        journal = os.fspath(tmp_path / "fleet.jsonl")
+        with FleetService(smoke_spec(), journal=journal) as service:
+            service.run_epoch(dry_run=True)
+            assert service._store is not None
+            assert service._store.records == {}
+
+
+class TestJournalResume:
+    def test_resume_continues_bit_identically(self, tmp_path):
+        journal = os.fspath(tmp_path / "fleet.jsonl")
+        straight = FleetService(smoke_spec())
+        expected = [format_epoch(straight.run_epoch())
+                    for _ in range(4)]
+        with FleetService(smoke_spec(), journal=journal) as first:
+            got = [format_epoch(first.run_epoch()) for _ in range(2)]
+        with FleetService(smoke_spec(), journal=journal,
+                          resume=True) as second:
+            assert second.epoch == 2
+            got += [format_epoch(second.run_epoch())
+                    for _ in range(2)]
+        assert got == expected
+
+    def test_resume_requires_journal(self):
+        with pytest.raises(ValueError, match="journal"):
+            FleetService(smoke_spec(), resume=True)
+
+    def test_changed_spec_is_rejected(self, tmp_path):
+        journal = os.fspath(tmp_path / "fleet.jsonl")
+        with FleetService(smoke_spec(), journal=journal) as service:
+            service.run_epoch()
+        with pytest.raises(CheckpointError):
+            FleetService(smoke_spec(seed=8), journal=journal,
+                         resume=True)
+
+
+class TestInterruption:
+    def test_interrupted_epoch_is_discarded_whole(self):
+        service = FleetService(smoke_spec())
+        service.run_epoch()
+        before = [b.assignment.copy() for b in service._buildings]
+        state = InterruptState()
+        state.signal_name = "SIGINT"
+        assert service.run_epoch(state=state) is None
+        assert service.epoch == 1  # the discarded epoch will re-run
+        for bstate, old in zip(service._buildings, before):
+            np.testing.assert_array_equal(bstate.assignment, old)
+
+    def test_run_reports_the_signal_and_journals_it(self, tmp_path):
+        journal = os.fspath(tmp_path / "fleet.jsonl")
+        state = InterruptState()
+        state.signal_name = "SIGTERM"
+        with FleetService(smoke_spec(), journal=journal) as service:
+            reports, interrupted = service.run(3, state=state)
+            assert (reports, interrupted) == ([], "SIGTERM")
+            events = [e for e in service._store.events
+                      if e.get("event") == "interrupted"]
+            assert events and events[-1]["signal"] == "SIGTERM"
+
+
+class TestShardFailureCarryForward:
+    def test_failed_shard_keeps_previous_association(self, monkeypatch):
+        import repro.fleet.service as service_mod
+        service = FleetService(smoke_spec())
+        service.run_epoch()
+        before = service._buildings[0].assignment.copy()
+        real = service_mod._solve_shard
+
+        def flaky(plc_mode, spec):
+            if spec.item.building == 0:
+                return WorkFailure(index=spec.index, attempts=1,
+                                   error_type="RuntimeError",
+                                   error="injected shard failure")
+            return real(plc_mode, spec)
+
+        monkeypatch.setattr(service_mod, "_solve_shard", flaky)
+        report = service.run_epoch()
+        assert report.n_shard_failures >= 1
+        hq = report.buildings[0]
+        assert hq.n_shard_failures == hq.n_segments
+        # Users of the failed building keep their old extenders.
+        np.testing.assert_array_equal(
+            service._buildings[0].assignment, before)
+        assert hq.directives == ()
+        # Healthy buildings were settled normally.
+        assert report.buildings[1].n_shard_failures == 0
+
+
+class TestQuarantineMasking:
+    def test_dropped_out_extenders_are_masked_from_solves(self):
+        # dropout=1.0: every PLC report is NaN, so the monitor
+        # quarantines all it can (never the last healthy one) and the
+        # effective scenario zeroes those columns.
+        spec = smoke_spec()
+        from repro.fleet.spec import FleetSpec, TelemetryModel
+        spec = FleetSpec(name=spec.name, seed=spec.seed,
+                         plc_mode=spec.plc_mode,
+                         buildings=spec.buildings[:1],
+                         telemetry=TelemetryModel(dropout=1.0),
+                         health=spec.health)
+        service = FleetService(spec)
+        report = service.run_epoch()
+        hq = report.buildings[0]
+        assert len(hq.quarantined) == 3  # 4 extenders, 1 survivor
+        survivors = (set(range(4)) - set(hq.quarantined))
+        assignment = service._buildings[0].assignment
+        attached = assignment[assignment != UNASSIGNED]
+        assert set(attached.tolist()) <= survivors
+
+
+class TestServeCli:
+    def test_dry_run_output_matches_golden_file(self, capsys):
+        code = main(["serve", "--spec",
+                     os.fspath(DATA / "fleet_smoke.yaml"),
+                     "--epochs", "2", "--dry-run"])
+        assert code == 0
+        golden = (DATA / "fleet_smoke_golden.txt").read_text(
+            encoding="utf-8")
+        assert capsys.readouterr().out == golden
+
+    def test_dry_run_is_repeatable_byte_for_byte(self, capsys):
+        argv = ["serve", "--spec",
+                os.fspath(DATA / "fleet_smoke.yaml"),
+                "--epochs", "2", "--dry-run", "--quiet"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_journal_roundtrip_via_cli(self, capsys, tmp_path):
+        journal = os.fspath(tmp_path / "fleet.jsonl")
+        spec = os.fspath(DATA / "fleet_smoke.yaml")
+        assert main(["serve", "--spec", spec, "--epochs", "1",
+                     "--journal", journal, "--quiet"]) == 0
+        first = capsys.readouterr().out
+        assert "journal" in first
+        assert main(["serve", "--spec", spec, "--epochs", "1",
+                     "--journal", journal, "--resume",
+                     "--quiet"]) == 0
+        resumed = capsys.readouterr().out
+        assert "resumed" in resumed and "epoch 1" in resumed
+
+    def test_fingerprint_mismatch_exit_code(self, capsys, tmp_path):
+        journal = os.fspath(tmp_path / "fleet.jsonl")
+        spec = os.fspath(DATA / "fleet_smoke.yaml")
+        assert main(["serve", "--spec", spec, "--epochs", "1",
+                     "--journal", journal, "--quiet"]) == 0
+        capsys.readouterr()
+        other = tmp_path / "other.yaml"
+        other.write_text(
+            Path(spec).read_text(encoding="utf-8").replace(
+                "seed: 42", "seed: 43"), encoding="utf-8")
+        code = main(["serve", "--spec", os.fspath(other),
+                     "--epochs", "1", "--journal", journal,
+                     "--resume", "--quiet"])
+        assert code == CHECKPOINT_ERROR_EXIT
+        assert "checkpoint error" in capsys.readouterr().err
+
+    def test_resume_without_journal_is_usage_error(self, capsys):
+        code = main(["serve", "--spec",
+                     os.fspath(DATA / "fleet_smoke.yaml"),
+                     "--resume"])
+        assert code == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_bad_epochs_is_usage_error(self, capsys):
+        code = main(["serve", "--spec",
+                     os.fspath(DATA / "fleet_smoke.yaml"),
+                     "--epochs", "0"])
+        assert code == 2
+        assert "--epochs" in capsys.readouterr().err

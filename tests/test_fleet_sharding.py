@@ -1,0 +1,206 @@
+"""Tests for topology sharding: coupling components, segment
+splitting, scatter/gather, and the shard-equivalence contract (per-
+shard solves concatenated are bit-identical to the whole-building
+reference when PLC segments share no extender)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import UNASSIGNED, Scenario
+from repro.core.wolt import solve_wolt
+from repro.fleet.sharding import (Segment, coupling_components,
+                                  scatter_assignment,
+                                  solve_segments_reference,
+                                  split_segments)
+from repro.net.engine import evaluate
+from repro.net.topology import enterprise_floor
+from repro.plc.sharing import PLC_MODES
+
+
+def block_scenario(seed, sizes):
+    """Block-diagonal scenario from independent enterprise floors.
+
+    Returns (composite, blocks, circuits): users of one block hear no
+    extender of another, and each block gets its own circuit label —
+    electrically and radio-wise independent PLC segments.
+    """
+    rng_seeds = np.random.SeedSequence(seed).spawn(len(sizes))
+    blocks = [enterprise_floor(n_ext, n_users,
+                               np.random.default_rng(s))
+              for (n_ext, n_users), s in zip(sizes, rng_seeds)]
+    n_ext = sum(b.n_extenders for b in blocks)
+    n_users = sum(b.n_users for b in blocks)
+    wifi = np.zeros((n_users, n_ext))
+    plc = np.zeros(n_ext)
+    circuits = []
+    u0 = e0 = 0
+    for label, block in enumerate(blocks):
+        wifi[u0:u0 + block.n_users,
+             e0:e0 + block.n_extenders] = block.wifi_rates
+        plc[e0:e0 + block.n_extenders] = block.plc_rates
+        circuits.extend([str(label)] * block.n_extenders)
+        u0 += block.n_users
+        e0 += block.n_extenders
+    return Scenario(wifi_rates=wifi, plc_rates=plc), blocks, circuits
+
+
+class TestCouplingComponents:
+    def test_no_circuits_is_one_component(self):
+        scenario, _, _ = block_scenario(0, [(3, 5), (2, 4)])
+        assert coupling_components(scenario) == [(0, 1, 2, 3, 4)]
+
+    def test_blocks_split_along_circuits(self):
+        scenario, _, circuits = block_scenario(1, [(3, 5), (2, 4)])
+        assert (coupling_components(scenario, circuits)
+                == [(0, 1, 2), (3, 4)])
+
+    def test_interference_edge_merges_circuits(self):
+        scenario, _, circuits = block_scenario(2, [(2, 3), (2, 3)])
+        wifi = scenario.wifi_rates.copy()
+        wifi[0, 2] = 10.0  # user 0 (block 0) now hears extender 2
+        bridged = Scenario(wifi_rates=wifi,
+                           plc_rates=scenario.plc_rates)
+        assert (coupling_components(bridged, circuits)
+                == [(0, 1, 2, 3)])
+
+    def test_shared_circuit_merges_isolated_cells(self):
+        # No user hears both extenders, but they share a powerline
+        # circuit: still one PLC medium, one component.
+        scenario = Scenario(
+            wifi_rates=np.array([[50.0, 0.0], [0.0, 50.0]]),
+            plc_rates=np.array([100.0, 100.0]))
+        assert (coupling_components(scenario, ["a", "a"])
+                == [(0, 1)])
+        assert (coupling_components(scenario, ["a", "b"])
+                == [(0,), (1,)])
+
+    def test_circuit_length_mismatch_rejected(self):
+        scenario, _, _ = block_scenario(3, [(2, 3)])
+        with pytest.raises(ValueError, match="circuits"):
+            coupling_components(scenario, ["a"])
+
+
+class TestSplitSegments:
+    def test_segments_carry_their_blocks_exactly(self):
+        scenario, blocks, circuits = block_scenario(
+            4, [(3, 6), (2, 4), (4, 5)])
+        segments = split_segments(scenario, circuits)
+        assert [s.index for s in segments] == [0, 1, 2]
+        e0 = u0 = 0
+        for segment, block in zip(segments, blocks):
+            assert segment.extenders == tuple(
+                range(e0, e0 + block.n_extenders))
+            assert segment.users == tuple(
+                range(u0, u0 + block.n_users))
+            np.testing.assert_array_equal(
+                segment.scenario.wifi_rates, block.wifi_rates)
+            np.testing.assert_array_equal(
+                segment.scenario.plc_rates, block.plc_rates)
+            e0 += block.n_extenders
+            u0 += block.n_users
+
+    def test_unreachable_user_belongs_to_no_segment(self):
+        scenario, _, circuits = block_scenario(5, [(2, 3), (2, 3)])
+        wifi = scenario.wifi_rates.copy()
+        wifi[1, :] = 0.0  # user 1 hears nothing
+        deaf = Scenario(wifi_rates=wifi, plc_rates=scenario.plc_rates)
+        segments = split_segments(deaf, circuits)
+        assert all(1 not in s.users for s in segments)
+        reference = solve_segments_reference(deaf, circuits)
+        assert reference[1] == UNASSIGNED
+
+    def test_empty_segment_has_no_users(self):
+        # An extender on its own circuit that no user hears: a
+        # segment with extenders but zero users (the quarantine-mask
+        # shape the service must survive).
+        scenario = Scenario(
+            wifi_rates=np.array([[50.0, 0.0], [40.0, 0.0]]),
+            plc_rates=np.array([100.0, 100.0]))
+        segments = split_segments(scenario, ["a", "b"])
+        assert [s.users for s in segments] == [(0, 1), ()]
+        assert segments[1].scenario.n_users == 0
+
+
+class TestScatterAssignment:
+    def test_roundtrip_parent_indices(self):
+        scenario, _, circuits = block_scenario(6, [(3, 5), (2, 4)])
+        segments = split_segments(scenario, circuits)
+        locals_ = [np.zeros(len(s.users), dtype=int)
+                   for s in segments]
+        locals_[1][:] = 1
+        full = scatter_assignment(scenario.n_users, segments, locals_)
+        assert full[:5].tolist() == [0] * 5   # block 0, extender 0
+        assert full[5:].tolist() == [4] * 4   # block 1, local 1 -> 4
+
+    def test_unassigned_preserved(self):
+        scenario, _, circuits = block_scenario(7, [(2, 3)])
+        segments = split_segments(scenario, circuits)
+        local = np.array([0, UNASSIGNED, 1])
+        full = scatter_assignment(3, segments, [local])
+        assert full.tolist() == [0, UNASSIGNED, 1]
+
+    def test_length_mismatches_rejected(self):
+        scenario, _, circuits = block_scenario(8, [(2, 3)])
+        segments = split_segments(scenario, circuits)
+        with pytest.raises(ValueError, match="assignment vectors"):
+            scatter_assignment(3, segments, [])
+        with pytest.raises(ValueError, match="covers"):
+            scatter_assignment(3, segments, [np.zeros(2, dtype=int)])
+
+
+class TestShardEquivalence:
+    """The contract: per-shard solves concatenated are bit-identical
+    to the whole-building reference when segments share no extender."""
+
+    @pytest.mark.parametrize("plc_mode", sorted(PLC_MODES))
+    def test_single_segment_degenerates_to_solve_wolt(self, plc_mode):
+        rng = np.random.default_rng(11)
+        scenario = enterprise_floor(4, 9, rng)
+        reference = solve_segments_reference(scenario,
+                                             plc_mode=plc_mode)
+        direct = solve_wolt(scenario, plc_mode=plc_mode).assignment
+        np.testing.assert_array_equal(reference, direct)
+
+    @pytest.mark.parametrize("plc_mode", sorted(PLC_MODES))
+    def test_shards_concatenated_equal_block_solves(self, plc_mode):
+        scenario, blocks, circuits = block_scenario(
+            12, [(3, 6), (2, 5), (3, 4)])
+        reference = solve_segments_reference(scenario, circuits,
+                                             plc_mode=plc_mode)
+        u0 = e0 = 0
+        for block in blocks:
+            direct = solve_wolt(block, plc_mode=plc_mode).assignment
+            np.testing.assert_array_equal(
+                reference[u0:u0 + block.n_users] - e0, direct)
+            u0 += block.n_users
+            e0 += block.n_extenders
+
+    def test_merged_scenario_models_a_different_medium(self):
+        # Solving the composite as ONE scenario shares a single PLC
+        # medium across both blocks — strictly less capacity than two
+        # independent media, so the reference (own medium per segment)
+        # scores at least as high.
+        scenario, _, circuits = block_scenario(13, [(3, 7), (3, 7)])
+        sharded = solve_segments_reference(scenario, circuits)
+        merged = solve_wolt(scenario).assignment
+        sharded_mbps = evaluate(scenario, sharded).aggregate
+        merged_mbps = evaluate(scenario, merged).aggregate
+        # Same evaluator (one shared medium) can rank them either
+        # way; the point is the *segment-local* scores: each segment
+        # solved alone must match its own block optimum, which
+        # test_shards_concatenated_equal_block_solves pins.  Here we
+        # only require both to be valid, complete assignments.
+        assert sharded_mbps > 0 and merged_mbps > 0
+        assert (sharded != UNASSIGNED).all()
+        assert (merged != UNASSIGNED).all()
+
+
+class TestSegmentDataclass:
+    def test_segments_are_frozen(self):
+        scenario, _, circuits = block_scenario(14, [(2, 3)])
+        segment = split_segments(scenario, circuits)[0]
+        assert isinstance(segment, Segment)
+        with pytest.raises(AttributeError):
+            segment.index = 5

@@ -91,6 +91,46 @@ class TestEffectiveRates:
         hm = HealthMonitor(1)
         assert hm.effective_rates([np.inf]).tolist() == [0.0]
 
+    def test_zero_under_traffic_never_becomes_fallback(self):
+        """Regression: a damning observation must not enter _last_good.
+
+        Pre-fix, the zero-capacity-under-traffic reading that
+        *quarantined* extender 0 also became its last-known-good value
+        (``rates[j] >= 0`` includes 0), so ``effective_rates`` fell
+        back to 0.0 and permanently starved the extender even after
+        telemetry went garbage-only.
+        """
+        hm = HealthMonitor(3)
+        hm.observe([80.0, 60.0, 40.0])
+        # The damning epoch: extender 0 reads zero while carrying
+        # traffic — quarantined, and the reading must be distrusted.
+        mask = hm.observe([0.0, 60.0, 40.0],
+                          carrying_traffic=[True, False, False])
+        assert mask.tolist() == [True, False, False]
+        rates = hm.effective_rates([np.nan, 60.0, 40.0])
+        assert rates.tolist() == [80.0, 60.0, 40.0]
+
+    def test_flapping_strike_never_becomes_fallback(self):
+        """A capacity-flapping epoch is suspect, not last-known-good."""
+        hm = HealthMonitor(2, flap_band=0.5, flap_strikes=2)
+        hm.observe([100.0, 50.0])
+        hm.observe([10.0, 50.0])   # strike 1: a single swing is clean
+        hm.observe([100.0, 50.0])  # strike 2: quarantined as flapping
+        assert hm.is_quarantined(0)
+        assert hm.events[-1].reason == "capacity-flapping"
+        # The strike-2 reading (judged flapping) must not displace the
+        # last clean observation — the strike-1 epoch's 10.0, which the
+        # state machine itself deemed a legitimate capacity change.
+        assert hm.effective_rates([np.nan, 50.0]).tolist() == [10.0,
+                                                               50.0]
+
+    def test_clean_zero_without_traffic_is_good(self):
+        """An idle link legitimately reading zero stays trustworthy."""
+        hm = HealthMonitor(2)
+        hm.observe([0.0, 60.0], carrying_traffic=[False, False])
+        assert not hm.quarantined.any()
+        assert hm.effective_rates([np.nan, 60.0]).tolist() == [0.0, 60.0]
+
     def test_validation(self):
         with pytest.raises(ValueError):
             HealthMonitor(0)
