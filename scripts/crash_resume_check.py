@@ -1,17 +1,18 @@
 #!/usr/bin/env python
-"""CI integration check: a SIGKILLed sweep resumes bit-identically.
+"""CI integration check: a SIGKILLed run resumes bit-identically.
 
-End-to-end exercise of the durable `wolt sim` path, as a real operator
-would hit it:
+End-to-end exercise of the durable CLI paths, as a real operator would
+hit them — first ``wolt sim``, then ``wolt serve``:
 
-1. start a checkpointed sweep via ``python -m repro.cli sim``;
-2. SIGKILL it once a few trials are journaled (no warning, no cleanup);
+1. start a checkpointed run via ``python -m repro.cli``;
+2. SIGKILL it once a few trials/epochs are journaled (no warning, no
+   cleanup);
 3. corrupt the journal tail with a torn partial record, as a crash
    mid-``write`` would;
-4. resume the sweep with ``--resume`` (different worker count, to prove
-   results do not depend on it);
-5. run the identical sweep uninterrupted into a second checkpoint;
-6. require the two checkpoint files to be **byte-identical** (both end
+4. resume with ``--resume`` (different worker count, to prove results
+   do not depend on it);
+5. run the identical workload uninterrupted into a second journal;
+6. require the two journal files to be **byte-identical** (both end
    as canonical snapshots) and the reports to agree.
 
 Exits non-zero with a diagnostic on any deviation.  Needs only the
@@ -42,32 +43,97 @@ MIN_LINES_BEFORE_KILL = 4
 TORN_TAIL = b'{"kind":"record","index":11,"payload":{"type":"res'
 
 
+#: The serve phase: a fleet big enough that epochs take long enough
+#: to SIGKILL the service mid-run (see the fixture's comment).
+SERVE_SPEC = "tests/data/fleet_crash.yaml"
+SERVE_EPOCHS = 20
+
+
 def _fail(message: str) -> None:
     print(f"crash_resume_check: FAIL — {message}", file=sys.stderr)
     sys.exit(1)
 
 
-def _wolt(*extra: str, **kwargs):
+def _wolt_cmd(*args: str, **kwargs):
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
     return subprocess.Popen(
-        [sys.executable, "-m", "repro.cli", *SIM_ARGS, *extra],
+        [sys.executable, "-m", "repro.cli", *args],
         env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
-        text=True, **kwargs)
+        text=True, cwd=REPO_ROOT, **kwargs)
 
 
-def _wait_for_journal(path: Path, deadline_s: float = 120.0) -> None:
+def _wolt(*extra: str, **kwargs):
+    return _wolt_cmd(*SIM_ARGS, *extra, **kwargs)
+
+
+def _wait_for_journal(path: Path, min_lines: int = MIN_LINES_BEFORE_KILL,
+                      deadline_s: float = 120.0) -> None:
     start = time.monotonic()
     while time.monotonic() - start < deadline_s:
         if path.exists():
             lines = path.read_bytes().count(b"\n")
-            if lines >= MIN_LINES_BEFORE_KILL:
+            if lines >= min_lines:
                 return
-        time.sleep(0.05)
-    _fail(f"journal {path} never reached {MIN_LINES_BEFORE_KILL} lines")
+        time.sleep(0.02)
+    _fail(f"journal {path} never reached {min_lines} lines")
 
 
-def main() -> None:
+def check_serve() -> None:
+    """SIGKILL ``wolt serve`` mid-epoch; torn tail + resume must be
+    byte-identical to an uninterrupted service run."""
+    workdir = Path(tempfile.mkdtemp(prefix="crash-resume-serve-"))
+    interrupted = workdir / "interrupted.jsonl"
+    uninterrupted = workdir / "uninterrupted.jsonl"
+    base = ["serve", "--spec", SERVE_SPEC, "--quiet"]
+
+    # 1-2. Start the epoch loop and SIGKILL it mid-run.
+    victim = _wolt_cmd(*base, "--epochs", str(SERVE_EPOCHS),
+                       "--journal", str(interrupted), "--workers", "2")
+    try:
+        _wait_for_journal(interrupted, min_lines=3)
+    finally:
+        victim.kill()  # SIGKILL: no handler, no flush, no goodbye
+        victim.wait(timeout=60)
+    journaled = interrupted.read_bytes().count(b'"kind":"record"')
+    print(f"killed serve with {journaled} epochs journaled")
+    if journaled >= SERVE_EPOCHS:
+        _fail("service finished before the kill; grow the fixture "
+              f"({SERVE_SPEC}) or raise SERVE_EPOCHS")
+
+    # 3. Tear the journal tail, as a crash mid-write would.
+    with open(interrupted, "ab") as handle:
+        handle.write(TORN_TAIL)
+
+    # 4. Resume the remaining epochs under a different worker count.
+    resumed = _wolt_cmd(*base, "--epochs",
+                        str(SERVE_EPOCHS - journaled),
+                        "--journal", str(interrupted), "--resume",
+                        "--workers", "3")
+    out, err = resumed.communicate(timeout=600)
+    if resumed.returncode != 0:
+        _fail(f"serve resume exited {resumed.returncode}: {err}")
+    if "resumed from" not in out:
+        _fail(f"serve resume missing replay marker:\n{out}")
+    print("resumed service completed")
+
+    # 5. The same epochs, uninterrupted and serial.
+    cold = _wolt_cmd(*base, "--epochs", str(SERVE_EPOCHS),
+                     "--journal", str(uninterrupted))
+    cold_out, cold_err = cold.communicate(timeout=600)
+    if cold.returncode != 0:
+        _fail(f"uninterrupted serve exited {cold.returncode}: "
+              f"{cold_err}")
+
+    # 6. Byte-identical snapshots.
+    if interrupted.read_bytes() != uninterrupted.read_bytes():
+        _fail("resumed serve journal differs from the uninterrupted "
+              f"one ({interrupted} vs {uninterrupted})")
+    print("crash_resume_check[serve]: OK — kill + torn tail + resume "
+          "is byte-identical to an uninterrupted service run")
+
+
+def check_sim() -> None:
     workdir = Path(tempfile.mkdtemp(prefix="crash-resume-"))
     interrupted = workdir / "interrupted.jsonl"
     uninterrupted = workdir / "uninterrupted.jsonl"
@@ -113,8 +179,13 @@ def main() -> None:
     if not resumed_stats or resumed_stats != cold_stats:
         _fail("reports disagree:\n"
               f"resumed: {resumed_stats}\ncold: {cold_stats}")
-    print("crash_resume_check: OK — kill + torn tail + resume is "
-          "byte-identical to an uninterrupted run")
+    print("crash_resume_check[sim]: OK — kill + torn tail + resume "
+          "is byte-identical to an uninterrupted run")
+
+
+def main() -> None:
+    check_sim()
+    check_serve()
 
 
 if __name__ == "__main__":

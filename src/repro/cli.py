@@ -152,6 +152,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shards dispatched per worker task "
                             "(default: auto; results are bit-identical "
                             "for any chunk size)")
+    serve.add_argument("--timeout-s", type=float, default=None,
+                       help="per-shard solve deadline in seconds "
+                            "(requires --workers: a hung in-process "
+                            "solve cannot be reaped); a shard past it "
+                            "is reaped and its users carry their "
+                            "previous association forward; overrides "
+                            "the spec's health.shard_timeout_s")
+    serve.add_argument("--retry-budget", type=int, default=None,
+                       help="retries per crashed shard solve before "
+                            "an explicit failure (default: the spec's "
+                            "health.retry_budget, itself 1)")
+    serve.add_argument("--chaos", type=float, default=None,
+                       metavar="LEVEL",
+                       help="inject a seeded composed fault storm at "
+                            "LEVEL in [0, 1]: telemetry blackouts, "
+                            "shard crashes and shard hangs (see "
+                            "docs/ROBUSTNESS.md); overrides the "
+                            "spec's chaos block")
     serve.add_argument("--journal", type=str, default=None,
                        help="append each applied epoch to this "
                             "crash-consistent JSONL journal")
@@ -242,6 +260,7 @@ def _sim(args: argparse.Namespace) -> Tuple[str, int]:
 
 def _serve(args: argparse.Namespace) -> Tuple[str, int]:
     """The ``wolt serve`` fleet service; returns (report, exit code)."""
+    from .fleet.chaos import FleetFaultModel
     from .fleet.service import FleetService, format_epoch
     from .fleet.spec import load_fleet_spec
     from .sim.dispatch import InterruptState, SignalGuard
@@ -250,14 +269,40 @@ def _serve(args: argparse.Namespace) -> Tuple[str, int]:
         return "serve: --resume requires --journal", 2
     if args.epochs < 1:
         return "serve: --epochs must be >= 1", 2
+    if args.timeout_s is not None and args.timeout_s <= 0:
+        return "serve: --timeout-s must be positive", 2
+    if args.timeout_s is not None and (args.workers is None
+                                       or args.workers < 1):
+        return ("serve: --timeout-s requires --workers (a hung "
+                "in-process solve cannot be reaped)", 2)
+    if args.retry_budget is not None and args.retry_budget < 0:
+        return "serve: --retry-budget must be >= 0", 2
+    if args.chaos is not None and not 0.0 <= args.chaos <= 1.0:
+        return "serve: --chaos level must be in [0, 1]", 2
+    fault_model = (FleetFaultModel.from_level(args.chaos)
+                   if args.chaos is not None else None)
     spec = load_fleet_spec(args.spec)
+    if (args.chaos is not None and args.chaos > 0
+            and args.workers is not None and args.workers > 1
+            and args.timeout_s is None
+            and spec.health.shard_timeout_s is None):
+        return ("serve: --chaos with --workers needs --timeout-s "
+                "(hang faults require a deadline to reap)", 2)
     print(f"fleet {spec.name}: {spec.n_buildings} buildings, "
           f"{spec.n_users} users, plc_mode={spec.plc_mode}, "
           f"seed {spec.seed}")
+    effective_chaos = fault_model if fault_model is not None else spec.chaos
+    if effective_chaos is not None and not effective_chaos.trivial:
+        print(f"chaos: blackout {effective_chaos.blackout_prob:.4f}, "
+              f"crash {effective_chaos.crash_prob:.4f} "
+              f"(x{effective_chaos.crash_attempts}), hang "
+              f"{effective_chaos.hang_prob:.4f}")
     state = InterruptState()
     with SignalGuard(state), FleetService(
             spec, workers=args.workers, chunk_size=args.chunk_size,
-            journal=args.journal, resume=args.resume) as service:
+            journal=args.journal, resume=args.resume,
+            timeout_s=args.timeout_s, retry_budget=args.retry_budget,
+            fault_model=fault_model) as service:
         if args.resume and service.epoch:
             print(f"resumed from {args.journal} at epoch "
                   f"{service.epoch}")
@@ -276,6 +321,11 @@ def _serve(args: argparse.Namespace) -> Tuple[str, int]:
     mode = "previewed" if args.dry_run else "applied"
     summary = (f"{len(reports)} epochs {mode}, {total_directives} "
                "directives")
+    total_failures = sum(r.n_shard_failures for r in reports)
+    if total_failures:
+        total_timeouts = sum(r.n_shard_timeouts for r in reports)
+        summary += (f", {total_failures} shard failures "
+                    f"({total_timeouts} timed out)")
     if args.journal and not args.dry_run:
         summary += f"; journal: {args.journal}"
     return summary, 0

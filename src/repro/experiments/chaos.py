@@ -30,6 +30,13 @@ Acceptance (checked by :func:`acceptance_failures` and the test
 suite): the guarded loop never crashes, matches the unguarded loop
 bit-for-bit when the storm is off (level 0), and its mean throughput
 dominates both the crashed loop and RSSI camping at every chaos level.
+
+This harness torments one scenario's control loop.  Its campus-scale
+sibling, :mod:`repro.fleet.chaos`, torments the whole fleet behind
+``wolt serve`` — telemetry blackouts, shard worker crashes and
+slow-shard hangs against per-shard deadlines and per-building circuit
+breakers — with its own CI acceptance gate
+(``python -m repro.fleet.chaos``).
 """
 
 from __future__ import annotations

@@ -14,9 +14,16 @@ package scales it to an operator's whole building fleet:
   :class:`~repro.core.health.HealthMonitor` quarantine,
   :class:`~repro.core.guard.DecisionGuard` validation, shard solves
   dispatched through :func:`repro.sim.dispatch.run_chunked`, directive
-  previews (dry-run) and per-epoch JSONL journaling.
+  previews (dry-run) and per-epoch JSONL journaling — plus per-shard
+  deadlines, worker retry budgets and per-building circuit breakers
+  (degraded, never stalled);
+* :mod:`repro.fleet.chaos` — seeded fleet-level fault storms
+  (telemetry blackouts, shard crashes, slow-shard hangs) behind
+  ``wolt serve --chaos`` and the CI acceptance gate
+  (``python -m repro.fleet.chaos``).
 """
 
+from .chaos import FleetFaultModel, ShardFaultPlan, tear_journal_tail
 from .service import (BuildingEpoch, Directive, EpochReport, FleetService,
                       format_epoch)
 from .sharding import (Segment, coupling_components, scatter_assignment,
@@ -29,10 +36,12 @@ __all__ = [
     "BuildingSpec",
     "Directive",
     "EpochReport",
+    "FleetFaultModel",
     "FleetService",
     "FleetSpec",
     "HealthSettings",
     "Segment",
+    "ShardFaultPlan",
     "TelemetryModel",
     "coupling_components",
     "format_epoch",
@@ -41,4 +50,5 @@ __all__ = [
     "scatter_assignment",
     "solve_segments_reference",
     "split_segments",
+    "tear_journal_tail",
 ]

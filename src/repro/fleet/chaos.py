@@ -1,0 +1,411 @@
+"""Fleet-level chaos engineering for ``wolt serve``.
+
+``wolt chaos`` (:mod:`repro.experiments.chaos`) torments a *single*
+scenario's control loop; this module torments the whole campus.  A
+:class:`FleetFaultModel` composes three fleet-layer fault families on
+top of the spec's ordinary telemetry noise:
+
+* **telemetry blackout** — a building's epoch report is lost in
+  transit; the service must keep deciding from the last report it has
+  (drawn per ``(building, epoch)`` from seed stream 2, so replay sees
+  the same blackouts);
+* **shard worker crash** — a shard solve raises
+  :class:`~repro.sim.faults.InjectedCrash` for its first
+  ``crash_attempts`` attempts (the existing
+  :class:`~repro.sim.faults.CrashSchedule` hook), exercising the
+  worker-side retry budget;
+* **slow-shard hang** — a shard solve sleeps ``hang_s`` (effectively
+  forever), exercising the per-shard ``timeout_s`` deadline: the pool
+  supervisor reaps it as a :data:`~repro.sim.dispatch.TIMEOUT_ERROR_TYPE`
+  :class:`~repro.sim.dispatch.WorkFailure`, and the serial path
+  synthesizes the identical failure without sleeping (the plan is drawn
+  parent-side), so serial and pooled chaos runs stay bit-identical.
+
+Shard faults for an epoch are drawn parent-side from seed stream 3
+(``spawn_key=(epoch, 0, 3)``), independent of topology (stream
+``(building, 0)``), telemetry (``(building, epoch, 1)``) and blackouts
+(``(building, epoch, 2)``).
+
+Everything is a pure function of ``(spec.seed, model, epoch)`` — a
+chaos run is exactly as reproducible as a clean one, and a model with
+all rates at zero is *bit-identical* to no model at all (enforced by
+the acceptance gate below and by keeping trivial models out of the
+journal fingerprint).
+
+``python -m repro.fleet.chaos`` runs the CI acceptance gate:
+composed faults, epochs atomic (journal torn-tail + resume
+byte-identity), serial == pooled, every faulted building recovered
+within the probation window after faults clear, zero-fault identity.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..sim.faults import CrashSchedule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (spec imports us)
+    from .spec import FleetSpec
+
+__all__ = ["FleetFaultModel", "ShardFaultPlan", "acceptance_failures",
+           "gate_spec", "main", "tear_journal_tail"]
+
+#: SeedSequence spawn-key stream tags used by the fleet layer.  0 is
+#: topology ``(building, 0)``, 1 is telemetry ``(building, epoch, 1)``.
+BLACKOUT_STREAM = 2
+SHARD_FAULT_STREAM = 3
+
+
+@dataclass(frozen=True)
+class ShardFaultPlan:
+    """The faults drawn for one epoch's shard batch (parent-side).
+
+    Attributes:
+        crashed: shard indices whose solve raises ``InjectedCrash`` for
+            the model's ``crash_attempts`` attempts.
+        hung: shard indices whose solve hangs for ``hang_s`` (to be
+            reaped by the dispatch deadline, or synthesized as a
+            timeout failure on the serial path).
+        schedule: the picklable worker-side hook implementing the plan
+            (``None`` when the plan is empty).
+    """
+
+    crashed: Tuple[int, ...]
+    hung: Tuple[int, ...]
+    schedule: Optional[CrashSchedule]
+
+    @property
+    def empty(self) -> bool:
+        return not self.crashed and not self.hung
+
+
+@dataclass(frozen=True)
+class FleetFaultModel:
+    """A seeded, spec-declarable composition of fleet-layer faults.
+
+    All rates are per-epoch probabilities; ``until_epoch`` bounds the
+    storm (faults are only drawn for epochs ``< until_epoch``), which
+    is what lets the acceptance gate assert recovery after the storm
+    clears.
+
+    Attributes:
+        blackout_prob: per-building chance an epoch's telemetry report
+            is lost (the service re-decides from its previous report).
+        crash_prob: per-shard chance the solve crashes for
+            ``crash_attempts`` attempts before succeeding.
+        crash_attempts: attempts consumed by an injected crash — set it
+            above the retry budget to force a :class:`WorkFailure`.
+        hang_prob: per-shard chance the solve hangs for ``hang_s``.
+        hang_s: the hang duration (effectively forever by default).
+        until_epoch: first epoch the storm no longer touches
+            (``None`` = the storm never clears).
+    """
+
+    blackout_prob: float = 0.0
+    crash_prob: float = 0.0
+    crash_attempts: int = 1
+    hang_prob: float = 0.0
+    hang_s: float = 3600.0
+    until_epoch: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("blackout_prob", "crash_prob", "hang_prob"):
+            rate = float(getattr(self, name))
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"{name} must be a probability in [0, 1], got "
+                    f"{rate!r}")
+        if self.crash_prob + self.hang_prob > 1.0:
+            raise ValueError(
+                "crash_prob + hang_prob must not exceed 1 (a shard "
+                "draws one uniform and the faults are exclusive)")
+        if self.crash_attempts < 1:
+            raise ValueError("crash_attempts must be >= 1")
+        if self.hang_s <= 0:
+            raise ValueError("hang_s must be positive")
+        if self.until_epoch is not None and self.until_epoch < 0:
+            raise ValueError("until_epoch must be >= 0")
+
+    @classmethod
+    def from_level(cls, level: float,
+                   until_epoch: Optional[int] = None
+                   ) -> "FleetFaultModel":
+        """The ``wolt serve --chaos <level>`` storm, ``level`` in [0, 1].
+
+        ``crash_attempts=2`` deliberately exceeds the default retry
+        budget of 1, so crashes at any level exercise the carry-forward
+        path, not just the retry path.
+        """
+        if not 0.0 <= level <= 1.0:
+            raise ValueError(
+                f"chaos level must be in [0, 1], got {level!r}")
+        return cls(blackout_prob=level / 4.0,
+                   crash_prob=level / 3.0,
+                   crash_attempts=2,
+                   hang_prob=level / 6.0,
+                   until_epoch=until_epoch)
+
+    @property
+    def trivial(self) -> bool:
+        """True when the model can never fire (all rates zero)."""
+        return (self.blackout_prob == 0.0 and self.crash_prob == 0.0
+                and self.hang_prob == 0.0)
+
+    def active(self, epoch: int) -> bool:
+        """Whether the storm touches this epoch at all."""
+        if self.trivial:
+            return False
+        return self.until_epoch is None or epoch < self.until_epoch
+
+    def params(self) -> Dict[str, Any]:
+        """JSON-serializable echo for checkpoint fingerprinting."""
+        return {"blackout_prob": self.blackout_prob,
+                "crash_prob": self.crash_prob,
+                "crash_attempts": self.crash_attempts,
+                "hang_prob": self.hang_prob,
+                "hang_s": self.hang_s,
+                "until_epoch": self.until_epoch}
+
+    # ------------------------------------------------------------------
+    # drawing (pure in (seed, epoch))
+
+    def blackout(self, seed: int, building: int, epoch: int) -> bool:
+        """Whether this building's report for this epoch is lost."""
+        if not self.active(epoch) or self.blackout_prob <= 0.0:
+            return False
+        rng = np.random.default_rng(np.random.SeedSequence(
+            entropy=seed, spawn_key=(building, epoch, BLACKOUT_STREAM)))
+        return bool(rng.random() < self.blackout_prob)
+
+    def shard_plan(self, seed: int, epoch: int,
+                   n_shards: int) -> ShardFaultPlan:
+        """Draw this epoch's shard faults (one uniform per shard).
+
+        The split is exclusive: a shard either crashes, hangs, or runs
+        clean — never two faults at once.
+        """
+        if not self.active(epoch) or n_shards == 0 or (
+                self.crash_prob <= 0.0 and self.hang_prob <= 0.0):
+            return ShardFaultPlan(crashed=(), hung=(), schedule=None)
+        rng = np.random.default_rng(np.random.SeedSequence(
+            entropy=seed, spawn_key=(epoch, 0, SHARD_FAULT_STREAM)))
+        draws = rng.random(n_shards)
+        crashed = tuple(int(i) for i in
+                        np.flatnonzero(draws < self.crash_prob))
+        hung = tuple(int(i) for i in np.flatnonzero(
+            (draws >= self.crash_prob)
+            & (draws < self.crash_prob + self.hang_prob)))
+        if not crashed and not hung:
+            return ShardFaultPlan(crashed=(), hung=(), schedule=None)
+        schedule = CrashSchedule(
+            crashes={i: self.crash_attempts for i in crashed},
+            hangs={i: 1 for i in hung},
+            hang_s=self.hang_s)
+        return ShardFaultPlan(crashed=crashed, hung=hung,
+                              schedule=schedule)
+
+
+def tear_journal_tail(path: Union[str, Path]) -> None:
+    """Simulate a crash mid-append: leave a torn partial record.
+
+    Appends an incomplete JSONL line with no trailing newline — the
+    exact on-disk shape of a process killed inside ``write()`` —
+    which :class:`~repro.sim.checkpoint.TrialStore` recovery must heal
+    by truncating back to the last complete record.
+    """
+    with open(path, "ab") as handle:
+        handle.write(b'{"kind": "record", "index": 9999, "payl')
+
+
+# ---------------------------------------------------------------------------
+# The acceptance gate (CI-blocking; ``python -m repro.fleet.chaos``).
+
+
+def gate_spec(seed: int = 73) -> "FleetSpec":
+    """The small fixed fleet the acceptance gate torments.
+
+    Telemetry has jitter but no dropout: extender-health chaos is
+    ``wolt chaos``'s job; this gate isolates the *fleet*-layer fault
+    machinery (blackouts, shard crashes, hangs, breakers) so the
+    recovery check can demand exact convergence with the clean twin.
+    """
+    from .spec import (BuildingSpec, FleetSpec, HealthSettings,
+                       TelemetryModel)
+    return FleetSpec(
+        name="chaos-gate",
+        seed=seed,
+        plc_mode="redistribute",
+        buildings=(
+            BuildingSpec(name="hq", n_extenders=4, n_users=8,
+                         circuits=("a", "a", "b", "b")),
+            BuildingSpec(name="lab", n_extenders=3, n_users=6),
+            BuildingSpec(name="dorm", n_extenders=3, n_users=5),
+        ),
+        telemetry=TelemetryModel(wifi_jitter=0.02, plc_jitter=0.05,
+                                 dropout=0.0),
+        # breaker_strikes=1 = hair-trigger breakers: any failed epoch
+        # trips one, so the storm exercises the full trip -> skip ->
+        # probe -> close cycle instead of needing an unlucky streak.
+        health=HealthSettings(probation_epochs=2, retry_budget=1,
+                              breaker_strikes=1,
+                              breaker_probation_epochs=2))
+
+
+def _storm_landed(model: FleetFaultModel, spec: "FleetSpec",
+                  epochs: int, n_shard_failures: int,
+                  n_shard_timeouts: int) -> List[str]:
+    """The gate must not pass vacuously: every fault family fired."""
+    problems: List[str] = []
+    blackouts = sum(
+        model.blackout(spec.seed, b, e)
+        for b in range(spec.n_buildings) for e in range(epochs))
+    if blackouts == 0:
+        problems.append("storm drew zero telemetry blackouts "
+                        "(vacuous gate; raise level or epochs)")
+    if n_shard_failures == 0:
+        problems.append("storm produced zero shard failures "
+                        "(vacuous gate; raise level or epochs)")
+    if n_shard_timeouts == 0:
+        problems.append("storm produced zero shard timeouts — the "
+                        "deadline-reap path went unexercised "
+                        "(vacuous gate; raise level or epochs)")
+    return problems
+
+
+def acceptance_failures(level: float = 0.6, epochs: int = 12,
+                        clear_after: int = 5,
+                        timeout_s: float = 5.0,
+                        workers: int = 2) -> List[str]:
+    """Run the fleet chaos gate; empty list = acceptance PASS.
+
+    Checks, in order:
+
+    1. a zero-fault chaos run is bit-identical to a clean run;
+    2. under the composed storm every epoch completes within its
+       deadline budget (hung shards are reaped, never awaited);
+    3. serial and pooled chaos runs are bit-identical;
+    4. every faulted building recovers to the clean twin's exact
+       state within the probation window after the storm clears;
+    5. epochs are atomic: a chaos run journaled, torn mid-record and
+       resumed snapshots byte-identical to an uninterrupted one.
+    """
+    from .service import FleetService, format_epoch
+    if epochs <= clear_after:
+        raise ValueError("epochs must exceed clear_after (the gate "
+                         "needs post-storm epochs to check recovery)")
+    failures: List[str] = []
+    spec = gate_spec()
+    model = FleetFaultModel.from_level(level, until_epoch=clear_after)
+
+    # Clean twin: the reference the chaotic runs must converge to.
+    clean = FleetService(spec)
+    clean_texts: List[str] = []
+    for _ in range(epochs):
+        clean_report = clean.run_epoch()
+        assert clean_report is not None
+        clean_texts.append(format_epoch(clean_report))
+
+    # 1. Zero-fault identity (the chaos plumbing itself must be free).
+    zero = FleetService(spec, fault_model=FleetFaultModel())
+    for e in range(epochs):
+        zero_report = zero.run_epoch()
+        assert zero_report is not None
+        if format_epoch(zero_report) != clean_texts[e]:
+            failures.append(
+                f"zero-fault chaos run diverged from the clean run "
+                f"at epoch {e}")
+            break
+
+    # 2. + 4. Serial chaotic run: storm lands, then full recovery.
+    serial = FleetService(spec, fault_model=model)
+    serial_texts: List[str] = []
+    n_shard_failures = 0
+    n_shard_timeouts = 0
+    n_breaker_trips = 0
+    for e in range(epochs):
+        report = serial.run_epoch()
+        assert report is not None
+        serial_texts.append(format_epoch(report))
+        n_shard_failures += report.n_shard_failures
+        n_shard_timeouts += report.n_shard_timeouts
+        n_breaker_trips += sum(1 for b in report.buildings
+                               if b.breaker_open)
+    failures.extend(_storm_landed(model, spec, clear_after,
+                                  n_shard_failures,
+                                  n_shard_timeouts))
+    if n_breaker_trips == 0:
+        failures.append("storm never tripped a circuit breaker "
+                        "(vacuous gate; raise level or epochs)")
+    if serial_texts[-1] != clean_texts[-1]:
+        failures.append(
+            f"faulted fleet did not recover to the clean twin within "
+            f"{epochs - clear_after} epochs of the storm clearing")
+
+    # 2. + 3. Pooled chaotic run: real hangs reaped by the deadline,
+    # bit-identical to the serial synthesis, epochs time-bounded.
+    pooled = FleetService(spec, workers=workers, timeout_s=timeout_s,
+                          fault_model=model)
+    # Generous per-epoch bound: every shard could hang (each costs one
+    # timeout to reap) and CI boxes are slow — but a single un-reaped
+    # hang_s sleep (3600 s) still blows it by an order of magnitude.
+    budget_s = 120.0 + timeout_s * 8
+    for e in range(epochs):
+        started = time.monotonic()
+        pooled_report = pooled.run_epoch()
+        elapsed = time.monotonic() - started
+        assert pooled_report is not None
+        if elapsed > budget_s:
+            failures.append(
+                f"epoch {e} took {elapsed:.1f}s, over its "
+                f"{budget_s:.1f}s deadline budget (hung shard not "
+                f"reaped?)")
+        if format_epoch(pooled_report) != serial_texts[e]:
+            failures.append(
+                f"pooled chaos run diverged from the serial run at "
+                f"epoch {e}")
+            break
+
+    # 5. Atomicity: journal + torn tail + resume == uninterrupted.
+    with tempfile.TemporaryDirectory() as tmp:
+        full_path = os.path.join(tmp, "full.jsonl")
+        with FleetService(spec, journal=full_path,
+                          fault_model=model) as full:
+            full.run(epochs)
+        torn_path = os.path.join(tmp, "torn.jsonl")
+        with FleetService(spec, journal=torn_path,
+                          fault_model=model) as first:
+            first.run(clear_after)
+        tear_journal_tail(torn_path)
+        with FleetService(spec, journal=torn_path, resume=True,
+                          fault_model=model) as resumed:
+            resumed.run(epochs - clear_after)
+        full_bytes = Path(full_path).read_bytes()
+        torn_bytes = Path(torn_path).read_bytes()
+        if full_bytes != torn_bytes:
+            failures.append(
+                "torn + resumed chaos journal is not byte-identical "
+                "to the uninterrupted journal (epochs not atomic)")
+    return failures
+
+
+def main() -> int:
+    """CI entry point: print the verdict, exit 1 on acceptance FAIL."""
+    failures = acceptance_failures()
+    print("fleet chaos gate: composed storm (blackout + crash + hang) "
+          "with recovery, identity and atomicity checks")
+    for problem in failures:
+        print(f"  FAIL: {problem}")
+    verdict = "FAIL" if failures else "PASS"
+    print(f"ACCEPTANCE: {verdict}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

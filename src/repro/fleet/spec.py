@@ -27,6 +27,20 @@ spec stays a ten-line file::
       flap_band: 0.5
       flap_strikes: 2
       probation_epochs: 3
+      shard_timeout_s: 30.0
+      retry_budget: 1
+      breaker_strikes: 3
+      breaker_probation_epochs: 2
+    chaos:
+      level: 0.3
+
+The ``health`` block also carries the service's degraded-mode knobs
+(per-shard solve deadline, worker retry budget, and the per-building
+circuit breaker — see :mod:`repro.fleet.service`), and an optional
+``chaos`` block declares a seeded :class:`repro.fleet.chaos.FleetFaultModel`
+storm, either as a single ``level`` shorthand or with explicit rates
+(``blackout_prob``/``crash_prob``/``crash_attempts``/``hang_prob``/
+``hang_s``/``until_epoch``).
 
 Everything downstream is a pure function of the spec: building
 topologies come from :func:`~repro.net.topology.enterprise_floor`
@@ -51,6 +65,7 @@ import numpy as np
 from ..core.problem import Scenario
 from ..net.topology import enterprise_floor
 from ..plc.sharing import PLC_MODES
+from .chaos import FleetFaultModel
 
 __all__ = ["BuildingSpec", "FleetSpec", "HealthSettings",
            "TelemetryModel", "build_building_scenario",
@@ -114,11 +129,50 @@ class TelemetryModel:
 
 @dataclass(frozen=True)
 class HealthSettings:
-    """Constructor arguments for each building's HealthMonitor."""
+    """Health and degraded-mode settings for the fleet service.
+
+    The first three are constructor arguments for each building's
+    :class:`~repro.core.health.HealthMonitor`.  The rest drive the
+    service's bounded-latency machinery
+    (:mod:`repro.fleet.service`):
+
+    Attributes:
+        shard_timeout_s: per-shard solve deadline (seconds); a shard
+            past it is reaped as a timeout failure and its users carry
+            their previous association forward.  ``None`` = no
+            deadline.  Only enforceable with worker processes (a hung
+            in-process solve cannot be reaped); CLI ``--timeout-s``
+            overrides it.
+        retry_budget: worker-side retries of a crashed shard solve
+            before it becomes an explicit failure; CLI
+            ``--retry-budget`` overrides it.
+        breaker_strikes: consecutive epochs with shard
+            failures/timeouts that trip a building's circuit breaker
+            (the building then skips solving and carries forward
+            cheaply).
+        breaker_probation_epochs: epochs a tripped breaker stays open
+            before the building gets a probe solve; a clean probe
+            closes the breaker, a failed one re-opens it.
+    """
 
     flap_band: float = 0.5
     flap_strikes: int = 2
     probation_epochs: int = 3
+    shard_timeout_s: Optional[float] = None
+    retry_budget: int = 1
+    breaker_strikes: int = 3
+    breaker_probation_epochs: int = 2
+
+    def __post_init__(self) -> None:
+        if (self.shard_timeout_s is not None
+                and self.shard_timeout_s <= 0):
+            raise ValueError("shard_timeout_s must be positive")
+        if self.retry_budget < 0:
+            raise ValueError("retry_budget must be >= 0")
+        if self.breaker_strikes < 1:
+            raise ValueError("breaker_strikes must be >= 1")
+        if self.breaker_probation_epochs < 1:
+            raise ValueError("breaker_probation_epochs must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -131,6 +185,7 @@ class FleetSpec:
     buildings: Tuple[BuildingSpec, ...] = ()
     telemetry: TelemetryModel = field(default_factory=TelemetryModel)
     health: HealthSettings = field(default_factory=HealthSettings)
+    chaos: Optional[FleetFaultModel] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -155,8 +210,19 @@ class FleetSpec:
         return sum(b.n_users for b in self.buildings)
 
     def params(self) -> Dict[str, Any]:
-        """JSON-serializable echo for checkpoint fingerprinting."""
-        return {
+        """JSON-serializable echo for checkpoint fingerprinting.
+
+        ``shard_timeout_s`` and ``retry_budget`` are deliberately
+        *not* fingerprinted: they are operational knobs (like ``wolt
+        sim``'s ``--timeout-s``/``--max-retries``) whose effects are
+        recorded per-epoch in the journal itself, and an operator must
+        be able to resume a journal with a different deadline.  The
+        breaker knobs *are* scientific — they change which epochs a
+        building solves — as is a non-trivial chaos model (a trivial
+        one is excluded so a zero-fault chaos run stays bit-identical
+        to a clean run, journal included).
+        """
+        result: Dict[str, Any] = {
             "name": self.name,
             "seed": self.seed,
             "plc_mode": self.plc_mode,
@@ -172,8 +238,15 @@ class FleetSpec:
             "health": {"flap_band": self.health.flap_band,
                        "flap_strikes": self.health.flap_strikes,
                        "probation_epochs":
-                           self.health.probation_epochs},
+                           self.health.probation_epochs,
+                       "breaker_strikes":
+                           self.health.breaker_strikes,
+                       "breaker_probation_epochs":
+                           self.health.breaker_probation_epochs},
         }
+        if self.chaos is not None and not self.chaos.trivial:
+            result["chaos"] = self.chaos.params()
+        return result
 
 
 def build_building_scenario(spec: FleetSpec,
@@ -261,6 +334,34 @@ def _expand_generate(raw: Any, where: str) -> List[BuildingSpec]:
             for i in range(count)]
 
 
+def _parse_chaos(raw: Any) -> Optional[FleetFaultModel]:
+    if raw is None:
+        return None
+    block = _require_mapping(raw, "chaos")
+    _reject_unknown(block, ("level", "blackout_prob", "crash_prob",
+                            "crash_attempts", "hang_prob", "hang_s",
+                            "until_epoch"), "chaos")
+    until: Optional[int] = None
+    if block.get("until_epoch") is not None:
+        until = _take_int(block, "until_epoch", "chaos")
+    if "level" in block:
+        extras = sorted(set(block) - {"level", "until_epoch"})
+        if extras:
+            raise ValueError(
+                f"chaos.level is a shorthand for the explicit rates; "
+                f"remove {extras} or drop 'level'")
+        return FleetFaultModel.from_level(float(block["level"]),
+                                          until_epoch=until)
+    return FleetFaultModel(
+        blackout_prob=float(block.get("blackout_prob", 0.0)),
+        crash_prob=float(block.get("crash_prob", 0.0)),
+        crash_attempts=_take_int(block, "crash_attempts", "chaos",
+                                 default=1),
+        hang_prob=float(block.get("hang_prob", 0.0)),
+        hang_s=float(block.get("hang_s", 3600.0)),
+        until_epoch=until)
+
+
 def parse_fleet_spec(text: str) -> FleetSpec:
     """Parse and validate a YAML fleet spec from a string."""
     try:
@@ -272,7 +373,8 @@ def parse_fleet_spec(text: str) -> FleetSpec:
     document = yaml.safe_load(text)
     root = _require_mapping(document, "fleet spec")
     _reject_unknown(root, ("fleet", "buildings", "generate",
-                           "telemetry", "health"), "fleet spec")
+                           "telemetry", "health", "chaos"),
+                    "fleet spec")
     head = _require_mapping(root.get("fleet", {}), "fleet")
     _reject_unknown(head, ("name", "seed", "plc_mode"), "fleet")
     buildings: List[BuildingSpec] = []
@@ -293,8 +395,13 @@ def parse_fleet_spec(text: str) -> FleetSpec:
                     "telemetry")
     health_block = _require_mapping(root.get("health", {}), "health")
     _reject_unknown(health_block,
-                    ("flap_band", "flap_strikes", "probation_epochs"),
+                    ("flap_band", "flap_strikes", "probation_epochs",
+                     "shard_timeout_s", "retry_budget",
+                     "breaker_strikes", "breaker_probation_epochs"),
                     "health")
+    shard_timeout_s: Optional[float] = None
+    if health_block.get("shard_timeout_s") is not None:
+        shard_timeout_s = float(health_block["shard_timeout_s"])
     return FleetSpec(
         name=str(head.get("name", "fleet")),
         seed=_take_int(head, "seed", "fleet", default=0),
@@ -309,7 +416,16 @@ def parse_fleet_spec(text: str) -> FleetSpec:
             flap_strikes=_take_int(health_block, "flap_strikes",
                                    "health", default=2),
             probation_epochs=_take_int(health_block, "probation_epochs",
-                                       "health", default=3)))
+                                       "health", default=3),
+            shard_timeout_s=shard_timeout_s,
+            retry_budget=_take_int(health_block, "retry_budget",
+                                   "health", default=1),
+            breaker_strikes=_take_int(health_block, "breaker_strikes",
+                                      "health", default=3),
+            breaker_probation_epochs=_take_int(
+                health_block, "breaker_probation_epochs", "health",
+                default=2)),
+        chaos=_parse_chaos(root.get("chaos")))
 
 
 def load_fleet_spec(path: Union[str, Path]) -> FleetSpec:

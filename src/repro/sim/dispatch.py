@@ -44,7 +44,7 @@ from typing import (Any, Callable, Deque, Dict, List, Optional,
 
 __all__ = ["WorkSpec", "WorkFailure", "InterruptState", "SignalGuard",
            "dispatch_chunked", "run_chunked", "shutdown_warm_pools",
-           "TIMEOUT_ERROR_TYPE", "POOL_ERROR_TYPE"]
+           "timeout_failure", "TIMEOUT_ERROR_TYPE", "POOL_ERROR_TYPE"]
 
 #: Supervisor wake-up period: the upper bound on how stale the deadline
 #: and interrupt checks can be while workers are busy.
@@ -92,6 +92,23 @@ class WorkFailure:
     attempts: int
     error_type: str
     error: str
+
+
+def timeout_failure(index: int, timeout_s: Optional[float],
+                    attempts: int = 1) -> WorkFailure:
+    """The canonical deadline-reap :class:`WorkFailure`.
+
+    Both the pool supervisor (a chunk that outlived its deadline) and
+    callers that must *synthesize* a reap without a process boundary —
+    the fleet layer's serial path applying a planned hang fault —
+    build the record here, so journals and reports carry one
+    ``error_type`` regardless of how the hang was detected.
+    """
+    detail = (f"exceeded its {timeout_s}s deadline"
+              if timeout_s is not None else "hung")
+    return WorkFailure(index=index, attempts=attempts,
+                       error_type=TIMEOUT_ERROR_TYPE,
+                       error=f"work item {detail} and was reaped")
 
 
 # ---------------------------------------------------------------------------
@@ -494,11 +511,8 @@ def _run_supervised(pending: Sequence[Any], config: Any, token: str,
                 continue
             for specs in hung:
                 for spec in specs:
-                    fail_spec(spec, WorkFailure(
-                        index=spec.index, attempts=1,
-                        error_type=TIMEOUT_ERROR_TYPE,
-                        error=f"work item exceeded its {timeout_s}s "
-                              "deadline and was reaped"))
+                    fail_spec(spec, timeout_failure(spec.index,
+                                                    timeout_s))
             # The hung workers must die; innocents rerun unpunished
             # (deadline reaping is not their failure).
             survivors = [c for c, _ in inflight.values()]

@@ -149,3 +149,20 @@ class TestSimCommand:
         assert main(argv + ["--resume"]) == 0
         second = capsys.readouterr().out
         assert first == second  # resumed sweep reproduces the report
+
+
+class TestServeFlags:
+    def test_serve_chaos_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--spec", "fleet.yaml", "--timeout-s", "30",
+             "--retry-budget", "2", "--chaos", "0.4"])
+        assert args.timeout_s == 30.0
+        assert args.retry_budget == 2
+        assert args.chaos == 0.4
+
+    def test_serve_flags_default_to_spec_values(self):
+        args = build_parser().parse_args(
+            ["serve", "--spec", "fleet.yaml"])
+        assert args.timeout_s is None
+        assert args.retry_budget is None
+        assert args.chaos is None

@@ -261,3 +261,252 @@ class TestServeCli:
                      "--epochs", "0"])
         assert code == 2
         assert "--epochs" in capsys.readouterr().err
+
+
+class TestDeadlinesAndRetries:
+    def test_operational_knobs_come_from_the_spec(self):
+        from repro.fleet.spec import HealthSettings
+        spec = smoke_spec(health=HealthSettings(shard_timeout_s=7.5,
+                                                retry_budget=3))
+        service = FleetService(spec)
+        assert service.timeout_s == 7.5
+        assert service.retry_budget == 3
+        # Constructor arguments override the spec.
+        tuned = FleetService(spec, timeout_s=2.0, retry_budget=0)
+        assert tuned.timeout_s == 2.0
+        assert tuned.retry_budget == 0
+
+    def test_knob_validation(self):
+        from repro.fleet.chaos import FleetFaultModel
+        with pytest.raises(ValueError, match="timeout_s"):
+            FleetService(smoke_spec(), timeout_s=0.0)
+        with pytest.raises(ValueError, match="retry_budget"):
+            FleetService(smoke_spec(), retry_budget=-1)
+        # Hang faults dispatched to a pool without a deadline would
+        # stall the epoch forever: rejected up front.
+        with pytest.raises(ValueError, match="timeout_s"):
+            FleetService(smoke_spec(), workers=2,
+                         fault_model=FleetFaultModel(hang_prob=0.5))
+
+    def test_transient_crash_succeeds_on_retry(self):
+        # Regression for the previously hardcoded retry budget: a
+        # shard that crashes once and a budget of one retry must make
+        # the epoch indistinguishable from a clean one.
+        from repro.fleet.chaos import FleetFaultModel
+        storm = FleetFaultModel(crash_prob=1.0, crash_attempts=1,
+                                until_epoch=1)
+        clean = FleetService(smoke_spec())
+        retried = FleetService(smoke_spec(), retry_budget=1,
+                               fault_model=storm)
+        clean_report = clean.run_epoch()
+        retried_report = retried.run_epoch()
+        assert retried_report.n_shard_failures == 0
+        assert format_epoch(retried_report) == format_epoch(
+            clean_report)
+
+    def test_exhausted_retry_budget_is_an_explicit_failure(self):
+        from repro.fleet.chaos import FleetFaultModel
+        storm = FleetFaultModel(crash_prob=1.0, crash_attempts=1,
+                                until_epoch=1)
+        service = FleetService(smoke_spec(), retry_budget=0,
+                               fault_model=storm)
+        report = service.run_epoch()
+        assert report.n_shard_failures == report.n_shards
+        assert report.n_shard_timeouts == 0  # crashes, not reaps
+        assert report.n_degraded_buildings == len(report.buildings)
+        assert all(b.staleness == 1 for b in report.buildings)
+
+    def test_hung_shard_no_longer_stalls_the_epoch(self):
+        # Before per-shard deadlines, _dispatch had no timeout: a
+        # single hung worker made run_epoch() block for the full
+        # hang_s (an hour here) — this test then failed by hanging.
+        import time
+        from repro.fleet.chaos import FleetFaultModel
+        storm = FleetFaultModel(hang_prob=1.0, hang_s=3600.0,
+                                until_epoch=1)
+        service = FleetService(smoke_spec(), workers=2,
+                               timeout_s=1.0, fault_model=storm)
+        started = time.monotonic()
+        report = service.run_epoch()
+        elapsed = time.monotonic() - started
+        assert elapsed < 120
+        assert report.n_shard_timeouts == report.n_shards >= 1
+        assert report.n_shard_failures == report.n_shard_timeouts
+        assert all(b.n_shard_timeouts == b.n_segments
+                   for b in report.buildings)
+        # The storm clears after epoch 0: the fleet solves again.
+        second = service.run_epoch()
+        assert second.n_shard_failures == 0
+        assert second.n_degraded_buildings == 0
+
+    def test_serial_hang_synthesis_matches_the_pool(self):
+        # The serial path never sleeps: planned hangs are synthesized
+        # as the same timeout failure the pool supervisor reaps, so
+        # serial and pooled chaos stay bit-identical.
+        from repro.fleet.chaos import FleetFaultModel
+        storm = FleetFaultModel(hang_prob=1.0, hang_s=3600.0,
+                                until_epoch=1)
+        serial = FleetService(smoke_spec(), fault_model=storm)
+        pooled = FleetService(smoke_spec(), workers=2, timeout_s=1.0,
+                              fault_model=storm)
+        for _ in range(2):
+            assert (format_epoch(serial.run_epoch())
+                    == format_epoch(pooled.run_epoch()))
+
+
+class TestCircuitBreaker:
+    @staticmethod
+    def _fail_building_zero(monkeypatch, switch):
+        import repro.fleet.service as service_mod
+        real = service_mod._solve_shard
+
+        def flaky(config, spec):
+            if switch["failing"] and spec.item.building == 0:
+                return WorkFailure(index=spec.index, attempts=1,
+                                   error_type="RuntimeError",
+                                   error="injected shard failure")
+            return real(config, spec)
+
+        monkeypatch.setattr(service_mod, "_solve_shard", flaky)
+
+    def test_breaker_trips_skips_probes_and_closes(self, monkeypatch):
+        from repro.fleet.spec import HealthSettings
+        spec = smoke_spec(health=HealthSettings(
+            breaker_strikes=2, breaker_probation_epochs=2))
+        switch = {"failing": True}
+        self._fail_building_zero(monkeypatch, switch)
+        service = FleetService(spec)
+
+        # Two consecutive failed epochs trip the breaker.
+        first = service.run_epoch().buildings[0]
+        assert (first.staleness, first.breaker_open) == (1, False)
+        assert first.n_segments > 0
+        second = service.run_epoch().buildings[0]
+        assert (second.staleness, second.breaker_open) == (2, True)
+
+        # Open breaker: the building is skipped (no shards solved)
+        # until the probation window elapses.
+        for expected_staleness in (3, 4):
+            skipped = service.run_epoch().buildings[0]
+            assert skipped.n_segments == 0
+            assert skipped.breaker_open
+            assert skipped.staleness == expected_staleness
+
+        # Probe epoch while still failing: the open window restarts.
+        probe = service.run_epoch().buildings[0]
+        assert probe.n_segments > 0
+        assert probe.breaker_open
+        assert probe.staleness == 5
+
+        # Fault cleared: two more idle epochs, then a clean probe
+        # closes the breaker and staleness resets.
+        switch["failing"] = False
+        for expected_staleness in (6, 7):
+            skipped = service.run_epoch().buildings[0]
+            assert skipped.n_segments == 0
+            assert skipped.staleness == expected_staleness
+        closed = service.run_epoch().buildings[0]
+        assert closed.n_segments > 0
+        assert not closed.breaker_open
+        assert closed.staleness == 0
+        # Healthy buildings never noticed.
+        assert all(not b.breaker_open and b.staleness == 0
+                   for b in service.run_epoch().buildings[1:])
+
+    def test_breaker_events_are_journaled(self, monkeypatch, tmp_path):
+        from repro.fleet.spec import HealthSettings
+        spec = smoke_spec(health=HealthSettings(
+            breaker_strikes=1, breaker_probation_epochs=1))
+        switch = {"failing": True}
+        self._fail_building_zero(monkeypatch, switch)
+        journal = os.fspath(tmp_path / "fleet.jsonl")
+        with FleetService(spec, journal=journal) as service:
+            service.run_epoch()   # trip
+            service.run_epoch()   # skip
+            service.run_epoch()   # probe, still failing
+            switch["failing"] = False
+            service.run_epoch()   # skip
+            service.run_epoch()   # clean probe closes
+            names = [e["event"] for e in service._store.events
+                     if e["event"].startswith("breaker-")]
+        assert names == ["breaker-open", "breaker-probe-failed",
+                         "breaker-close"]
+
+    def test_breaker_state_survives_resume_bit_identically(
+            self, monkeypatch, tmp_path):
+        from repro.fleet.spec import HealthSettings
+        health = HealthSettings(breaker_strikes=1,
+                                breaker_probation_epochs=2)
+        switch = {"failing": True}
+        self._fail_building_zero(monkeypatch, switch)
+
+        straight = FleetService(smoke_spec(health=health))
+        expected = [format_epoch(straight.run_epoch())
+                    for _ in range(6)]
+
+        journal = os.fspath(tmp_path / "fleet.jsonl")
+        with FleetService(smoke_spec(health=health),
+                          journal=journal) as first:
+            got = [format_epoch(first.run_epoch()) for _ in range(3)]
+        # Resume mid-breaker-cycle: open/streak/staleness counters
+        # must come back exactly, or the probe schedule would shift.
+        with FleetService(smoke_spec(health=health), journal=journal,
+                          resume=True) as second:
+            assert second.epoch == 3
+            assert second._buildings[0].breaker_open
+            got += [format_epoch(second.run_epoch())
+                    for _ in range(3)]
+        assert got == expected
+
+    def test_breaker_advances_in_dry_run(self, monkeypatch):
+        from repro.fleet.spec import HealthSettings
+        spec = smoke_spec(health=HealthSettings(
+            breaker_strikes=1, breaker_probation_epochs=2))
+        switch = {"failing": True}
+        self._fail_building_zero(monkeypatch, switch)
+        service = FleetService(spec)
+        report = service.run_epoch(dry_run=True)
+        assert not report.applied
+        assert report.buildings[0].breaker_open
+        assert service._buildings[0].breaker_open
+
+
+class TestServeChaosCli:
+    SPEC = os.fspath(DATA / "fleet_smoke.yaml")
+
+    def test_chaos_run_reports_failures(self, capsys):
+        assert main(["serve", "--spec", self.SPEC, "--epochs", "2",
+                     "--chaos", "1.0", "--retry-budget", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos: blackout" in out
+        assert "shard failures" in out
+
+    def test_nonpositive_timeout_is_usage_error(self, capsys):
+        code = main(["serve", "--spec", self.SPEC,
+                     "--timeout-s", "0"])
+        assert code == 2
+        assert "--timeout-s must be positive" in capsys.readouterr().err
+
+    def test_timeout_without_workers_is_usage_error(self, capsys):
+        code = main(["serve", "--spec", self.SPEC,
+                     "--timeout-s", "5"])
+        assert code == 2
+        assert "--timeout-s requires --workers" in (
+            capsys.readouterr().err)
+
+    def test_negative_retry_budget_is_usage_error(self, capsys):
+        code = main(["serve", "--spec", self.SPEC,
+                     "--retry-budget", "-1"])
+        assert code == 2
+        assert "--retry-budget" in capsys.readouterr().err
+
+    def test_chaos_level_out_of_range_is_usage_error(self, capsys):
+        code = main(["serve", "--spec", self.SPEC, "--chaos", "1.5"])
+        assert code == 2
+        assert "--chaos level" in capsys.readouterr().err
+
+    def test_chaos_hangs_with_pool_need_a_deadline(self, capsys):
+        code = main(["serve", "--spec", self.SPEC, "--chaos", "0.5",
+                     "--workers", "2"])
+        assert code == 2
+        assert "--timeout-s" in capsys.readouterr().err

@@ -169,3 +169,99 @@ class TestTopologyDeterminism:
         assert not np.array_equal(
             build_building_scenario(spec, 0).wifi_rates,
             build_building_scenario(other, 0).wifi_rates)
+
+
+class TestHealthKnobs:
+    def test_new_health_keys_parse(self):
+        spec = parse_fleet_spec(
+            "buildings:\n  - {name: x, extenders: 2, users: 3}\n"
+            "health:\n"
+            "  shard_timeout_s: 45.0\n"
+            "  retry_budget: 2\n"
+            "  breaker_strikes: 4\n"
+            "  breaker_probation_epochs: 3\n")
+        assert spec.health.shard_timeout_s == 45.0
+        assert spec.health.retry_budget == 2
+        assert spec.health.breaker_strikes == 4
+        assert spec.health.breaker_probation_epochs == 3
+
+    def test_shard_timeout_defaults_to_none(self):
+        spec = parse_fleet_spec(
+            "buildings:\n  - {name: x, extenders: 2, users: 3}\n")
+        assert spec.health.shard_timeout_s is None
+        assert spec.health.retry_budget == 1
+
+    @pytest.mark.parametrize("line,match", [
+        ("shard_timeout_s: 0", "shard_timeout_s"),
+        ("shard_timeout_s: -3", "shard_timeout_s"),
+        ("retry_budget: -1", "retry_budget"),
+        ("breaker_strikes: 0", "breaker_strikes"),
+        ("breaker_probation_epochs: 0", "breaker_probation_epochs"),
+    ])
+    def test_bad_health_knobs_rejected(self, line, match):
+        with pytest.raises(ValueError, match=match):
+            parse_fleet_spec(
+                "buildings:\n  - {name: x, extenders: 2, users: 3}\n"
+                f"health: {{{line}}}\n")
+
+    def test_breaker_knobs_are_fingerprinted(self):
+        base = parse_fleet_spec(
+            "buildings:\n  - {name: x, extenders: 2, users: 3}\n")
+        params = base.params()
+        assert params["health"]["breaker_strikes"] == 3
+        assert params["health"]["breaker_probation_epochs"] == 2
+        # Operational knobs stay out of the experiment identity.
+        assert "shard_timeout_s" not in params["health"]
+        assert "retry_budget" not in params["health"]
+
+
+class TestChaosBlock:
+    BASE = "buildings:\n  - {name: x, extenders: 2, users: 3}\n"
+
+    def test_absent_block_means_no_model(self):
+        assert parse_fleet_spec(self.BASE).chaos is None
+
+    def test_level_shorthand(self):
+        spec = parse_fleet_spec(
+            self.BASE + "chaos: {level: 0.6, until_epoch: 5}\n")
+        assert spec.chaos is not None
+        assert spec.chaos.blackout_prob == pytest.approx(0.15)
+        assert spec.chaos.crash_prob == pytest.approx(0.2)
+        assert spec.chaos.hang_prob == pytest.approx(0.1)
+        assert spec.chaos.until_epoch == 5
+
+    def test_explicit_rates(self):
+        spec = parse_fleet_spec(
+            self.BASE + "chaos:\n"
+            "  blackout_prob: 0.1\n"
+            "  crash_prob: 0.2\n"
+            "  crash_attempts: 3\n"
+            "  hang_prob: 0.05\n"
+            "  hang_s: 30.0\n")
+        assert spec.chaos is not None
+        assert spec.chaos.crash_attempts == 3
+        assert spec.chaos.hang_s == 30.0
+        assert spec.chaos.until_epoch is None
+
+    def test_level_mixed_with_rates_rejected(self):
+        with pytest.raises(ValueError, match="shorthand"):
+            parse_fleet_spec(
+                self.BASE + "chaos: {level: 0.5, crash_prob: 0.1}\n")
+
+    def test_unknown_chaos_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            parse_fleet_spec(self.BASE + "chaos: {intensity: 0.5}\n")
+
+    def test_bad_rates_rejected(self):
+        with pytest.raises(ValueError, match="probability"):
+            parse_fleet_spec(self.BASE + "chaos: {crash_prob: 1.5}\n")
+
+    def test_nontrivial_chaos_reaches_params(self):
+        stormy = parse_fleet_spec(
+            self.BASE + "chaos: {crash_prob: 0.2}\n")
+        assert stormy.params()["chaos"]["crash_prob"] == 0.2
+        # An all-zero model is identical to no model at all.
+        calm = parse_fleet_spec(
+            self.BASE + "chaos: {blackout_prob: 0.0}\n")
+        assert "chaos" not in calm.params()
+        assert calm.params() == parse_fleet_spec(self.BASE).params()

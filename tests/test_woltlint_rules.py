@@ -23,10 +23,10 @@ def codes(source: str, path: str = "core/module.py", select=None):
 
 
 class TestRegistry:
-    def test_all_thirteen_rules_registered(self):
+    def test_all_fourteen_rules_registered(self):
         assert set(RULES) == {"W001", "W002", "W003", "W004", "W005",
                               "W006", "W007", "W008", "W009", "W010",
-                              "W011", "W012", "W013"}
+                              "W011", "W012", "W013", "W014"}
 
     def test_rules_carry_metadata(self):
         for code, rule in RULES.items():
@@ -455,3 +455,57 @@ class TestSelection:
         rng2 = np.random.default_rng(seed + 1)
         """
         assert codes(src, select=["W002"]) == ["W002"]
+
+
+class TestW014UnboundedDispatch:
+    def test_missing_timeout_flagged(self):
+        src = """
+        from repro.sim.dispatch import dispatch_chunked
+        dispatch_chunked(specs, config, fn, workers=4, record=record)
+        """
+        assert codes(src) == ["W014"]
+
+    def test_run_chunked_flagged_too(self):
+        src = """
+        from repro.sim import dispatch
+        dispatch.run_chunked(items, config, fn, workers=2)
+        """
+        assert codes(src) == ["W014"]
+
+    def test_explicit_timeout_is_clean(self):
+        src = """
+        from repro.sim.dispatch import dispatch_chunked
+        dispatch_chunked(specs, config, fn, workers=4,
+                         timeout_s=30.0, record=record)
+        """
+        assert codes(src) == []
+
+    def test_explicit_none_records_the_choice(self):
+        # timeout_s=None documents that unbounded waiting is
+        # deliberate (e.g. no process boundary to reap across).
+        src = """
+        from repro.sim.dispatch import run_chunked
+        run_chunked(items, config, fn, workers=2, timeout_s=None)
+        """
+        assert codes(src) == []
+
+    def test_kwargs_splat_may_carry_a_timeout(self):
+        src = """
+        from repro.sim.dispatch import dispatch_chunked
+        dispatch_chunked(specs, config, fn, **dispatch_opts)
+        """
+        assert codes(src) == []
+
+    def test_suppression_comment_is_honored(self):
+        src = """
+        from repro.sim.dispatch import run_chunked
+        run_chunked(items, config, fn)  # woltlint: disable=W014
+        """
+        assert codes(src) == []
+
+    def test_unrelated_calls_not_flagged(self):
+        src = """
+        pool.map_chunked(items)
+        run(items, timeout=3)
+        """
+        assert codes(src) == []

@@ -707,3 +707,47 @@ class UnsanitizedTelemetryScenario(Rule):
                         "DecisionGuard.sanitize_rates) before "
                         "construction, or a NaN report crashes the "
                         "control loop here")
+
+
+# ---------------------------------------------------------------------------
+# W014 — unbounded dispatch
+
+
+#: The chunked-dispatch entry points that accept a per-item deadline.
+_DISPATCH_FNS = frozenset({"dispatch_chunked", "run_chunked"})
+
+
+@register
+class UnboundedDispatch(Rule):
+    """Chunked dispatch without an explicit per-item deadline."""
+
+    code = "W014"
+    name = "unbounded-dispatch"
+    description = ("dispatch_chunked()/run_chunked() call without a "
+                   "timeout_s argument")
+    rationale = ("A dispatch with no deadline waits on its slowest "
+                 "item forever: one hung worker stalls the whole "
+                 "batch (and, in the fleet service, the whole epoch). "
+                 "Pass timeout_s — or timeout_s=None at the call site "
+                 "to record that unbounded waiting is intentional "
+                 "(e.g. the serial path, where there is no process "
+                 "to reap across).")
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            parts = dotted_parts(node.func)
+            if parts is None or parts[-1] not in _DISPATCH_FNS:
+                continue
+            if any(kw.arg == "timeout_s" or kw.arg is None
+                   for kw in node.keywords):
+                # Explicit timeout (even None) or a **kwargs splat
+                # that may carry one: the author made a choice.
+                continue
+            yield self.finding(
+                path, node,
+                f"{parts[-1]}() without timeout_s — a hung worker "
+                "stalls this batch forever; pass a deadline, or "
+                "timeout_s=None to mark unbounded waiting as "
+                "deliberate")
