@@ -2,7 +2,8 @@
 """CI integration check: a SIGKILLed run resumes bit-identically.
 
 End-to-end exercise of the durable CLI paths, as a real operator would
-hit them — first ``wolt sim``, then ``wolt serve``:
+hit them — ``wolt sim``, then ``wolt serve``, then ``wolt record`` →
+``wolt serve --from``:
 
 1. start a checkpointed run via ``python -m repro.cli``;
 2. SIGKILL it once a few trials/epochs are journaled (no warning, no
@@ -14,6 +15,13 @@ hit them — first ``wolt sim``, then ``wolt serve``:
 5. run the identical workload uninterrupted into a second journal;
 6. require the two journal files to be **byte-identical** (both end
    as canonical snapshots) and the reports to agree.
+
+The record→replay phase then reruns the serve check from a recorded
+telemetry stream whose tail was torn (a recorder crash mid-append):
+the stream's damage must degrade gracefully, the SIGKILLed replay
+must resume byte-identically, and a *clean* recorded replay journal
+must be byte-identical to the synthetic serve journal — the CLI-level
+proof of ``wolt record``/``--from`` replay identity.
 
 Exits non-zero with a diagnostic on any deviation.  Needs only the
 repo + its runtime deps: run as ``PYTHONPATH=src python
@@ -79,13 +87,18 @@ def _wait_for_journal(path: Path, min_lines: int = MIN_LINES_BEFORE_KILL,
     _fail(f"journal {path} never reached {min_lines} lines")
 
 
-def check_serve() -> None:
+def check_serve(extra: tuple = (), label: str = "serve") -> Path:
     """SIGKILL ``wolt serve`` mid-epoch; torn tail + resume must be
-    byte-identical to an uninterrupted service run."""
-    workdir = Path(tempfile.mkdtemp(prefix="crash-resume-serve-"))
+    byte-identical to an uninterrupted service run.
+
+    ``extra`` rides extra flags (e.g. ``--from <stream>``) into every
+    serve invocation; returns the uninterrupted journal path so later
+    phases can compare against it.
+    """
+    workdir = Path(tempfile.mkdtemp(prefix=f"crash-resume-{label}-"))
     interrupted = workdir / "interrupted.jsonl"
     uninterrupted = workdir / "uninterrupted.jsonl"
-    base = ["serve", "--spec", SERVE_SPEC, "--quiet"]
+    base = ["serve", "--spec", SERVE_SPEC, "--quiet", *extra]
 
     # 1-2. Start the epoch loop and SIGKILL it mid-run.
     victim = _wolt_cmd(*base, "--epochs", str(SERVE_EPOCHS),
@@ -127,10 +140,11 @@ def check_serve() -> None:
 
     # 6. Byte-identical snapshots.
     if interrupted.read_bytes() != uninterrupted.read_bytes():
-        _fail("resumed serve journal differs from the uninterrupted "
-              f"one ({interrupted} vs {uninterrupted})")
-    print("crash_resume_check[serve]: OK — kill + torn tail + resume "
-          "is byte-identical to an uninterrupted service run")
+        _fail(f"resumed {label} journal differs from the "
+              f"uninterrupted one ({interrupted} vs {uninterrupted})")
+    print(f"crash_resume_check[{label}]: OK — kill + torn tail + "
+          "resume is byte-identical to an uninterrupted service run")
+    return uninterrupted
 
 
 def check_sim() -> None:
@@ -183,9 +197,53 @@ def check_sim() -> None:
           "is byte-identical to an uninterrupted run")
 
 
+def check_record_replay(synthetic_journal: Path) -> None:
+    """``wolt record`` → SIGKILLed ``wolt serve --from`` → resume.
+
+    Tears the *stream* tail too (a recorder crash mid-append): the
+    damage must classify gracefully — not crash the service — and the
+    torn-stream replays must still resume byte-identically.  Finally
+    a clean-stream replay journal is byte-compared against the
+    synthetic serve journal from the previous phase.
+    """
+    workdir = Path(tempfile.mkdtemp(prefix="crash-resume-record-"))
+    stream = workdir / "telemetry.jsonl"
+    recorder = _wolt_cmd("record", "--spec", SERVE_SPEC, "--epochs",
+                         str(SERVE_EPOCHS), "--out", str(stream))
+    out, err = recorder.communicate(timeout=600)
+    if recorder.returncode != 0:
+        _fail(f"wolt record exited {recorder.returncode}: {err}")
+    print(f"recorded {SERVE_EPOCHS} epochs of telemetry")
+
+    # Clean-stream CLI identity: replaying the recording must journal
+    # byte-identically to the synthetic run of the same spec.
+    clean_journal = workdir / "clean-replay.jsonl"
+    replay = _wolt_cmd("serve", "--spec", SERVE_SPEC, "--quiet",
+                       "--from", str(stream), "--epochs",
+                       str(SERVE_EPOCHS), "--journal",
+                       str(clean_journal))
+    out, err = replay.communicate(timeout=600)
+    if replay.returncode != 0:
+        _fail(f"clean replay exited {replay.returncode}: {err}")
+    if clean_journal.read_bytes() != synthetic_journal.read_bytes():
+        _fail("clean recorded replay journal differs from the "
+              f"synthetic serve journal ({clean_journal} vs "
+              f"{synthetic_journal})")
+    print("clean recorded replay is byte-identical to the synthetic "
+          "serve journal")
+
+    # Tear the stream tail (recorder crash mid-append) and run the
+    # full kill/torn-journal/resume drill against the damaged stream.
+    torn_stream = workdir / "telemetry-torn.jsonl"
+    torn_stream.write_bytes(stream.read_bytes() + TORN_TAIL)
+    check_serve(extra=("--from", str(torn_stream)),
+                label="record-replay")
+
+
 def main() -> None:
     check_sim()
-    check_serve()
+    synthetic_journal = check_serve()
+    check_record_replay(synthetic_journal)
 
 
 if __name__ == "__main__":

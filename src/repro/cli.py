@@ -14,13 +14,19 @@ Runs any of the paper's experiments from a shell::
     wolt solve --extenders 15 --users 36 --seed 1
     wolt serve --spec fleet.yaml --epochs 10      # campus fleet service
     wolt serve --spec fleet.yaml --epochs 2 --dry-run   # preview only
+    wolt record --spec fleet.yaml --epochs 10 --out telemetry.jsonl
+    wolt serve --spec fleet.yaml --epochs 10 --from telemetry.jsonl
     wolt all             # every figure, paper-scale
 
 All experiments are deterministic for a given ``--seed``; a
 checkpointed ``wolt sim`` resumed after a crash is bit-identical to an
-uninterrupted run.  Exit codes: 0 success, 1 on checkpoint errors
-(fingerprint mismatch, corruption), 130/143 when a run was interrupted
-by SIGINT/SIGTERM after flushing its checkpoint.
+uninterrupted run, and ``wolt serve --from`` replaying a clean
+``wolt record`` stream is byte-identical (journal included) to the
+synthetic run of the same spec.  Exit codes: 0 success, 1 on
+checkpoint or telemetry-ingest errors (fingerprint mismatch,
+corruption, damaged stream header, ``--strict`` integrity failures),
+130/143 when a run was interrupted by SIGINT/SIGTERM after flushing
+its checkpoint.
 """
 
 from __future__ import annotations
@@ -177,9 +183,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="replay the journal and continue from the "
                             "next epoch, bit-identically (requires "
                             "--journal)")
+    serve.add_argument("--from", dest="from_stream", type=str,
+                       default=None, metavar="STREAM",
+                       help="serve from a recorded telemetry stream "
+                            "(wolt record) instead of synthesizing "
+                            "telemetry; a clean stream replays "
+                            "byte-identically to the synthetic run "
+                            "(incompatible with --chaos)")
+    serve.add_argument("--strict", action="store_true",
+                       help="fail fast on the first dirty stream "
+                            "record instead of degrading gracefully "
+                            "(requires --from)")
+    serve.add_argument("--dead-letter", type=str, default=None,
+                       metavar="PATH",
+                       help="quarantine rejected stream records into "
+                            "this append-only bounded JSONL journal "
+                            "(requires --from)")
     serve.add_argument("--quiet", action="store_true",
                        help="one summary line per epoch, no "
                             "per-directive detail")
+
+    record = sub.add_parser(
+        "record",
+        help="record a fleet spec's telemetry as a versioned, "
+             "checksummed JSONL stream for wolt serve --from")
+    record.add_argument("--spec", type=str, required=True,
+                        help="YAML fleet spec (see docs/FLEET.md)")
+    record.add_argument("--epochs", type=int, default=1,
+                        help="epochs of telemetry to record "
+                             "(default 1)")
+    record.add_argument("--start-epoch", type=int, default=0,
+                        help="first epoch of the recorded window "
+                             "(default 0)")
+    record.add_argument("--out", type=str, required=True,
+                        help="stream output path (written atomically)")
 
     solve = sub.add_parser(
         "solve", help="run WOLT on a random enterprise floor")
@@ -258,9 +295,27 @@ def _sim(args: argparse.Namespace) -> Tuple[str, int]:
     return "\n".join(lines), 0
 
 
+def _record(args: argparse.Namespace) -> Tuple[str, int]:
+    """The ``wolt record`` stream writer; returns (report, exit code)."""
+    from .fleet.ingest import write_stream
+    from .fleet.spec import load_fleet_spec
+
+    if args.epochs < 1:
+        return "record: --epochs must be >= 1", 2
+    if args.start_epoch < 0:
+        return "record: --start-epoch must be >= 0", 2
+    spec = load_fleet_spec(args.spec)
+    n_records = write_stream(args.out, spec, args.epochs,
+                             start_epoch=args.start_epoch)
+    return (f"recorded {args.epochs} epochs of fleet {spec.name} "
+            f"({n_records} records, {spec.n_buildings} buildings) "
+            f"to {args.out}", 0)
+
+
 def _serve(args: argparse.Namespace) -> Tuple[str, int]:
     """The ``wolt serve`` fleet service; returns (report, exit code)."""
     from .fleet.chaos import FleetFaultModel
+    from .fleet.ingest import RecordedTelemetry
     from .fleet.service import FleetService, format_epoch
     from .fleet.spec import load_fleet_spec
     from .sim.dispatch import InterruptState, SignalGuard
@@ -269,6 +324,13 @@ def _serve(args: argparse.Namespace) -> Tuple[str, int]:
         return "serve: --resume requires --journal", 2
     if args.epochs < 1:
         return "serve: --epochs must be >= 1", 2
+    if args.from_stream is None and args.strict:
+        return "serve: --strict requires --from", 2
+    if args.from_stream is None and args.dead_letter is not None:
+        return "serve: --dead-letter requires --from", 2
+    if args.from_stream is not None and args.chaos is not None:
+        return ("serve: --from and --chaos are incompatible (the "
+                "recorded stream already is the fault surface)", 2)
     if args.timeout_s is not None and args.timeout_s <= 0:
         return "serve: --timeout-s must be positive", 2
     if args.timeout_s is not None and (args.workers is None
@@ -288,9 +350,34 @@ def _serve(args: argparse.Namespace) -> Tuple[str, int]:
             and spec.health.shard_timeout_s is None):
         return ("serve: --chaos with --workers needs --timeout-s "
                 "(hang faults require a deadline to reap)", 2)
+    source = None
+    if args.from_stream is not None:
+        if spec.chaos is not None and not spec.chaos.trivial:
+            return ("serve: --from cannot run under the spec's chaos "
+                    "block (the recorded stream already is the fault "
+                    "surface); drop the block or the flag", 2)
+        source = RecordedTelemetry.load(
+            args.from_stream, spec, strict=args.strict,
+            dead_letter=args.dead_letter)
+        if (not args.resume and source.end_epoch is not None
+                and args.epochs > source.end_epoch):
+            return (f"serve: --epochs {args.epochs} exceeds the "
+                    f"recorded stream (window ends at epoch "
+                    f"{source.end_epoch}); record a longer stream",
+                    2)
     print(f"fleet {spec.name}: {spec.n_buildings} buildings, "
           f"{spec.n_users} users, plc_mode={spec.plc_mode}, "
           f"seed {spec.seed}")
+    if source is not None:
+        if source.n_rejected:
+            counts = " ".join(
+                f"{cls}={n}"
+                for cls, n in sorted(source.stream.counts.items()))
+            note = (f"ingest: {source.n_rejected} records rejected "
+                    f"({counts}); degrading gracefully")
+            if args.dead_letter is not None:
+                note += f"; dead-letter: {args.dead_letter}"
+            print(note)
     effective_chaos = fault_model if fault_model is not None else spec.chaos
     if effective_chaos is not None and not effective_chaos.trivial:
         print(f"chaos: blackout {effective_chaos.blackout_prob:.4f}, "
@@ -302,7 +389,7 @@ def _serve(args: argparse.Namespace) -> Tuple[str, int]:
             spec, workers=args.workers, chunk_size=args.chunk_size,
             journal=args.journal, resume=args.resume,
             timeout_s=args.timeout_s, retry_budget=args.retry_budget,
-            fault_model=fault_model) as service:
+            fault_model=fault_model, source=source) as service:
         if args.resume and service.epoch:
             print(f"resumed from {args.journal} at epoch "
                   f"{service.epoch}")
@@ -333,6 +420,7 @@ def _serve(args: argparse.Namespace) -> Tuple[str, int]:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from .fleet.ingest import IngestError
     from .sim.checkpoint import CheckpointError
 
     args = build_parser().parse_args(argv)
@@ -378,6 +466,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             text, code = _serve(args)
         except CheckpointError as exc:
             print(f"checkpoint error: {exc}", file=sys.stderr)
+            return CHECKPOINT_ERROR_EXIT
+        except IngestError as exc:
+            print(f"ingest error: {exc}", file=sys.stderr)
+            return CHECKPOINT_ERROR_EXIT
+        print(text, file=sys.stderr if code == 2 else sys.stdout)
+        return code
+    elif args.command == "record":
+        try:
+            text, code = _record(args)
+        except IngestError as exc:
+            print(f"ingest error: {exc}", file=sys.stderr)
             return CHECKPOINT_ERROR_EXIT
         print(text, file=sys.stderr if code == 2 else sys.stdout)
         return code

@@ -20,10 +20,20 @@ package scales it to an operator's whole building fleet:
 * :mod:`repro.fleet.chaos` — seeded fleet-level fault storms
   (telemetry blackouts, shard crashes, slow-shard hangs) behind
   ``wolt serve --chaos`` and the CI acceptance gate
-  (``python -m repro.fleet.chaos``).
+  (``python -m repro.fleet.chaos``);
+* :mod:`repro.fleet.ingest` — the recorded-telemetry boundary:
+  versioned checksummed JSONL streams (``wolt record`` / ``wolt serve
+  --from``), strict per-record validation with dead-letter quarantine,
+  the :class:`~repro.fleet.ingest.TelemetrySource` seam, and the
+  corruption fuzz gate (``python -m repro.fleet.ingest``).
 """
 
 from .chaos import FleetFaultModel, ShardFaultPlan, tear_journal_tail
+from .ingest import (DeadLetterJournal, IngestError, RecordedTelemetry,
+                     StreamHeaderError, StreamIntegrityError,
+                     SyntheticTelemetry, TelemetryRecord,
+                     TelemetrySource, mutate_stream, read_stream,
+                     record_stream, write_stream)
 from .service import (BuildingEpoch, Directive, EpochReport, FleetService,
                       format_epoch)
 from .sharding import (Segment, coupling_components, scatter_assignment,
@@ -34,21 +44,33 @@ from .spec import (BuildingSpec, FleetSpec, HealthSettings,
 __all__ = [
     "BuildingEpoch",
     "BuildingSpec",
+    "DeadLetterJournal",
     "Directive",
     "EpochReport",
     "FleetFaultModel",
     "FleetService",
     "FleetSpec",
     "HealthSettings",
+    "IngestError",
+    "RecordedTelemetry",
     "Segment",
     "ShardFaultPlan",
+    "StreamHeaderError",
+    "StreamIntegrityError",
+    "SyntheticTelemetry",
     "TelemetryModel",
+    "TelemetryRecord",
+    "TelemetrySource",
     "coupling_components",
     "format_epoch",
     "load_fleet_spec",
+    "mutate_stream",
     "parse_fleet_spec",
+    "read_stream",
+    "record_stream",
     "scatter_assignment",
     "solve_segments_reference",
     "split_segments",
     "tear_journal_tail",
+    "write_stream",
 ]

@@ -3,13 +3,21 @@
 :class:`FleetService` runs the paper's epoch-driven reconfiguration
 loop (Fig. 6b) across a whole campus.  Each epoch:
 
-1. **Telemetry** — every building's scan/capacity stream drifts from
-   its ground-truth rates under the spec's
+1. **Telemetry** — every building's scan/capacity report comes from
+   the service's :class:`~repro.fleet.ingest.TelemetrySource` seam:
+   by default :class:`~repro.fleet.ingest.SyntheticTelemetry` drifts
+   the ground-truth rates under the spec's
    :class:`~repro.fleet.spec.TelemetryModel` (seeded per
    ``(building, epoch)``, so any epoch is reproducible in isolation);
-   the building's :class:`~repro.core.health.HealthMonitor` folds in
-   the PLC reports, and quarantined extenders are masked out of the
-   solve exactly like dead ones
+   ``wolt serve --from`` swaps in
+   :class:`~repro.fleet.ingest.RecordedTelemetry`, replaying a
+   validated recorded stream — dirty records surface as *missing*
+   reports the service degrades around (last-known-good fallback),
+   with the per-class reject counts carried into the epoch report
+   and journal.  Either way the building's
+   :class:`~repro.core.health.HealthMonitor` folds in the PLC
+   reports, and quarantined extenders are masked out of the solve
+   exactly like dead ones
    (:func:`repro.sim.failures.fail_extenders` semantics).
 2. **Sharding** — the effective scenario is split into independent PLC
    segments (:func:`repro.fleet.sharding.split_segments`); all shards
@@ -67,6 +75,7 @@ from ..sim.dispatch import (TIMEOUT_ERROR_TYPE, InterruptState,
                             timeout_failure)
 from ..sim.faults import InjectedCrash
 from .chaos import FleetFaultModel, ShardFaultPlan
+from .ingest import StreamExhausted, SyntheticTelemetry, TelemetrySource
 from .sharding import Segment, split_segments
 from .spec import FleetSpec, build_building_scenario
 
@@ -135,6 +144,12 @@ class EpochReport:
     ``n_degraded_buildings`` counts buildings whose association is
     stale this epoch (``staleness > 0``: failed/timed-out shards or an
     open circuit breaker kept some carry-forward in place).
+
+    ``n_rejected_records``/``rejected`` quantify the ingest boundary:
+    how many telemetry records feeding this epoch were classified
+    dirty (and per reject class, sorted by class name).  Always zero
+    for synthetic telemetry and clean recorded streams — which is
+    what keeps their journals byte-identical.
     """
 
     epoch: int
@@ -146,6 +161,8 @@ class EpochReport:
     aggregate_mbps: float
     delta_mbps: float
     applied: bool
+    n_rejected_records: int = 0
+    rejected: Tuple[Tuple[str, int], ...] = ()
 
     @property
     def directives(self) -> Tuple[Directive, ...]:
@@ -253,6 +270,14 @@ class FleetService:
             the spec's ``chaos`` block.  A non-trivial model joins the
             journal fingerprint, so a journal written under chaos
             cannot be silently resumed without it.
+        source: where telemetry comes from
+            (:class:`~repro.fleet.ingest.TelemetrySource`); ``None``
+            synthesizes it in-process
+            (:class:`~repro.fleet.ingest.SyntheticTelemetry`).  A
+            bounded (recorded) source caps how many epochs can run
+            and refuses to combine with a non-trivial chaos model —
+            recorded telemetry already is the fault surface, and
+            synthetic blackouts would silently shadow real records.
     """
 
     def __init__(self, spec: FleetSpec,
@@ -262,7 +287,8 @@ class FleetService:
                  resume: bool = False,
                  timeout_s: Optional[float] = None,
                  retry_budget: Optional[int] = None,
-                 fault_model: Optional[FleetFaultModel] = None) -> None:
+                 fault_model: Optional[FleetFaultModel] = None,
+                 source: Optional[TelemetrySource] = None) -> None:
         if resume and journal is None:
             raise ValueError("resume requires a journal path")
         self.spec = spec
@@ -286,9 +312,24 @@ class FleetService:
                 "a chaos model with hang faults needs timeout_s when "
                 "dispatching to worker processes (an un-reaped hang "
                 "stalls the epoch — which is what the deadline is for)")
+        self.source: TelemetrySource = (SyntheticTelemetry(spec)
+                                        if source is None else source)
+        if (self.source.end_epoch is not None
+                and self.fault_model is not None
+                and not self.fault_model.trivial):
+            raise ValueError(
+                "a recorded telemetry stream cannot run under a chaos "
+                "model: the recorded stream already is the fault "
+                "surface, and synthetic blackouts would silently "
+                "shadow real records")
         self.epoch = 0
         self._buildings = [_BuildingState(spec, i)
                            for i in range(spec.n_buildings)]
+        if isinstance(self.source, SyntheticTelemetry):
+            # Share the already-built topologies: the source would
+            # otherwise rebuild each one (identically) on first use.
+            for bstate in self._buildings:
+                self.source.prime(bstate.index, bstate.scenario)
         self._store: Optional[TrialStore] = None
         if journal is not None:
             params = spec.params()
@@ -318,23 +359,15 @@ class FleetService:
     # ------------------------------------------------------------------
     # telemetry
 
-    def _telemetry_rng(self, building: int,
-                       epoch: int) -> np.random.Generator:
-        # Three-element spawn_key: topology uses (building, 0) (see
-        # spec.build_building_scenario), so telemetry streams can
-        # never alias it, and any epoch is addressable directly —
-        # which is what makes journal replay bit-identical.
-        return np.random.default_rng(np.random.SeedSequence(
-            entropy=self.spec.seed, spawn_key=(building, epoch, 1)))
-
     def _observe(self, state: _BuildingState,
                  epoch: int) -> Tuple[Scenario, Tuple[int, ...]]:
         """Ingest one epoch of telemetry for one building.
 
-        Draws the building's drifted scan/capacity reports, folds the
-        PLC reports into the health monitor, and returns the
-        *effective* scenario (last-known-good capacities, quarantined
-        extenders masked out like dead ones) plus the quarantine set.
+        Pulls the building's scan/capacity report from the telemetry
+        source, folds the PLC reports into the health monitor, and
+        returns the *effective* scenario (last-known-good capacities,
+        quarantined extenders masked out like dead ones) plus the
+        quarantine set.
 
         A chaos blackout means the epoch's report was lost in transit:
         the service re-decides from the building's previous report
@@ -342,29 +375,29 @@ class FleetService:
         blackout on the very first epoch has nothing to fall back to
         and degrades to a normal observation.  Blackouts are drawn
         from their own seed stream, so replay sees the same ones.
+
+        A recorded source returning ``None`` (its record for this
+        slot was rejected at the ingest boundary, or never arrived)
+        degrades the same way: last-known-good when there is one; on
+        the very first epoch there is nothing to fall back to, so the
+        service decides from the as-built rates — a pristine,
+        drift-free report, the least-wrong stand-in that keeps the
+        epoch alive.
         """
-        model = self.spec.telemetry
         true = state.scenario
         if (self.fault_model is not None
                 and state.last_observed is not None
                 and self.fault_model.blackout(self.spec.seed,
                                               state.index, epoch)):
             return state.last_observed
-        rng = self._telemetry_rng(state.index, epoch)
-        wifi_obs = true.wifi_rates
-        if model.wifi_jitter > 0:
-            noise = rng.standard_normal(true.wifi_rates.shape)
-            wifi_obs = np.clip(
-                true.wifi_rates * (1.0 + model.wifi_jitter * noise),
-                0.0, None)
-        plc_obs = true.plc_rates.astype(float, copy=True)
-        if model.plc_jitter > 0:
-            noise = rng.standard_normal(true.plc_rates.shape)
-            plc_obs = np.clip(
-                plc_obs * (1.0 + model.plc_jitter * noise), 0.0, None)
-        if model.dropout > 0:
-            lost = rng.random(true.n_extenders) < model.dropout
-            plc_obs[lost] = np.nan
+        report = self.source.observe(state.index, epoch)
+        if report is None:
+            if state.last_observed is not None:
+                return state.last_observed
+            wifi_obs = true.wifi_rates
+            plc_obs = true.plc_rates.astype(float, copy=True)
+        else:
+            wifi_obs, plc_obs = report
         carrying = np.zeros(true.n_extenders, dtype=bool)
         attached = state.assignment[state.assignment != UNASSIGNED]
         carrying[attached] = True
@@ -394,6 +427,12 @@ class FleetService:
         nothing journaled) — epochs are atomic.
         """
         epoch = self.epoch
+        end_epoch = self.source.end_epoch
+        if end_epoch is not None and epoch >= end_epoch:
+            raise StreamExhausted(
+                f"recorded telemetry stream ends before epoch {epoch} "
+                f"(window ends at {end_epoch}); record a longer "
+                "stream or run fewer epochs")
         health = self.spec.health
         observed: List[Tuple[Scenario, Tuple[int, ...]]] = [
             self._observe(b, epoch) for b in self._buildings]
@@ -438,6 +477,7 @@ class FleetService:
             building_reports.append(self._update_breaker(
                 bstate, building_report, solved=solving[b],
                 apply=not dry_run))
+        epoch_rejects = self.source.epoch_rejects(epoch)
         report = EpochReport(
             epoch=epoch,
             buildings=tuple(building_reports),
@@ -451,7 +491,9 @@ class FleetService:
             aggregate_mbps=sum(b.aggregate_mbps
                                for b in building_reports),
             delta_mbps=sum(b.delta_mbps for b in building_reports),
-            applied=not dry_run)
+            applied=not dry_run,
+            n_rejected_records=sum(epoch_rejects.values()),
+            rejected=tuple(sorted(epoch_rejects.items())))
         if not dry_run and self._store is not None:
             self._store.append(epoch, self._encode_epoch(report))
         self.epoch += 1
@@ -722,6 +764,8 @@ class FleetService:
             "n_shard_failures": report.n_shard_failures,
             "n_shard_timeouts": report.n_shard_timeouts,
             "n_degraded_buildings": report.n_degraded_buildings,
+            "n_rejected_records": report.n_rejected_records,
+            "rejected": {cls: n for cls, n in report.rejected},
             "buildings": [
                 {"name": b.building,
                  "assignment": self._buildings[i].assignment.tolist(),
@@ -809,9 +853,13 @@ def format_epoch(report: EpochReport, directives: bool = True) -> str:
         f" ({report.n_shard_failures} failed, "
         f"{report.n_shard_timeouts} timed out), "
         f"{report.n_degraded_buildings} degraded, "
+        f"{report.n_rejected_records} rejected, "
         f"{len(report.directives)} directives, aggregate "
         f"{report.aggregate_mbps:.6f} Mbps "
         f"({report.delta_mbps:+.6f})"]
+    if report.rejected:
+        lines.append("  rejected: " + " ".join(
+            f"{cls}={n}" for cls, n in report.rejected))
     for building in report.buildings:
         notes = ""
         if building.staleness:

@@ -69,7 +69,13 @@ from .chaos import FleetFaultModel
 
 __all__ = ["BuildingSpec", "FleetSpec", "HealthSettings",
            "TelemetryModel", "build_building_scenario",
-           "load_fleet_spec", "parse_fleet_spec"]
+           "load_fleet_spec", "parse_fleet_spec",
+           "synthesize_observation"]
+
+#: Third element of the telemetry SeedSequence spawn key.  Topology
+#: uses ``(building, 0)``, telemetry ``(building, epoch, 1)``; the
+#: fleet chaos layer owns streams 2 and 3 (see ``repro.fleet.chaos``).
+TELEMETRY_STREAM = 1
 
 
 @dataclass(frozen=True)
@@ -248,6 +254,22 @@ class FleetSpec:
             result["chaos"] = self.chaos.params()
         return result
 
+    def stream_params(self) -> Dict[str, Any]:
+        """The spec subset a recorded telemetry stream is bound to.
+
+        Telemetry is a pure function of the seed, the telemetry model,
+        and each building's shape — *not* of health, breaker, chaos or
+        PLC-mode settings, so a stream recorded once can legitimately
+        be replayed under different operational knobs.  The stream
+        header carries ``fingerprint(stream_params())``; a replay
+        against a spec whose telemetry-relevant half differs is
+        refused loudly (see :mod:`repro.fleet.ingest`).
+        """
+        params = self.params()
+        return {"name": params["name"], "seed": params["seed"],
+                "buildings": params["buildings"],
+                "telemetry": params["telemetry"]}
+
 
 def build_building_scenario(spec: FleetSpec,
                             building: int) -> Scenario:
@@ -261,6 +283,42 @@ def build_building_scenario(spec: FleetSpec,
     rng = np.random.default_rng(np.random.SeedSequence(
         entropy=spec.seed, spawn_key=(building, 0)))
     return enterprise_floor(b.n_extenders, b.n_users, rng)
+
+
+def synthesize_observation(spec: FleetSpec, true: Scenario,
+                           building: int,
+                           epoch: int) -> Tuple[np.ndarray, np.ndarray]:
+    """One epoch of raw telemetry for one building (pure in the spec).
+
+    Returns ``(wifi_obs, plc_obs)``: the building's drifted scan
+    reports and PLC capacity probes under the spec's
+    :class:`TelemetryModel`, *before* any health folding — exactly
+    what a device fleet would report upstream.  Dropped PLC probes are
+    NaN.  Seeded by ``SeedSequence(entropy=spec.seed,
+    spawn_key=(building, epoch, 1))`` so any epoch of any building is
+    reproducible in isolation; ``wolt record``
+    (:mod:`repro.fleet.ingest`) persists these exact arrays, which is
+    what makes recorded replay bit-identical to a synthetic run.
+    """
+    model = spec.telemetry
+    rng = np.random.default_rng(np.random.SeedSequence(
+        entropy=spec.seed,
+        spawn_key=(building, epoch, TELEMETRY_STREAM)))
+    wifi_obs = true.wifi_rates
+    if model.wifi_jitter > 0:
+        noise = rng.standard_normal(true.wifi_rates.shape)
+        wifi_obs = np.clip(
+            true.wifi_rates * (1.0 + model.wifi_jitter * noise),
+            0.0, None)
+    plc_obs = true.plc_rates.astype(float, copy=True)
+    if model.plc_jitter > 0:
+        noise = rng.standard_normal(true.plc_rates.shape)
+        plc_obs = np.clip(
+            plc_obs * (1.0 + model.plc_jitter * noise), 0.0, None)
+    if model.dropout > 0:
+        lost = rng.random(true.n_extenders) < model.dropout
+        plc_obs[lost] = np.nan
+    return wifi_obs, plc_obs
 
 
 # ---------------------------------------------------------------------------
@@ -283,9 +341,24 @@ def _take_int(mapping: Mapping[str, Any], key: str, where: str,
         return default
     value = mapping[key]
     if isinstance(value, bool) or not isinstance(value, int):
+        # bool is a subclass of int in Python, so without the explicit
+        # reject a YAML `epochs: true` would silently parse as 1.
         raise ValueError(f"{where}.{key} must be an integer, got "
                          f"{value!r}")
     return value
+
+
+def _take_float(mapping: Mapping[str, Any], key: str, where: str,
+                default: float) -> float:
+    if key not in mapping or mapping[key] is None:
+        return default
+    value = mapping[key]
+    # Same trap as _take_int: YAML `wifi_jitter: true` is a Python
+    # bool, and float(True) is silently 1.0 — a 100% jitter.
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"{where}.{key} must be a number, got "
+                         f"{value!r}")
+    return float(value)
 
 
 def _reject_unknown(mapping: Mapping[str, Any], allowed: Tuple[str, ...],
@@ -350,15 +423,19 @@ def _parse_chaos(raw: Any) -> Optional[FleetFaultModel]:
             raise ValueError(
                 f"chaos.level is a shorthand for the explicit rates; "
                 f"remove {extras} or drop 'level'")
-        return FleetFaultModel.from_level(float(block["level"]),
-                                          until_epoch=until)
+        return FleetFaultModel.from_level(
+            _take_float(block, "level", "chaos", default=0.0),
+            until_epoch=until)
     return FleetFaultModel(
-        blackout_prob=float(block.get("blackout_prob", 0.0)),
-        crash_prob=float(block.get("crash_prob", 0.0)),
+        blackout_prob=_take_float(block, "blackout_prob", "chaos",
+                                  default=0.0),
+        crash_prob=_take_float(block, "crash_prob", "chaos",
+                               default=0.0),
         crash_attempts=_take_int(block, "crash_attempts", "chaos",
                                  default=1),
-        hang_prob=float(block.get("hang_prob", 0.0)),
-        hang_s=float(block.get("hang_s", 3600.0)),
+        hang_prob=_take_float(block, "hang_prob", "chaos",
+                              default=0.0),
+        hang_s=_take_float(block, "hang_s", "chaos", default=3600.0),
         until_epoch=until)
 
 
@@ -401,18 +478,23 @@ def parse_fleet_spec(text: str) -> FleetSpec:
                     "health")
     shard_timeout_s: Optional[float] = None
     if health_block.get("shard_timeout_s") is not None:
-        shard_timeout_s = float(health_block["shard_timeout_s"])
+        shard_timeout_s = _take_float(health_block, "shard_timeout_s",
+                                      "health", default=0.0)
     return FleetSpec(
         name=str(head.get("name", "fleet")),
         seed=_take_int(head, "seed", "fleet", default=0),
         plc_mode=str(head.get("plc_mode", "redistribute")),
         buildings=tuple(buildings),
         telemetry=TelemetryModel(
-            wifi_jitter=float(telemetry_block.get("wifi_jitter", 0.0)),
-            plc_jitter=float(telemetry_block.get("plc_jitter", 0.0)),
-            dropout=float(telemetry_block.get("dropout", 0.0))),
+            wifi_jitter=_take_float(telemetry_block, "wifi_jitter",
+                                    "telemetry", default=0.0),
+            plc_jitter=_take_float(telemetry_block, "plc_jitter",
+                                   "telemetry", default=0.0),
+            dropout=_take_float(telemetry_block, "dropout",
+                                "telemetry", default=0.0)),
         health=HealthSettings(
-            flap_band=float(health_block.get("flap_band", 0.5)),
+            flap_band=_take_float(health_block, "flap_band", "health",
+                                  default=0.5),
             flap_strikes=_take_int(health_block, "flap_strikes",
                                    "health", default=2),
             probation_epochs=_take_int(health_block, "probation_epochs",

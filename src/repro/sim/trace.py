@@ -29,6 +29,18 @@ __all__ = ["save_history", "load_history", "save_scenario",
 TRACE_VERSION = 1
 
 
+def _check_trace_header(payload: Dict[str, object], kind: str,
+                        path: Union[str, Path]) -> None:
+    """Validate a deserialized trace envelope before trusting it."""
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path} is not a trace file")
+    if payload.get("kind") != kind:
+        raise ValueError(f"{path} is not a {kind} trace")
+    if payload.get("version") != TRACE_VERSION:
+        raise ValueError(f"unsupported trace version "
+                         f"{payload.get('version')!r}")
+
+
 def save_history(path: Union[str, Path],
                  histories: Dict[str, Sequence[EpochStats]]) -> None:
     """Write per-policy epoch histories to a JSON trace file.
@@ -51,11 +63,7 @@ def save_history(path: Union[str, Path],
 def load_history(path: Union[str, Path]) -> Dict[str, List[EpochStats]]:
     """Read a trace file written by :func:`save_history`."""
     payload = json.loads(Path(path).read_text())
-    if payload.get("kind") != "epoch-history":
-        raise ValueError(f"{path} is not an epoch-history trace")
-    if payload.get("version") != TRACE_VERSION:
-        raise ValueError(f"unsupported trace version "
-                         f"{payload.get('version')!r}")
+    _check_trace_header(payload, "epoch-history", path)
     return {
         policy: [EpochStats(**epoch) for epoch in history]
         for policy, history in payload["policies"].items()
@@ -80,11 +88,7 @@ def save_scenario(path: Union[str, Path], scenario: Scenario) -> None:
 def load_scenario(path: Union[str, Path]) -> Scenario:
     """Read a scenario snapshot written by :func:`save_scenario`."""
     payload = json.loads(Path(path).read_text())
-    if payload.get("kind") != "scenario":
-        raise ValueError(f"{path} is not a scenario trace")
-    if payload.get("version") != TRACE_VERSION:
-        raise ValueError(f"unsupported trace version "
-                         f"{payload.get('version')!r}")
+    _check_trace_header(payload, "scenario", path)
     return Scenario(
         wifi_rates=np.asarray(payload["wifi_rates"], dtype=float),
         plc_rates=np.asarray(payload["plc_rates"], dtype=float),

@@ -110,10 +110,42 @@ class TestValidation:
                 "  - {name: x, extenders: 2, users: 3}\n")
 
     def test_bool_is_not_an_integer(self):
+        # isinstance(True, int) is True in Python, so without the
+        # explicit bool reject a YAML `extenders: true` parses as 1.
         with pytest.raises(ValueError, match="must be an integer"):
             parse_fleet_spec(
                 "buildings:\n"
                 "  - {name: x, extenders: true, users: 3}\n")
+
+    def test_bool_is_not_a_seed(self):
+        with pytest.raises(ValueError, match="must be an integer"):
+            parse_fleet_spec(
+                "fleet: {name: f, seed: true}\n"
+                "buildings:\n"
+                "  - {name: x, extenders: 2, users: 3}\n")
+
+    def test_bool_is_not_a_float(self):
+        # float(True) is silently 1.0 — `wifi_jitter: true` would be
+        # a 100% jitter; every float knob must reject YAML booleans.
+        for block in ("telemetry: {wifi_jitter: true}",
+                      "telemetry: {plc_jitter: yes}",
+                      "telemetry: {dropout: true}",
+                      "health: {flap_band: true}",
+                      "health: {shard_timeout_s: true}",
+                      "chaos: {level: true}",
+                      "chaos: {blackout_prob: true}"):
+            with pytest.raises(ValueError, match="must be a number"):
+                parse_fleet_spec(
+                    "buildings:\n"
+                    "  - {name: x, extenders: 2, users: 3}\n"
+                    + block + "\n")
+
+    def test_non_numeric_float_rejected(self):
+        with pytest.raises(ValueError, match="must be a number"):
+            parse_fleet_spec(
+                "buildings:\n"
+                "  - {name: x, extenders: 2, users: 3}\n"
+                "telemetry: {dropout: lots}\n")
 
     def test_missing_required_key(self):
         with pytest.raises(ValueError, match="missing required"):

@@ -23,10 +23,10 @@ def codes(source: str, path: str = "core/module.py", select=None):
 
 
 class TestRegistry:
-    def test_all_fourteen_rules_registered(self):
+    def test_all_fifteen_rules_registered(self):
         assert set(RULES) == {"W001", "W002", "W003", "W004", "W005",
                               "W006", "W007", "W008", "W009", "W010",
-                              "W011", "W012", "W013", "W014"}
+                              "W011", "W012", "W013", "W014", "W015"}
 
     def test_rules_carry_metadata(self):
         for code, rule in RULES.items():
@@ -507,5 +507,88 @@ class TestW014UnboundedDispatch:
         src = """
         pool.map_chunked(items)
         run(items, timeout=3)
+        """
+        assert codes(src) == []
+
+
+class TestW015UnvalidatedIngest:
+    def test_loads_into_scenario_flagged(self):
+        src = """
+        import json
+
+        def read_snapshot(path):
+            payload = json.loads(path.read_text())
+            return Scenario(wifi_rates=payload["wifi_rates"],
+                            plc_rates=payload["plc_rates"])
+        """
+        assert codes(src) == ["W015"]
+
+    def test_yaml_into_journal_append_flagged(self):
+        src = """
+        import yaml
+
+        def ingest(store, raw):
+            entry = yaml.safe_load(raw)
+            store.append(entry)
+        """
+        assert codes(src) == ["W015"]
+
+    def test_loads_into_fingerprint_flagged(self):
+        src = """
+        import json
+
+        def identity(raw):
+            params = json.loads(raw)
+            return fingerprint(params)
+        """
+        assert codes(src) == ["W015"]
+
+    def test_validation_step_is_clean(self):
+        # A validator-shaped call in the same function shows the
+        # payload goes through a vetting layer before the sink.
+        src = """
+        import json
+
+        def read_snapshot(path):
+            payload = json.loads(path.read_text())
+            check_snapshot_header(payload)
+            return Scenario(wifi_rates=payload["wifi_rates"])
+        """
+        assert codes(src) == []
+
+    def test_untainted_sink_args_are_clean(self):
+        src = """
+        import json
+
+        def rebuild(path, rates):
+            meta = json.loads(path.read_text())
+            del meta
+            return Scenario(wifi_rates=rates)
+        """
+        assert codes(src) == []
+
+    def test_module_level_code_not_flagged(self):
+        # The taint scope is per-function; module bodies are config.
+        src = """
+        import json
+        payload = json.loads(RAW)
+        scenario = Scenario(wifi_rates=payload)
+        """
+        assert codes(src) == []
+
+    def test_suppression_comment_is_honored(self):
+        src = """
+        import json
+
+        def read_snapshot(path):
+            payload = json.loads(path.read_text())
+            return Scenario(wifi_rates=payload["w"])  # woltlint: disable=W015
+        """
+        assert codes(src) == []
+
+    def test_non_deserialized_names_are_clean(self):
+        src = """
+        def rebuild(payload):
+            return Scenario(wifi_rates=payload["wifi_rates"])
         """
         assert codes(src) == []

@@ -19,7 +19,7 @@ __all__ = ["Rule", "RULES", "register", "all_rule_codes",
            "UnseededRng", "SeedArithmetic", "ScalarEvalInLoop",
            "ReportMutation", "UnitSuffix", "SwallowedEngineException",
            "SwallowedTransportException", "NonAtomicPersistence",
-           "UnsanitizedTelemetryScenario"]
+           "UnsanitizedTelemetryScenario", "UnvalidatedIngest"]
 
 
 def dotted_parts(node: ast.AST) -> Optional[List[str]]:
@@ -751,3 +751,101 @@ class UnboundedDispatch(Rule):
                 "stalls this batch forever; pass a deadline, or "
                 "timeout_s=None to mark unbounded waiting as "
                 "deliberate")
+
+
+# ---------------------------------------------------------------------------
+# W015 — unvalidated ingest
+
+
+#: Deserializers whose output is untrusted external data.
+_DESERIALIZER_FNS = frozenset({"loads", "load", "safe_load",
+                               "full_load", "unsafe_load"})
+
+#: Name fragments whose presence in the same function shows the
+#: deserialized payload passes through a validation layer before it
+#: reaches a trusted sink.
+_VALIDATOR_WORDS = ("validate", "decode", "classify", "sanitize",
+                    "schema", "isfinite", "reject", "require",
+                    "_take", "check", "verify", "quarantine")
+
+
+def _is_deserializer(call: ast.Call) -> bool:
+    parts = dotted_parts(call.func)
+    if parts is None or parts[-1] not in _DESERIALIZER_FNS:
+        return False
+    # Bare load()/loads() of unknown provenance counts too, but the
+    # canonical shapes are json.loads / yaml.safe_load.
+    return len(parts) == 1 or parts[-2] in ("json", "yaml")
+
+
+def _ingest_sink(call: ast.Call) -> Optional[str]:
+    """Name a trusted sink this call feeds, or ``None``."""
+    parts = dotted_parts(call.func)
+    if parts is None:
+        return None
+    if parts[-1] == "Scenario":
+        return "Scenario(...)"
+    if parts[-1] == "fingerprint":
+        return "fingerprint(...)"
+    if (parts[-1] in ("append", "append_event") and len(parts) >= 2
+            and any(word in parts[-2].lower()
+                    for word in ("store", "journal"))):
+        return f"{parts[-2]}.{parts[-1]}(...)"
+    return None
+
+
+@register
+class UnvalidatedIngest(Rule):
+    """Deserialized external data flowing into a trusted sink unvetted."""
+
+    code = "W015"
+    name = "unvalidated-ingest"
+    description = ("json.loads()/yaml.safe_load() output reaching a "
+                   "Scenario, a fingerprinted journal append, or "
+                   "fingerprint() in a function with no validation "
+                   "step")
+    rationale = ("Deserialized bytes are attacker-shaped: one NaN, "
+                 "bool-as-int, or missing key that reaches "
+                 "Scenario(...) or a fingerprinted journal poisons "
+                 "the control loop (or the journal's identity) far "
+                 "from the read that caused it.  Ingest boundaries "
+                 "must classify/validate every record first — see "
+                 "repro.fleet.ingest for the reference shape.")
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if _mentions_any(_identifiers(node), _VALIDATOR_WORDS):
+                continue
+            tainted: set = set()
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Assign):
+                    continue
+                if not (isinstance(sub.value, ast.Call)
+                        and _is_deserializer(sub.value)):
+                    continue
+                for target in sub.targets:
+                    if isinstance(target, ast.Name):
+                        tainted.add(target.id)
+            if not tainted:
+                continue
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Call):
+                    continue
+                sink = _ingest_sink(sub)
+                if sink is None:
+                    continue
+                args = list(sub.args) + [kw.value
+                                         for kw in sub.keywords]
+                if any(name in tainted
+                       for arg in args
+                       for name in _identifiers(arg)):
+                    yield self.finding(
+                        path, sub,
+                        f"deserialized payload reaches {sink} with "
+                        "no validation step in this function — "
+                        "classify/validate the record first (see "
+                        "repro.fleet.ingest), or a malformed read "
+                        "poisons the trusted state here")
